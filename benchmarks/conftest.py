@@ -1,0 +1,54 @@
+"""Benchmark-harness configuration.
+
+Each ``test_bench_*`` file regenerates one table or figure of the paper
+(`DESIGN.md` maps experiment ids to bench targets). The rendered report of
+every experiment is collected here and emitted in the terminal summary, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` leaves a
+complete paper-vs-measured record.
+
+Scale: ``$REPRO_SCALE`` (small/bench/full/paper), default ``bench``
+(320x240, 32 frames). Traces and simulation runs are memoized across bench
+files (see repro.experiments.traces / simcache), so each configuration is
+rendered and simulated exactly once per session; the benchmark timing of an
+experiment therefore reflects its *incremental* cost given earlier runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Scale
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import run_experiment
+
+_reports: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> Scale:
+    """The scale preset all benches share (env-overridable)."""
+    return Scale.from_env(default=Scale.bench())
+
+
+@pytest.fixture(scope="session")
+def run_bench_experiment(bench_scale):
+    """Run an experiment at bench scale and record its report."""
+
+    def _run(benchmark, exp_id: str) -> ExperimentResult:
+        result = benchmark.pedantic(
+            lambda: run_experiment(exp_id, bench_scale), rounds=1, iterations=1
+        )
+        _reports.append(result.render())
+        return result
+
+    return _run
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _reports:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for report in _reports:
+        for line in report.splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")

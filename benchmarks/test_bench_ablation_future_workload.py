@@ -1,0 +1,12 @@
+"""Bench target for the §6 'workloads of the future' ablation."""
+
+
+def test_ablation_future_workload(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "abl-future")
+    # L2 caching keeps paying off on the heavier workload.
+    assert result.data["2 MB"]["saving"] > 1.5
+    assert result.data["8 MB"]["agp_mb_per_frame"] <= (
+        result.data["2 MB"]["agp_mb_per_frame"]
+    )
+    # The future workload needs less L2 memory than push memory, still.
+    assert result.data["l2_peak"] < result.data["push_peak"]

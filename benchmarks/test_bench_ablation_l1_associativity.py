@@ -1,0 +1,13 @@
+"""Bench target for the L1 associativity sweep (Hakura's 2-way claim)."""
+
+
+def test_ablation_l1_associativity(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "abl-l1-assoc")
+    rates = result.data
+    # Associativity can only help ...
+    assert rates[1] >= rates[2] >= rates[4] * 0.999
+    # ... but 2-way already captures most of the conflict misses: going
+    # from 2-way to 8-way buys far less than going from 1-way to 2-way.
+    gain_1_to_2 = rates[1] - rates[2]
+    gain_2_to_8 = rates[2] - rates[8]
+    assert gain_2_to_8 <= gain_1_to_2 + 1e-9

@@ -1,0 +1,15 @@
+"""Bench target for the §5.1 L2-organization ablation."""
+
+
+def test_ablation_l2_associativity(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "abl-l2-assoc")
+    page_table = result.data["page table + clock"]
+    direct = result.data["1-way set assoc"]
+    # Restricted placement misses more than the fully-associative page
+    # table; the gap shrinks as associativity rises.
+    assert page_table["miss_rate"] <= direct["miss_rate"]
+    if "8-way set assoc" in result.data:
+        assert (
+            result.data["8-way set assoc"]["miss_rate"]
+            <= direct["miss_rate"]
+        )

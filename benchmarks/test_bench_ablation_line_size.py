@@ -1,0 +1,11 @@
+"""Bench target for the L1 line-size ablation (Hakura's trade-off)."""
+
+
+def test_ablation_line_size(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "abl-line-size")
+    for workload in ("village", "city"):
+        d = result.data[workload]
+        # Two-tile lines reduce misses ...
+        assert d["pair_miss_rate"] < d["base_miss_rate"]
+        # ... but download more tiles (the bandwidth cost the paper avoids).
+        assert d["pair_tiles"] > d["base_tiles"]

@@ -1,0 +1,14 @@
+"""Bench target for the multi-texturing ablation (§4's trend)."""
+
+
+def test_ablation_multitexture(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "abl-multitexture")
+    base = result.data["village"]
+    mt = result.data["village-mt"]
+    # Lightmapped surfaces double their texel reads ...
+    assert mt["texel_reads"] > 1.3 * base["texel_reads"]
+    # ... which pressures the pull architecture's bandwidth and the working
+    # set, while the L2 keeps absorbing the bulk of it.
+    assert mt["pull_mb"] > base["pull_mb"]
+    assert mt["peak_l2_memory"] >= base["peak_l2_memory"]
+    assert mt["l2_mb"] < mt["pull_mb"]

@@ -1,0 +1,12 @@
+"""Bench target for the budgeted-push ablation."""
+
+
+def test_ablation_push_budget(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "abl-push-budget")
+    # Tighter budgets can only increase push downloads.
+    mbs = [result.data[f]["mb_per_frame"] for f in (0.4, 0.6, 0.8, 1.0, 1.5)]
+    assert all(a >= b - 1e-9 for a, b in zip(mbs, mbs[1:]))
+    # Sub-working-set budgets overflow at least once.
+    assert result.data[0.4]["overflow_frames"] >= 1
+    # The L2 architecture needs a fraction of the push memory.
+    assert result.data["l2"]["memory"] < result.data[1.0]["budget"]

@@ -1,0 +1,18 @@
+"""Bench target for the §6 replacement-policy ablation (clock vs others)."""
+
+
+def test_ablation_replacement(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "abl-replacement")
+    policies = ("clock", "lru", "fifo", "random")
+    bandwidths = {p: result.data[p]["agp_mb_per_frame"] for p in policies}
+    # Clock approximates LRU: within 25% of true LRU's bandwidth.
+    assert bandwidths["clock"] <= bandwidths["lru"] * 1.25
+    # All policies land in the same order of magnitude (the L2's benefit is
+    # robust to the replacement algorithm, which is why the paper's simple
+    # clock suffices).
+    assert max(bandwidths.values()) < 5 * min(bandwidths.values())
+    # The "pesky" clock search: the mean search is short even if the worst
+    # case sweeps the whole BRL.
+    search = result.data["clock_search"]
+    assert search["mean"] < 16
+    assert search["max"] >= 1

@@ -1,0 +1,17 @@
+"""Bench target for the texture-streaming ablation (§5.2 deallocation)."""
+
+
+def test_ablation_streaming(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "abl-streaming")
+    baseline = result.data["baseline_mb"]
+    swept = [k for k in result.data if isinstance(k, int)]
+    assert swept, "streaming sweep produced no data points"
+    for idle in swept:
+        d = result.data[idle]
+        # Streaming can only add traffic over the keep-everything baseline.
+        assert d["mb_per_frame"] >= baseline * 0.999
+        assert d["deletes"] >= d["reloads"] >= 0
+    # A more aggressive threshold deletes at least as often.
+    if len(swept) >= 2:
+        lo, hi = min(swept), max(swept)
+        assert result.data[lo]["deletes"] >= result.data[hi]["deletes"]

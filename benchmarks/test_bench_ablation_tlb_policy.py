@@ -1,0 +1,12 @@
+"""Bench target for the TLB replacement-policy ablation (§5.4.3)."""
+
+
+def test_ablation_tlb_policy(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "abl-tlb")
+    for entries in (1, 2, 4, 8, 16):
+        rr = result.data[(entries, "round_robin")]
+        lru = result.data[(entries, "lru")]
+        # LRU and round robin are nearly indistinguishable on this stream —
+        # the gap stays within a couple of points either way, which is why
+        # the paper's simpler round-robin choice costs nothing.
+        assert abs(lru - rr) < 0.05

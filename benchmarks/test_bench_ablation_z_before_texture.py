@@ -1,0 +1,15 @@
+"""Bench target for the §6 z-before-texture ablation."""
+
+
+def test_ablation_z_before_texture(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "abl-zfirst")
+    for workload in ("village", "city"):
+        d = result.data[workload]
+        base_depth, z_depth = d["depth"]
+        base_bw, z_bw = d["bandwidth"]
+        # Z-first cannot increase textured depth or bandwidth, and on the
+        # overdraw-heavy Village it should visibly reduce both.
+        assert z_depth <= base_depth
+        assert z_bw <= base_bw * 1.02
+    v = result.data["village"]
+    assert v["depth"][1] < v["depth"][0] * 0.95

@@ -1,0 +1,23 @@
+"""Bench target for Figure 10: download bandwidth with and without L2."""
+
+import numpy as np
+
+
+def test_fig10_download_bandwidth(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "fig10")
+    for workload in ("village", "city"):
+        curves = result.data[workload]
+        small_l1 = curves["2 KB (L1) only"]
+        big_l1 = curves["16 KB (L1) only"]
+        with_l2 = curves["2 KB (L1), 2 MB (L2)"]
+        # A bigger L1 reduces pull bandwidth, but an L2 behind the small L1
+        # beats even the big L1 (the paper's argument that L2 caching lets
+        # you ship a smaller L1).
+        assert big_l1.mean() < small_l1.mean()
+        assert with_l2[2:].mean() < big_l1[2:].mean()
+        # Bigger L2 -> lower steady-state bandwidth (ignore warm-up frames).
+        l2_means = [
+            curves[f"2 KB (L1), {mb} MB (L2)"][2:].mean() for mb in (2, 4, 8)
+        ]
+        assert l2_means[0] >= l2_means[1] >= l2_means[2]
+        assert np.all(np.asarray(l2_means) > 0)

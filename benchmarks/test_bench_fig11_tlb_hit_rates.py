@@ -1,0 +1,13 @@
+"""Bench target for Figure 11: texture page table TLB hit rates (Village)."""
+
+
+def test_fig11_tlb_hit_rates(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "fig11")
+    entries = sorted(result.data)
+    means = [result.data[e]["mean"] for e in entries]
+    # Hit rate rises monotonically with TLB size ...
+    assert means == sorted(means)
+    # ... from a useful single-entry rate to >85% at 16 entries (paper:
+    # 36% -> 91%).
+    assert means[0] > 0.15
+    assert means[-1] > 0.85

@@ -1,0 +1,19 @@
+"""Bench target for Figure 12: shaded snapshots of both animations."""
+
+from pathlib import Path
+
+
+def test_fig12_snapshots(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "fig12")
+    for (workload, t), info in result.data.items():
+        path = Path(info["path"])
+        assert path.exists(), f"missing snapshot {path}"
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n")
+        # The image must actually show the scene (non-trivial fragment
+        # counts and non-constant pixels).
+        assert info["fragments"] > 1000
+        pixels = data.split(b"\n", 3)[3]
+        # Sample the image middle (the top rows can be uniform sky/void).
+        mid = len(pixels) // 2
+        assert len(set(pixels[mid : mid + 3 * 1000])) > 3

@@ -1,0 +1,10 @@
+"""Bench target for Figure 3: expected inter-frame working set (analytic)."""
+
+
+def test_fig3_expected_working_set(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "fig3")
+    assert all(result.data["checks"].values())
+    # W grows with resolution and depth, shrinks with utilization.
+    d = result.data["working_sets"]
+    assert d[("1600x1200", 4.0, 0.1)] > d[("512x384", 1.0, 0.1)]
+    assert d[("1024x768", 2.0, 5.0)] < d[("1024x768", 2.0, 0.1)]

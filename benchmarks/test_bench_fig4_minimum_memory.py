@@ -1,0 +1,19 @@
+"""Bench target for Figure 4: minimum memory, push vs L2 cache."""
+
+import numpy as np
+
+
+def test_fig4_minimum_memory(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "fig4")
+    for workload in ("village", "city"):
+        curves = result.data[workload]
+        # Paper: L2 caching achieves "important local memory savings over
+        # the push architecture" (3x-5x on the paper's scenes).
+        assert np.max(curves["l2_16"]) < np.max(curves["push"])
+        assert np.mean(curves["push"]) / np.mean(curves["l2_16"]) > 1.5
+        # Push never exceeds total loaded textures.
+        assert np.all(curves["push"] <= curves["loaded"])
+        # "16x16 L2 tiles do not require significantly more memory than 8x8
+        # tiles but can provide some savings over ... 32x32 tiles."
+        assert np.mean(curves["l2_16"]) < np.mean(curves["l2_32"])
+        assert np.mean(curves["l2_16"]) < 2.0 * np.mean(curves["l2_8"])

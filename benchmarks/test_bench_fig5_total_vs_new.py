@@ -1,0 +1,17 @@
+"""Bench target for Figure 5: total vs new L2 memory per frame."""
+
+import numpy as np
+
+
+def test_fig5_total_vs_new(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "fig5")
+    for workload in ("village", "city"):
+        total = result.data[workload]["total"]
+        new = result.data[workload]["new"]
+        assert np.all(new <= total)
+        # "The inter-frame working set changes only slowly": past frame 0,
+        # new blocks are a small fraction of the total working set.
+        steady_new = new[1:].mean()
+        assert steady_new < 0.5 * total.mean()
+    # The Village's steady working set exceeds the City's (paper Fig 5).
+    assert result.data["village"]["total"].mean() > result.data["city"]["total"].mean()

@@ -1,0 +1,21 @@
+"""Bench target for Figure 6: minimum L1 download bandwidth, total vs new."""
+
+import numpy as np
+
+
+def test_fig6_min_bandwidth(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "fig6")
+    for workload in ("village", "city"):
+        for tile in (4, 8):
+            total = result.data[workload][tile]["total"]
+            new = result.data[workload][tile]["new"]
+            assert np.all(new <= total)
+        # 8x8 tiles cost more bytes than 4x4 for the same coverage (lower
+        # utilization of bigger tiles), per frame.
+        t8 = result.data[workload][8]["total"]
+        t4 = result.data[workload][4]["total"]
+        assert t8.mean() > t4.mean()
+    # "Clearly L2 caching offers the potential for extremely significant
+    # savings": steady-state new-only traffic is a small fraction of total.
+    v4 = result.data["village"][4]
+    assert v4["new"][1:].mean() < 0.5 * v4["total"].mean()

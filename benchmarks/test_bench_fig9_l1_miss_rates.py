@@ -1,0 +1,18 @@
+"""Bench target for Figure 9: L1 miss rate by cache size (Village)."""
+
+
+def test_fig9_l1_miss_rates(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "fig9")
+    for mode in ("bilinear", "trilinear"):
+        sizes = sorted(result.data[mode])
+        means = [result.data[mode][s]["mean"] for s in sizes]
+        # Miss rate falls monotonically with cache size ...
+        assert means == sorted(means, reverse=True)
+        # ... with diminishing returns: 16 KB is nearly as good as 32 KB
+        # (paper: "16 KB caches result in hit rates almost as good as 32 KB").
+        gain_2_to_4 = means[0] - means[1]
+        gain_16_to_32 = means[3] - means[4]
+        assert gain_16_to_32 < gain_2_to_4
+        # Even the 2 KB cache keeps peak miss rates in the single digits
+        # (paper: <4% bilinear, <5% trilinear at 1024x768).
+        assert result.data[mode][2048]["peak"] < 0.09

@@ -1,0 +1,14 @@
+"""Bench target for the §4 locality-class decomposition."""
+
+
+def test_locality_decomposition(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "locality")
+    for workload in ("village", "city"):
+        reads = result.data[workload]["reads"]
+        # The L1's classes dominate texel reads (that is why a KB-scale L1
+        # achieves >95% hit rates).
+        assert reads["run"] + reads["intra_object"] > 0.8
+        frame_level = result.data[workload]["frame_level"]
+        # The paper's premise: at animation scale, a block touched this
+        # frame was overwhelmingly touched last frame too.
+        assert frame_level["inter_frame"] > frame_level["compulsory"]

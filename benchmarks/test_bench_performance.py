@@ -1,0 +1,20 @@
+"""Bench target for the timing-model performance estimate."""
+
+
+def test_performance_estimate(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "perf")
+    for workload in ("village", "city"):
+        pull_small = result.data[(workload, "pull, 2 KB L1")]
+        pull_big = result.data[(workload, "pull, 16 KB L1")]
+        l2 = result.data[(workload, "L2 arch, 2 KB L1 + 2 MB L2")]
+        # The proposed architecture out-runs the small-L1 pull machine and
+        # is less bus-bound than either pull configuration.
+        assert l2["fps"] > pull_small["fps"]
+        assert l2["bus_bound"] <= pull_small["bus_bound"]
+        # A 16 KB L1 helps the pull architecture, but the 2 KB + L2 machine
+        # stays within striking distance on raw fps while using an 8x
+        # smaller on-chip cache and far less bus — the smaller-L1 argument.
+        assert l2["fps"] > 0.7 * pull_big["fps"]
+        # Timing model and SS5.4.2 closed form agree on the speedup.
+        timing, closed = result.data[(workload, "speedup")]
+        assert timing == __import__("pytest").approx(closed, rel=0.15)

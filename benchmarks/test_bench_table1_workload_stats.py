@@ -1,0 +1,16 @@
+"""Bench target for Table 1: workload statistics and expected W."""
+
+
+def test_table1_workload_stats(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "table1")
+    v = result.data["village"]
+    c = result.data["city"]
+    # Paper shape: the Village has higher depth complexity, the City higher
+    # block utilization; the Village's expected working set is several times
+    # the City's (paper: 2.43 MB vs 0.73 MB).
+    assert v.depth_complexity > c.depth_complexity
+    assert c.block_utilization > v.block_utilization
+    assert v.expected_working_set_bytes > 2 * c.expected_working_set_bytes
+    # Both workloads reuse texels (utilization > 1).
+    assert v.block_utilization > 1.0
+    assert c.block_utilization > 1.0

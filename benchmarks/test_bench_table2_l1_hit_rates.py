@@ -1,0 +1,11 @@
+"""Bench target for Table 2: average L1 hit rates (Village)."""
+
+
+def test_table2_l1_hit_rates(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "table2")
+    sizes = sorted(result.data)
+    for mode in ("bilinear", "trilinear"):
+        rates = [result.data[s][mode] for s in sizes]
+        assert rates == sorted(rates)  # bigger cache, higher hit rate
+        assert rates[0] > 0.95  # even 2 KB hits the vast majority of texels
+        assert rates[-1] > 0.99

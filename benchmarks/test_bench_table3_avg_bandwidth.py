@@ -1,0 +1,23 @@
+"""Bench target for Table 3: average AGP bandwidth (MB/frame)."""
+
+
+def test_table3_avg_bandwidth(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "table3")
+    for workload in ("village", "city"):
+        for mode in ("bilinear", "trilinear"):
+            key = (workload, mode)
+            no_l2_small = result.data["2 KB L1, no L2"][key]
+            no_l2_big = result.data["16 KB L1, no L2"][key]
+            l2_2mb = result.data["2 KB L1, 2 MB L2"][key]
+            l2_8mb = result.data["2 KB L1, 8 MB L2"][key]
+            # Paper headline: "even a 2 MB L2 cache saves ... bandwidth over
+            # a vanilla pull architecture" — multiples over no-L2.
+            assert l2_2mb < no_l2_small / 2
+            assert l2_8mb <= l2_2mb
+            # The 16 KB L1 alone cannot match a 2 KB L1 + L2.
+            assert l2_2mb < no_l2_big
+    # Trilinear needs more bandwidth than bilinear in the pull architecture.
+    assert (
+        result.data["2 KB L1, no L2"][("village", "trilinear")]
+        > result.data["2 KB L1, no L2"][("village", "bilinear")]
+    )

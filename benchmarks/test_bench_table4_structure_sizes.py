@@ -1,0 +1,18 @@
+"""Bench target for Table 4: L2 caching structure sizes (exact paper match)."""
+
+KB = 1024
+
+
+def test_table4_structure_sizes(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "table4")
+    # These are closed-form and must match the paper exactly.
+    pt = result.data["page_table"]
+    assert pt["16 MB"] == 64 * KB
+    assert pt["32 MB"] == 128 * KB
+    assert pt["64 MB"] == 256 * KB
+    assert pt["256 MB"] == 1024 * KB
+    assert pt["1 GB"] == 4096 * KB
+    brl = result.data["brl"]
+    assert brl["2 MB"] == {"active": 256, "sans_active": 8 * KB}
+    assert brl["4 MB"] == {"active": 512, "sans_active": 16 * KB}
+    assert brl["8 MB"] == {"active": 1024, "sans_active": 32 * KB}

@@ -1,0 +1,23 @@
+"""Bench target for Tables 5 and 6: L1 hit rates and conditional L2 rates."""
+
+
+def test_table5_6_hit_rates(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "table5_6")
+    # Table 5: 2 KB L1 still hits the overwhelming majority of texel reads.
+    for key, rate in result.data["l1"].items():
+        assert rate > 0.95, key
+    # Table 6: conditional L2 rates are probabilities that sum below 1, and
+    # the full-hit rate grows with L2 size.
+    for workload in ("village", "city"):
+        for mode in ("bilinear", "trilinear"):
+            fulls = []
+            for size in ("2 MB", "4 MB", "8 MB"):
+                full, partial = result.data["l2"][(workload, size, mode)]
+                assert 0.0 <= full <= 1.0
+                assert 0.0 <= partial <= 1.0
+                assert full + partial <= 1.0 + 1e-9
+                fulls.append(full)
+            assert fulls == sorted(fulls)
+    # The L2 absorbs most L1 misses at the largest size (paper's key claim).
+    full_8mb, partial_8mb = result.data["l2"][("village", "8 MB", "trilinear")]
+    assert full_8mb + partial_8mb > 0.9

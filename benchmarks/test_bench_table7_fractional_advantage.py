@@ -1,0 +1,16 @@
+"""Bench target for Table 7: fractional advantage f of L2 caching."""
+
+
+def test_table7_fractional_advantage(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "table7")
+    # The paper's conclusion: "even when a full L2 miss is quite expensive,
+    # we expect overall performance of the L2 caching architecture to exceed
+    # that of the pull architecture" — f < 1 for every configuration at
+    # animation scale.
+    for key, f in result.data.items():
+        assert f < 1.0, key
+    # f improves (shrinks) with L2 size.
+    for workload in ("village", "city"):
+        for mode in ("bilinear", "trilinear"):
+            fs = [result.data[(workload, s, mode)] for s in ("2 MB", "4 MB", "8 MB")]
+            assert fs[0] >= fs[2]

@@ -1,0 +1,13 @@
+"""Bench target for Table 8: average TLB hit rates (both workloads)."""
+
+
+def test_table8_tlb_hit_rates(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "table8")
+    for workload in ("village", "city"):
+        rates = [result.data[(workload, e)] for e in (1, 2, 4, 8, 16)]
+        assert rates == sorted(rates)
+        assert rates[-1] > 0.85
+    # The paper's striking observation: the two very different workloads
+    # have almost identical TLB behaviour.
+    for e in (1, 2, 4, 8, 16):
+        assert abs(result.data[("village", e)] - result.data[("city", e)]) < 0.2

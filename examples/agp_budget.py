@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Will it fit on AGP? Frame-rate budgeting with the performance model.
+
+The paper motivates L2 caching by AGP 1.0's 512 MB/s budget: "With even a
+16 KB L1 cache (but no L2 cache) the Village would require 475 MB/s average
+download bandwidth at 30 Hz." This example reproduces that reasoning for
+any workload: measure MB/frame for several cache configurations, convert to
+MB/s at a target frame rate, and check them against the AGP budget, then
+apply the §5.4.2 access-time model to estimate relative texturing speed.
+
+Run:  python examples/agp_budget.py [fps] (default 30)
+"""
+
+import sys
+
+from repro import (
+    FilterMode,
+    L1CacheConfig,
+    L2CacheConfig,
+    L2CachingArchitecture,
+    PullArchitecture,
+    Scale,
+    average_access_time_l2,
+    average_access_time_pull,
+    fractional_advantage,
+    get_trace,
+)
+
+AGP_1_0_MBPS = 512.0  # MB/s, AGP 1.0 peak (paper §1)
+
+
+def main() -> None:
+    fps = float(sys.argv[1]) if len(sys.argv) > 1 else 30.0
+    scale = Scale(width=256, height=192, frames=16, detail=0.6, name="agp")
+    # Scale the AGP budget with resolution so the verdicts match paper scale.
+    budget = AGP_1_0_MBPS * scale.pixel_ratio
+    print(f"AGP budget scaled to {scale.width}x{scale.height}: "
+          f"{budget:.0f} MB/s, target {fps:g} Hz\n")
+
+    for workload in ("village", "city"):
+        trace = get_trace(workload, scale, FilterMode.TRILINEAR)
+        print(f"== {workload} (trilinear) ==")
+        rows = []
+
+        for label, l1_kb, l2_kb in (
+            ("pull, 2 KB L1", 2, None),
+            ("pull, 16 KB L1", 16, None),
+            ("L2 arch, 2 KB L1 + L2", 2, 128),
+        ):
+            l1 = L1CacheConfig(size_bytes=l1_kb * 1024)
+            if l2_kb is None:
+                res = PullArchitecture(l1).run(trace)
+                f = None
+            else:
+                res = L2CachingArchitecture(
+                    l1, L2CacheConfig(size_bytes=l2_kb * 1024)
+                ).run(trace)
+                f = fractional_advantage(
+                    res.l2_full_hit_rate, res.l2_partial_hit_rate, 8.0
+                )
+            mbps = res.mean_agp_bytes_per_frame / 1e6 * fps
+            verdict = "OK" if mbps <= budget else "EXCEEDS AGP"
+            rows.append((label, res, f))
+            print(f"  {label:<24} {mbps:8.1f} MB/s   {verdict}")
+
+        # Relative texel access time (t1 = 1 cycle, t3 = 20 cycles).
+        t1, t3 = 1.0, 20.0
+        pull_res = rows[0][1]
+        l2_res, f = rows[2][1], rows[2][2]
+        a_pull = average_access_time_pull(pull_res.l1_hit_rate, t1, t3)
+        a_l2 = average_access_time_l2(l2_res.l1_hit_rate, f, t1, t3)
+        print(f"  model: avg texel access {a_pull:.3f} (pull) vs "
+              f"{a_l2:.3f} (L2) cycles -> {a_pull / a_l2:.2f}x faster\n")
+
+
+if __name__ == "__main__":
+    main()

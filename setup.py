@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on offline machines whose setuptools lacks
+PEP 660 wheel support; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

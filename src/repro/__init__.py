@@ -1,0 +1,88 @@
+"""repro: Multi-Level Texture Caching for 3D Graphics Hardware.
+
+A from-scratch reproduction of Cox, Bhandari & Shantz (ISCA 1998):
+a software rendering pipeline that traces texture accesses of procedural
+Village/City animations, the paper's L1/L2 texture cache hierarchy
+(page-table L2 with clock replacement, sector mapping, and a page-table
+TLB), the push/pull/L2 architecture models, and a harness regenerating
+every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import (
+        Scale, get_trace, FilterMode,
+        L1CacheConfig, L2CacheConfig, PullArchitecture, L2CachingArchitecture,
+    )
+
+    trace = get_trace("village", Scale.small(), FilterMode.BILINEAR)
+    pull = PullArchitecture(L1CacheConfig(size_bytes=2048)).run(trace)
+    l2 = L2CachingArchitecture(
+        L1CacheConfig(size_bytes=2048), L2CacheConfig(size_bytes=1 << 20)
+    ).run(trace)
+    print(pull.mean_agp_bytes_per_frame / l2.mean_agp_bytes_per_frame)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.core import (
+    L1CacheConfig,
+    L1CacheSim,
+    L2CacheConfig,
+    L2TextureCache,
+    SetAssociativeL2Cache,
+    TextureTableTLB,
+    MultiLevelTextureCache,
+    HierarchyConfig,
+    PullArchitecture,
+    L2CachingArchitecture,
+    PushArchitecture,
+    expected_working_set_bytes,
+    l2_structure_sizes,
+    fractional_advantage,
+    average_access_time_pull,
+    average_access_time_l2,
+)
+from repro.experiments import Scale, get_trace, run_experiment, EXPERIMENTS
+from repro.scenes import Workload, build_city, build_future, build_village
+from repro.texture import FilterMode, Texture, TextureManager, AddressSpace
+from repro.raster import Renderer, RenderOptions
+from repro.trace import Trace, workload_stats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "L1CacheConfig",
+    "L1CacheSim",
+    "L2CacheConfig",
+    "L2TextureCache",
+    "SetAssociativeL2Cache",
+    "TextureTableTLB",
+    "MultiLevelTextureCache",
+    "HierarchyConfig",
+    "PullArchitecture",
+    "L2CachingArchitecture",
+    "PushArchitecture",
+    "expected_working_set_bytes",
+    "l2_structure_sizes",
+    "fractional_advantage",
+    "average_access_time_pull",
+    "average_access_time_l2",
+    "Scale",
+    "get_trace",
+    "run_experiment",
+    "EXPERIMENTS",
+    "Workload",
+    "build_city",
+    "build_future",
+    "build_village",
+    "FilterMode",
+    "Texture",
+    "TextureManager",
+    "AddressSpace",
+    "Renderer",
+    "RenderOptions",
+    "Trace",
+    "workload_stats",
+    "__version__",
+]

@@ -1,0 +1,193 @@
+"""The paper's Appendix pseudo-code, implemented line by line.
+
+The Appendix gives the exact control flow of L2 caching as the accelerator
+would execute it, down to the data-structure fields::
+
+    struct { Bit-vector sector[]; Int l2_block; } t_table[N_virt]
+    struct { Byte ram[l2_block_size]; } L2_cache[N_blocks]
+    struct texture { int tstart; int tlen; Address sysmem; ... } current_texture
+    int clock_index
+    struct { int t_index; bit active; } BRL[N_blocks]
+
+and the access sequence::
+
+    t = current_texture.tstart + L2
+    addr = l2_base_addr + (t_table[t].l2_block - 1) * l2_block_size
+           + L1 * l1_block_size
+    ...
+
+:class:`AppendixL2Cache` transcribes that pseudo-code as directly as Python
+allows — including the 1-based ``l2_block`` convention (zero means "no block
+allocated"), the ``current_texture`` register, and physical byte addresses
+into L2 cache memory. It exists for *fidelity*: a differential test drives
+it and the production :class:`~repro.core.l2_cache.L2TextureCache` with the
+same access streams and requires identical outcomes, pinning the structured
+implementation to the paper's own specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.texture.tiling import AddressSpace, CACHE_TEXEL_BYTES, L1_TILE_TEXELS
+
+__all__ = ["AccessOutcome", "AppendixL2Cache"]
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """What one texel-block access did (Appendix control-flow result).
+
+    ``kind`` is one of "l2_full_hit", "l2_partial_hit", "l2_full_miss".
+    ``address`` is the physical byte address of the L1 sub-block within L2
+    cache memory after the access completes.
+    """
+
+    kind: str
+    address: int
+
+
+class _TTableEntry:
+    """struct { Bit-vector sector[]; Int l2_block; }"""
+
+    __slots__ = ("sector", "l2_block")
+
+    def __init__(self, n_sub_blocks: int):
+        self.sector = [0] * n_sub_blocks
+        self.l2_block = 0  # zero if no block allocated (paper convention)
+
+
+class _BRLEntry:
+    """struct { int t_index; bit active; }"""
+
+    __slots__ = ("t_index", "active")
+
+    def __init__(self):
+        self.t_index = 0  # zero if free (paper stores index + 1)
+        self.active = 0
+
+
+class _TextureRegs:
+    """struct texture { int tstart; int tlen; ... } current_texture"""
+
+    __slots__ = ("tstart", "tlen")
+
+    def __init__(self, tstart: int, tlen: int):
+        self.tstart = tstart
+        self.tlen = tlen
+
+
+class AppendixL2Cache:
+    """Direct transcription of the Appendix pseudo-code.
+
+    Args:
+        space: address space supplying per-texture page-table extents.
+        n_blocks: physical blocks of L2 cache memory.
+        l2_tile_texels: L2 block edge (16 in the paper's example).
+        l2_base_addr: starting address of L2 cache memory.
+    """
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        n_blocks: int,
+        l2_tile_texels: int = 16,
+        l2_base_addr: int = 0,
+    ):
+        if n_blocks < 1:
+            raise ValueError(f"need at least one block, got {n_blocks}")
+        self.space = space
+        self.l2_tile_texels = l2_tile_texels
+        self.l2_block_size = l2_tile_texels * l2_tile_texels * CACHE_TEXEL_BYTES
+        self.l1_block_size = L1_TILE_TEXELS * L1_TILE_TEXELS * CACHE_TEXEL_BYTES
+        self.l2_base_addr = l2_base_addr
+        self.n_blocks = n_blocks
+
+        edge = l2_tile_texels // L1_TILE_TEXELS
+        n_sub = edge * edge
+        n_virt = space.total_l2_blocks(l2_tile_texels)
+        self.t_table = [_TTableEntry(n_sub) for _ in range(n_virt)]
+        self.BRL = [_BRLEntry() for _ in range(n_blocks)]
+        self.clock_index = 0
+        self._textures = {
+            tid: _TextureRegs(*space.l2_extent(tid, l2_tile_texels))
+            for tid in range(space.texture_count)
+        }
+        self.current_texture: _TextureRegs | None = None
+
+    # ------------------------------------------------------------------
+    def bind(self, tid: int) -> None:
+        """The host informs the accelerator of a current-texture change."""
+        self.current_texture = self._textures[tid]
+
+    def access(self, l2: int, l1: int) -> AccessOutcome:
+        """One access to virtual block <current_texture, L2, L1>.
+
+        Transcribes the Appendix body (the L1 cache itself is external to
+        this pseudo-code; callers feed it the L1 miss stream).
+        """
+        if self.current_texture is None:
+            raise RuntimeError("no current texture bound")
+        # t = current_texture.tstart + L2
+        t = self.current_texture.tstart + l2
+        entry = self.t_table[t]
+
+        # test2 = t_table[t].l2_block is non-zero
+        test2 = entry.l2_block != 0
+        # test3 = t_table[t].sector[L1]
+        test3 = bool(entry.sector[l1]) if test2 else False
+
+        if test2:
+            if test3:
+                # L2 full hit: load L1 sub-block from L2 cache at addr.
+                self.BRL[entry.l2_block - 1].active = 1
+                return AccessOutcome("l2_full_hit", self._addr(entry, l1))
+            # L2 partial hit: load sub-block from system memory into L2
+            # cache at addr, and into L1 cache.
+            entry.sector[l1] = 1
+            self.BRL[entry.l2_block - 1].active = 1
+            return AccessOutcome("l2_partial_hit", self._addr(entry, l1))
+
+        # L2 full miss: find a victim with the clock.
+        while self.BRL[self.clock_index].active:
+            self.BRL[self.clock_index].active = 0
+            self.clock_index = (self.clock_index + 1) % self.n_blocks
+        if self.BRL[self.clock_index].t_index:
+            # Clear t_table[ BRL[clock_index].t_index - 1 ]
+            victim = self.t_table[self.BRL[self.clock_index].t_index - 1]
+            victim.l2_block = 0
+            victim.sector = [0] * len(victim.sector)
+        # Load L1 sub-block from system memory into L2 cache at addr, and
+        # into L1 cache.
+        self.BRL[self.clock_index].t_index = t + 1
+        entry.l2_block = self.clock_index + 1
+        self.clock_index = (self.clock_index + 1) % self.n_blocks
+        entry.sector[l1] = 1
+        self.BRL[entry.l2_block - 1].active = 1
+        return AccessOutcome("l2_full_miss", self._addr(entry, l1))
+
+    def _addr(self, entry: _TTableEntry, l1: int) -> int:
+        """addr = l2_base_addr + (l2_block - 1) * l2_block_size
+        + L1 * l1_block_size"""
+        return (
+            self.l2_base_addr
+            + (entry.l2_block - 1) * self.l2_block_size
+            + l1 * self.l1_block_size
+        )
+
+    # ------------------------------------------------------------------
+    def deallocate_current_texture(self) -> int:
+        """§5.2: iterate tstart .. tstart+tlen, clearing entries and BRL."""
+        if self.current_texture is None:
+            raise RuntimeError("no current texture bound")
+        released = 0
+        ct = self.current_texture
+        for t in range(ct.tstart, ct.tstart + ct.tlen):
+            entry = self.t_table[t]
+            if entry.l2_block:
+                self.BRL[entry.l2_block - 1].t_index = 0
+                self.BRL[entry.l2_block - 1].active = 0
+                entry.l2_block = 0
+                entry.sector = [0] * len(entry.sector)
+                released += 1
+        return released

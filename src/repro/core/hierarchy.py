@@ -1,0 +1,197 @@
+"""Figure 7 control flow: the multi-level cache hierarchy simulator.
+
+Couples the L1 cache, the L2 texture cache, and the page-table TLB into the
+paper's "transaction-accurate (but not cycle-accurate) simulator" (§3.3).
+Per frame: the collapsed tile-reference stream runs through L1; the L1 miss
+stream is translated to page-table indices (consulting the TLB) and runs
+through the L2; byte counts fall out of the transaction counts.
+
+Without an L2, the same machinery models the pull architecture: every L1
+miss is a 64-byte download over AGP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.l1_cache import L1CacheConfig, L1CacheSim
+from repro.core.l2_cache import L2CacheConfig, L2FrameResult, L2TextureCache
+from repro.core.tlb import TextureTableTLB, TLBFrameResult
+from repro.texture.tiling import AddressSpace, L1_BLOCK_BYTES
+from repro.trace.trace import FrameTrace, Trace
+
+__all__ = [
+    "HierarchyConfig",
+    "FrameCacheStats",
+    "TraceRunResult",
+    "MultiLevelTextureCache",
+]
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Configuration of the full hierarchy.
+
+    ``l2`` may be None (pull architecture: L1 only). ``tlb_entries`` may be
+    None to skip TLB modelling; it requires an L2 (the TLB caches the L2's
+    page table).
+    """
+
+    l1: L1CacheConfig
+    l2: L2CacheConfig | None = None
+    tlb_entries: int | None = None
+    tlb_policy: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        if self.tlb_entries is not None and self.l2 is None:
+            raise ValueError("a TLB models the L2 page table; configure an L2")
+
+
+@dataclass
+class FrameCacheStats:
+    """One frame's transaction counts through the hierarchy."""
+
+    texel_reads: int
+    l1_accesses: int
+    l1_misses: int
+    l2: L2FrameResult | None = None
+    tlb: TLBFrameResult | None = None
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """Texel-level L1 hit rate (collapsed repeats are hits)."""
+        if self.texel_reads == 0:
+            return 1.0
+        return 1.0 - self.l1_misses / self.texel_reads
+
+    @property
+    def agp_bytes(self) -> int:
+        """Host-to-accelerator download bytes this frame.
+
+        With an L2, only partial hits and full misses reach the host; in the
+        pull architecture every L1 miss does.
+        """
+        if self.l2 is not None:
+            return self.l2.agp_bytes
+        return self.l1_misses * L1_BLOCK_BYTES
+
+    @property
+    def local_l2_bytes(self) -> int:
+        """Traffic absorbed by local L2 cache memory this frame."""
+        return self.l2.local_bytes if self.l2 is not None else 0
+
+
+@dataclass
+class TraceRunResult:
+    """A whole animation's simulation outcome plus aggregates."""
+
+    config: HierarchyConfig
+    frames: list[FrameCacheStats]
+
+    # ------------------------------------------------------------------
+    # Per-frame curves (for the figures)
+    # ------------------------------------------------------------------
+    def agp_bytes_per_frame(self) -> np.ndarray:
+        """Per-frame host-download bytes (Fig 10 curves)."""
+        return np.array([f.agp_bytes for f in self.frames], dtype=np.int64)
+
+    def l1_miss_rate_per_frame(self) -> np.ndarray:
+        """Per-frame texel-level L1 miss rate (Fig 9 curves)."""
+        return np.array([1.0 - f.l1_hit_rate for f in self.frames])
+
+    def tlb_hit_rate_per_frame(self) -> np.ndarray:
+        """Per-frame TLB hit rate, NaN without a TLB (Fig 11 curves)."""
+        return np.array(
+            [f.tlb.hit_rate if f.tlb is not None else np.nan for f in self.frames]
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregates (for the tables)
+    # ------------------------------------------------------------------
+    @property
+    def total_texel_reads(self) -> int:
+        """Texel reads over the whole animation."""
+        return sum(f.texel_reads for f in self.frames)
+
+    @property
+    def total_l1_misses(self) -> int:
+        """L1 misses over the whole animation."""
+        return sum(f.l1_misses for f in self.frames)
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """Aggregate texel-weighted L1 hit rate (Table 2 / Table 5)."""
+        reads = self.total_texel_reads
+        return 1.0 - self.total_l1_misses / reads if reads else 1.0
+
+    @property
+    def l2_full_hit_rate(self) -> float:
+        """L2 full-hit rate conditional on an L1 miss (Table 6)."""
+        misses = self.total_l1_misses
+        if not misses or self.config.l2 is None:
+            return 0.0
+        return sum(f.l2.full_hits for f in self.frames) / misses
+
+    @property
+    def l2_partial_hit_rate(self) -> float:
+        """L2 partial-hit rate conditional on an L1 miss (Table 6)."""
+        misses = self.total_l1_misses
+        if not misses or self.config.l2 is None:
+            return 0.0
+        return sum(f.l2.partial_hits for f in self.frames) / misses
+
+    @property
+    def tlb_hit_rate(self) -> float:
+        """Aggregate TLB hit rate over all L1 misses (Table 8)."""
+        accesses = sum(f.tlb.accesses for f in self.frames if f.tlb is not None)
+        hits = sum(f.tlb.hits for f in self.frames if f.tlb is not None)
+        return hits / accesses if accesses else 0.0
+
+    @property
+    def mean_agp_bytes_per_frame(self) -> float:
+        """Average AGP/system-memory bandwidth in bytes/frame (Table 3)."""
+        if not self.frames:
+            return 0.0
+        return float(np.mean(self.agp_bytes_per_frame()))
+
+
+class MultiLevelTextureCache:
+    """Stateful hierarchy simulator over one workload's address space."""
+
+    def __init__(self, config: HierarchyConfig, space: AddressSpace):
+        self.config = config
+        self.space = space
+        self.l1 = L1CacheSim(config.l1)
+        self.l2 = (
+            L2TextureCache(config.l2, space) if config.l2 is not None else None
+        )
+        self.tlb = (
+            TextureTableTLB(config.tlb_entries, config.tlb_policy)
+            if config.tlb_entries is not None
+            else None
+        )
+
+    def run_frame(self, frame: FrameTrace) -> FrameCacheStats:
+        """Simulate one frame (Fig 7 steps A-F)."""
+        sets = self.space.l1_set_indices(frame.refs, self.config.l1.n_sets)
+        l1_res = self.l1.access_frame(frame.refs, frame.weights, sets)
+        stats = FrameCacheStats(
+            texel_reads=l1_res.texel_reads,
+            l1_accesses=l1_res.accesses,
+            l1_misses=l1_res.misses,
+        )
+        if self.l2 is not None:
+            l2_tile = self.config.l2.l2_tile_texels
+            gids = self.space.global_l2_ids(l1_res.miss_refs, l2_tile)
+            if self.tlb is not None:
+                stats.tlb = self.tlb.access_frame(gids)
+            _, _, subs = self.space.translate_l2(l1_res.miss_refs, l2_tile)
+            stats.l2 = self.l2.access_blocks(gids, subs)
+        return stats
+
+    def run_trace(self, trace: Trace) -> TraceRunResult:
+        """Simulate a whole animation, carrying cache state across frames."""
+        frames = [self.run_frame(f) for f in trace.frames]
+        return TraceRunResult(config=self.config, frames=frames)

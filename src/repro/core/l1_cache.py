@@ -1,0 +1,236 @@
+"""The on-chip L1 texture cache (paper §2.3).
+
+Fixed by the paper's methodology: 4x4-texel tiles of 32-bit texels (64-byte
+lines, line size == tile size), 2-way set associativity, sizes swept from
+2 KB to 32 KB (Fig 9 / Table 2). Tags are the virtual texture address
+``<tid, L2, L1>`` — equivalently, the unique packed 4x4-tile reference — and
+the set index mixes both tile-coordinate axes (Hakura's "6D blocked
+representation", fixed across L2 configurations per §3.3; computed by
+:meth:`repro.texture.tiling.AddressSpace.l1_set_indices`).
+
+Simulation is exactly per-set LRU, but vectorized: for a 2-way LRU set, the
+cache state after any reference is history-determined — the MRU way holds
+the last reference and the LRU way holds the most recent *different*
+reference — regardless of hits or misses. Both are computable with a
+grouped scan (stable sort by set, shift, forward-fill), so whole frames
+simulate in a handful of numpy passes. Direct-mapped caches vectorize the
+same way; other associativities fall back to an explicit per-access loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.texture.tiling import L1_BLOCK_BYTES
+
+__all__ = ["L1CacheConfig", "L1FrameResult", "L1CacheSim"]
+
+
+@dataclass(frozen=True)
+class L1CacheConfig:
+    """L1 cache geometry.
+
+    Attributes:
+        size_bytes: total cache capacity (e.g. 2048 or 16384; Fig 9 sweeps
+            2 KB - 32 KB).
+        ways: associativity (the paper fixes 2; 1 gives direct-mapped).
+        line_bytes: cache line size; the paper fixes line == tile == 64 B.
+    """
+
+    size_bytes: int = 16 * 1024
+    ways: int = 2
+    line_bytes: int = L1_BLOCK_BYTES
+
+    def __post_init__(self) -> None:
+        if self.ways < 1:
+            raise ValueError(f"ways must be >= 1, got {self.ways}")
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ValueError(
+                f"cache size {self.size_bytes} is not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+        n_sets = self.n_sets
+        if n_sets & (n_sets - 1):
+            raise ValueError(f"set count must be a power of two, got {n_sets}")
+
+    @property
+    def n_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def n_lines(self) -> int:
+        """Total cache lines (sets * ways)."""
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass
+class L1FrameResult:
+    """Per-frame L1 simulation outcome.
+
+    Attributes:
+        texel_reads: total texel reads (collapsed weights restored).
+        accesses: collapsed tile references presented to the cache.
+        misses: tile references that missed (each triggers one 64-byte tile
+            download in the pull architecture).
+        miss_refs: packed references of the misses, in access order — the
+            stream the L2 cache and page-table TLB consume.
+    """
+
+    texel_reads: int
+    accesses: int
+    misses: int
+    miss_refs: np.ndarray
+
+    @property
+    def texel_hit_rate(self) -> float:
+        """Fraction of texel reads served from L1 (collapsed runs all hit)."""
+        if self.texel_reads == 0:
+            return 1.0
+        return 1.0 - self.misses / self.texel_reads
+
+    @property
+    def miss_bytes(self) -> int:
+        """Bytes downloaded into L1 this frame (one line per miss)."""
+        return self.misses * L1_BLOCK_BYTES
+
+
+class L1CacheSim:
+    """Stateful L1 cache simulator; state persists across frames."""
+
+    _EMPTY = np.int64(-1)
+
+    def __init__(self, config: L1CacheConfig, use_reference: bool = False):
+        """Args:
+            config: cache geometry.
+            use_reference: force the explicit per-access loop even for 1- and
+                2-way caches. The vectorized and reference paths are
+                behaviourally identical; the flag exists so tests can check
+                that equivalence on arbitrary streams.
+        """
+        self.config = config
+        n_sets = config.n_sets
+        if config.ways <= 2 and not use_reference:
+            self._mru = np.full(n_sets, self._EMPTY, dtype=np.int64)
+            self._lru = np.full(n_sets, self._EMPTY, dtype=np.int64)
+            self._sets_general: list[list[int]] | None = None
+        else:
+            self._sets_general = [[] for _ in range(n_sets)]
+
+    def reset(self) -> None:
+        """Invalidate the whole cache."""
+        if self._sets_general is None:
+            self._mru[:] = self._EMPTY
+            self._lru[:] = self._EMPTY
+        else:
+            for s in self._sets_general:
+                s.clear()
+
+    # ------------------------------------------------------------------
+    def access_frame(
+        self, refs: np.ndarray, weights: np.ndarray, sets: np.ndarray
+    ) -> L1FrameResult:
+        """Run one frame's collapsed reference stream through the cache.
+
+        Args:
+            refs: collapsed packed tile references, in access order.
+            weights: texel reads per entry.
+            sets: per-entry set index (from ``AddressSpace.l1_set_indices``).
+        """
+        refs = np.asarray(refs, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        sets = np.asarray(sets, dtype=np.int64)
+        if not (len(refs) == len(weights) == len(sets)):
+            raise ValueError("refs, weights, sets must have equal length")
+        texel_reads = int(weights.sum())
+        if len(refs) == 0:
+            return L1FrameResult(0, 0, 0, np.empty(0, dtype=np.int64))
+
+        if self._sets_general is not None:
+            hit = self._access_general(refs, sets)
+        else:
+            hit = self._access_vectorized(refs, sets)
+
+        miss_positions = np.flatnonzero(~hit)
+        return L1FrameResult(
+            texel_reads=texel_reads,
+            accesses=len(refs),
+            misses=len(miss_positions),
+            miss_refs=refs[miss_positions],
+        )
+
+    # ------------------------------------------------------------------
+    def _access_vectorized(self, refs: np.ndarray, sets: np.ndarray) -> np.ndarray:
+        """Exact per-set LRU for 1- and 2-way caches, in numpy passes."""
+        n = len(refs)
+        order = np.argsort(sets, kind="stable")
+        s = sets[order]
+        t = refs[order]
+
+        group_start = np.empty(n, dtype=bool)
+        group_start[0] = True
+        np.not_equal(s[1:], s[:-1], out=group_start[1:])
+
+        # MRU way content before each access: the previous reference in the
+        # set, or the carried inter-frame state at group starts.
+        mru_before = np.empty(n, dtype=np.int64)
+        mru_before[1:] = t[:-1]
+        mru_before[group_start] = self._mru[s[group_start]]
+        changed = t != mru_before
+
+        if self.config.ways == 1:
+            hit_sorted = ~changed
+            # Writeback: the last reference of each group is the new content.
+            group_end = np.empty(n, dtype=bool)
+            group_end[-1] = True
+            np.not_equal(s[1:], s[:-1], out=group_end[:-1])
+            self._mru[s[group_end]] = t[group_end]
+        else:
+            # LRU way content before each access: forward-fill of "the most
+            # recent reference different from the MRU". A new LRU value is
+            # defined wherever the previous access changed the MRU (the old
+            # MRU got demoted), and at group starts (carried state).
+            vals = np.empty(n, dtype=np.int64)
+            inner_def = np.zeros(n, dtype=bool)
+            inner_def[1:] = changed[:-1]
+            inner_def &= ~group_start
+            define = group_start | inner_def
+            vals[group_start] = self._lru[s[group_start]]
+            vals[1:][inner_def[1:]] = mru_before[:-1][inner_def[1:]]
+            last_def = np.maximum.accumulate(
+                np.where(define, np.arange(n), -1)
+            )
+            lru_before = vals[last_def]
+            hit_sorted = (~changed) | (t == lru_before)
+
+            group_end = np.empty(n, dtype=bool)
+            group_end[-1] = True
+            np.not_equal(s[1:], s[:-1], out=group_end[:-1])
+            self._mru[s[group_end]] = t[group_end]
+            new_lru = np.where(changed, mru_before, lru_before)
+            self._lru[s[group_end]] = new_lru[group_end]
+
+        # Back to original access order.
+        hit = np.empty(n, dtype=bool)
+        hit[order] = hit_sorted
+        return hit
+
+    def _access_general(self, refs: np.ndarray, sets: np.ndarray) -> np.ndarray:
+        """Reference N-way LRU implementation (explicit per-access loop)."""
+        ways = self.config.ways
+        lines = self._sets_general
+        hit = np.empty(len(refs), dtype=bool)
+        for i, (tag, set_idx) in enumerate(zip(refs.tolist(), sets.tolist())):
+            content = lines[set_idx]
+            if tag in content:
+                content.remove(tag)
+                content.append(tag)  # most recent at the back
+                hit[i] = True
+            else:
+                if len(content) >= ways:
+                    content.pop(0)
+                content.append(tag)
+                hit[i] = False
+        return hit

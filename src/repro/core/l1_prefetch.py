@@ -1,0 +1,127 @@
+"""L1 cache-line size study: lines larger than tiles (paper §2.3).
+
+Hakura's study (which the paper builds on) found that an L1 line *larger*
+than the tile — downloading a tile's neighbor along with it — lowers miss
+rates but raises download bandwidth ("when one tile is downloaded, it is
+efficacious to download its neighbors as well. However ... while miss rates
+drop, bandwidth increases"). The paper therefore fixes line == tile; this
+module implements the alternative so the trade-off can be measured on the
+same traces.
+
+:class:`L1PairFetchSim` keeps the same 4x4-texel tiles and set organization
+as :class:`~repro.core.l1_cache.L1CacheSim`, but on a miss it also fetches
+the horizontally adjacent buddy tile (the pair forms an 8x4-texel, 128-byte
+line). The buddy is installed MRU in *its own* set; each miss therefore
+downloads two tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.l1_cache import L1CacheConfig
+from repro.texture.tiling import (
+    AddressSpace,
+    L1_BLOCK_BYTES,
+    unpack_tile_refs,
+    pack_tile_refs,
+)
+
+__all__ = ["PairFetchFrameResult", "L1PairFetchSim"]
+
+
+@dataclass
+class PairFetchFrameResult:
+    """Per-frame outcome of the pair-fetch L1."""
+
+    texel_reads: int
+    accesses: int
+    misses: int
+    tiles_downloaded: int
+
+    @property
+    def texel_hit_rate(self) -> float:
+        """Fraction of texel reads served from L1."""
+        if self.texel_reads == 0:
+            return 1.0
+        return 1.0 - self.misses / self.texel_reads
+
+    @property
+    def download_bytes(self) -> int:
+        """Bytes downloaded (two 64-byte tiles per miss)."""
+        return self.tiles_downloaded * L1_BLOCK_BYTES
+
+
+class L1PairFetchSim:
+    """Set-associative L1 that fetches the missed tile plus its buddy.
+
+    The buddy of tile (tx, ty) is (tx ^ 1, ty): the other half of an
+    8x4-texel line. Set indices come from the same address space mapping as
+    the baseline L1, so results are directly comparable.
+    """
+
+    def __init__(self, config: L1CacheConfig, space: AddressSpace):
+        self.config = config
+        self.space = space
+        self._sets: list[list[int]] = [[] for _ in range(config.n_sets)]
+
+    def reset(self) -> None:
+        """Invalidate the whole cache."""
+        for s in self._sets:
+            s.clear()
+
+    def _insert(self, set_idx: int, tag: int) -> None:
+        content = self._sets[set_idx]
+        if tag in content:
+            content.remove(tag)
+        elif len(content) >= self.config.ways:
+            content.pop(0)
+        content.append(tag)
+
+    def access_frame(
+        self, refs: np.ndarray, weights: np.ndarray
+    ) -> PairFetchFrameResult:
+        """Run one frame's collapsed reference stream through the cache."""
+        refs = np.asarray(refs, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if len(refs) != len(weights):
+            raise ValueError("refs and weights must have equal length")
+        texel_reads = int(weights.sum())
+        if len(refs) == 0:
+            return PairFetchFrameResult(0, 0, 0, 0)
+
+        sets = self.space.l1_set_indices(refs, self.config.n_sets)
+        # Buddy tile of each reference (tx ^ 1), with its own set index.
+        fields = unpack_tile_refs(refs)
+        buddies = pack_tile_refs(
+            fields.tid, fields.mip, fields.tile_y, fields.tile_x ^ 1, check=False
+        )
+        buddy_sets = self.space.l1_set_indices(buddies, self.config.n_sets)
+
+        lines = self._sets
+        ways = self.config.ways
+        misses = 0
+        downloads = 0
+        for tag, s, btag, bs in zip(
+            refs.tolist(), sets.tolist(), buddies.tolist(), buddy_sets.tolist()
+        ):
+            content = lines[s]
+            if tag in content:
+                content.remove(tag)
+                content.append(tag)
+                continue
+            misses += 1
+            downloads += 2  # the tile and its buddy travel together
+            if len(content) >= ways:
+                content.pop(0)
+            content.append(tag)
+            self._insert(bs, btag)
+
+        return PairFetchFrameResult(
+            texel_reads=texel_reads,
+            accesses=len(refs),
+            misses=misses,
+            tiles_downloaded=downloads,
+        )

@@ -1,0 +1,306 @@
+"""The L2 texture cache (paper §5.1-5.2).
+
+The L2 is organized as virtual memory rather than a hardware-indexed cache:
+a **texture page table** (``t_table[]``) maps virtual block addresses
+``<tid, L2>`` — here, the global page-table index ``tstart + L2`` — to
+physical blocks of **L2 cache memory**; a **Block Replacement List**
+(``BRL[]``) drives replacement (clock by default); and **sector mapping**
+downloads only the 4x4 L1 sub-block each L1 miss needs, tracked by a
+per-entry sector bit-vector, "in order not to exceed the download bandwidth
+of the pull architecture".
+
+Accounting distinguishes (per §5.4.2's conditional hit rates):
+
+* **full hit** — block allocated and sub-block present: serviced from local
+  L2 memory, no host traffic;
+* **partial hit** — block allocated, sub-block absent: one L1-tile download
+  from host memory (into L2 and, in parallel, L1);
+* **full miss** — no physical block: find a victim, re-map, then download.
+
+:class:`SetAssociativeL2Cache` implements the organization §5.1 argues
+*against* (restricted placement causes inter-texture collisions); it exists
+for the associativity ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.policies import ReplacementPolicy, make_policy
+from repro.texture.tiling import (
+    AddressSpace,
+    CACHE_TEXEL_BYTES,
+    L1_BLOCK_BYTES,
+    L1_TILE_TEXELS,
+)
+
+__all__ = ["L2CacheConfig", "L2FrameResult", "L2TextureCache", "SetAssociativeL2Cache"]
+
+
+@dataclass(frozen=True)
+class L2CacheConfig:
+    """L2 cache geometry and policy.
+
+    Attributes:
+        size_bytes: L2 cache memory (the paper studies 2, 4, 8 MB).
+        l2_tile_texels: L2 block edge in texels (8, 16, or 32; paper
+            default 16).
+        policy: replacement policy name ("clock" is the paper's choice).
+    """
+
+    size_bytes: int = 2 * 1024 * 1024
+    l2_tile_texels: int = 16
+    policy: str = "clock"
+
+    def __post_init__(self) -> None:
+        if self.l2_tile_texels < L1_TILE_TEXELS or (
+            self.l2_tile_texels & (self.l2_tile_texels - 1)
+        ):
+            raise ValueError(
+                f"L2 tile size must be a power of two >= {L1_TILE_TEXELS}, "
+                f"got {self.l2_tile_texels}"
+            )
+        if self.size_bytes < self.block_bytes:
+            raise ValueError(
+                f"L2 size {self.size_bytes} smaller than one block "
+                f"({self.block_bytes})"
+            )
+
+    @property
+    def block_bytes(self) -> int:
+        """Bytes per L2 block (tile area x 4-byte texels)."""
+        return self.l2_tile_texels * self.l2_tile_texels * CACHE_TEXEL_BYTES
+
+    @property
+    def n_blocks(self) -> int:
+        """Physical blocks in L2 cache memory."""
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def sub_blocks_per_block(self) -> int:
+        """4x4 L1 sub-blocks per L2 block (sector bits per entry)."""
+        edge = self.l2_tile_texels // L1_TILE_TEXELS
+        return edge * edge
+
+
+@dataclass
+class L2FrameResult:
+    """Per-frame L2 outcome over the L1 miss stream."""
+
+    accesses: int
+    full_hits: int
+    partial_hits: int
+    full_misses: int
+    evictions: int
+
+    @property
+    def host_downloads(self) -> int:
+        """L1-tile downloads from host memory (partial hits + full misses)."""
+        return self.partial_hits + self.full_misses
+
+    @property
+    def agp_bytes(self) -> int:
+        """Host-to-accelerator traffic this frame."""
+        return self.host_downloads * L1_BLOCK_BYTES
+
+    @property
+    def local_bytes(self) -> int:
+        """L2-memory-to-L1 traffic serviced locally (full hits)."""
+        return self.full_hits * L1_BLOCK_BYTES
+
+    def hit_rates(self) -> tuple[float, float]:
+        """(full, partial) hit rates conditional on an L1 miss (§5.4.2)."""
+        if self.accesses == 0:
+            return 0.0, 0.0
+        return self.full_hits / self.accesses, self.partial_hits / self.accesses
+
+
+class L2TextureCache:
+    """The paper's page-table L2 cache over an address space.
+
+    Args:
+        config: cache geometry/policy.
+        space: address space of the workload's textures; sizes the page
+            table (one entry per L2 block of every texture, the host
+            driver's ``tstart``/``tlen`` allocation).
+    """
+
+    def __init__(self, config: L2CacheConfig, space: AddressSpace):
+        self.config = config
+        self.space = space
+        n_entries = space.total_l2_blocks(config.l2_tile_texels)
+        # t_table[]: physical block per virtual block (-1 = unallocated) and
+        # the per-entry sector bit-vector (bit set = L1 sub-block present).
+        self._t_block = np.full(n_entries, -1, dtype=np.int64)
+        self._t_sectors = np.zeros(n_entries, dtype=np.uint64)
+        # BRL[]: owning t_table index per physical block (-1 = free).
+        self._brl_t_index = np.full(config.n_blocks, -1, dtype=np.int64)
+        self.policy: ReplacementPolicy = make_policy(config.policy, config.n_blocks)
+        self._next_unused = 0
+        self._free: list[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def page_table_entries(self) -> int:
+        """t_table entries (one per L2 block of every texture)."""
+        return len(self._t_block)
+
+    @property
+    def resident_blocks(self) -> int:
+        """Physical blocks currently mapped."""
+        return int((self._brl_t_index >= 0).sum())
+
+    def is_resident(self, gid: int, sub: int | None = None) -> bool:
+        """Whether a virtual block (optionally a specific sub-block) is in L2."""
+        if self._t_block[gid] < 0:
+            return False
+        if sub is None:
+            return True
+        return bool(self._t_sectors[gid] & np.uint64(1 << sub))
+
+    # ------------------------------------------------------------------
+    def access_frame(self, miss_refs: np.ndarray) -> L2FrameResult:
+        """Run one frame's L1 miss stream through the L2 (Fig 7 steps C-F)."""
+        gids_arr = self.space.global_l2_ids(miss_refs, self.config.l2_tile_texels)
+        _, _, subs_arr = self.space.translate_l2(miss_refs, self.config.l2_tile_texels)
+        return self.access_blocks(gids_arr, subs_arr)
+
+    def access_blocks(self, gids: np.ndarray, subs: np.ndarray) -> L2FrameResult:
+        """Lower-level entry point taking pre-translated addresses."""
+        full_hits = 0
+        partial = 0
+        full_miss = 0
+        evictions = 0
+
+        t_block = self._t_block
+        t_sectors = self._t_sectors
+        brl = self._brl_t_index
+        policy = self.policy
+        n_blocks = self.config.n_blocks
+        free = self._free
+
+        for gid, sub in zip(gids.tolist(), subs.tolist()):
+            blk = t_block[gid]
+            bit = np.uint64(1 << sub)
+            if blk >= 0:
+                if t_sectors[gid] & bit:
+                    full_hits += 1  # step D yes: load from L2 memory
+                else:
+                    partial += 1  # step F: download sub-block from host
+                    t_sectors[gid] |= bit
+                policy.touch(blk)
+                continue
+            # Step E: full miss — allocate a physical block.
+            full_miss += 1
+            if free:
+                blk = free.pop()
+            elif self._next_unused < n_blocks:
+                blk = self._next_unused
+                self._next_unused += 1
+            else:
+                blk = policy.victim()
+                old = brl[blk]
+                if old >= 0:
+                    t_block[old] = -1
+                    t_sectors[old] = 0
+                    evictions += 1
+            brl[blk] = gid
+            t_block[gid] = blk
+            t_sectors[gid] = bit
+            policy.touch(blk)
+
+        return L2FrameResult(
+            accesses=len(gids),
+            full_hits=full_hits,
+            partial_hits=partial,
+            full_misses=full_miss,
+            evictions=evictions,
+        )
+
+    # ------------------------------------------------------------------
+    def deallocate_texture(self, tid: int) -> int:
+        """Release a deleted texture's page-table extent (§5.2).
+
+        Iterates the extent ``tstart .. tstart+tlen``, freeing any physical
+        blocks it owns. Returns the number of blocks released.
+        """
+        tstart, tlen = self.space.l2_extent(tid, self.config.l2_tile_texels)
+        released = 0
+        for entry in range(tstart, tstart + tlen):
+            blk = self._t_block[entry]
+            if blk >= 0:
+                self._brl_t_index[blk] = -1
+                self._free.append(int(blk))
+                self._t_block[entry] = -1
+                self._t_sectors[entry] = 0
+                released += 1
+        return released
+
+
+class SetAssociativeL2Cache:
+    """A conventionally-indexed L2 for the §5.1 organization ablation.
+
+    Virtual blocks map to ``set = gid mod n_sets`` with per-set LRU over
+    ``ways`` lines. §5.1 predicts this suffers collisions between textures
+    (and between distant blocks of large textures) that the page-table
+    organization avoids; the ablation bench quantifies that.
+    """
+
+    def __init__(self, config: L2CacheConfig, space: AddressSpace, ways: int = 4):
+        if ways < 1 or config.n_blocks % ways:
+            raise ValueError(
+                f"ways ({ways}) must divide the block count ({config.n_blocks})"
+            )
+        self.config = config
+        self.space = space
+        self.ways = ways
+        self.n_sets = config.n_blocks // ways
+        # Per-set list of resident gids, LRU order (front = oldest).
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self._sectors: dict[int, int] = {}
+
+    def access_frame(self, miss_refs: np.ndarray) -> L2FrameResult:
+        """Run one frame's L1 miss stream through the set-associative L2."""
+        gids = self.space.global_l2_ids(miss_refs, self.config.l2_tile_texels)
+        _, _, subs = self.space.translate_l2(miss_refs, self.config.l2_tile_texels)
+        return self.access_blocks(gids, subs)
+
+    def access_blocks(self, gids: np.ndarray, subs: np.ndarray) -> L2FrameResult:
+        """Lower-level entry point taking pre-translated addresses."""
+        full_hits = 0
+        partial = 0
+        full_miss = 0
+        evictions = 0
+        n_sets = self.n_sets
+        sets = self._sets
+        sectors = self._sectors
+
+        for gid, sub in zip(gids.tolist(), subs.tolist()):
+            content = sets[gid % n_sets]
+            bit = 1 << sub
+            if gid in content:
+                content.remove(gid)
+                content.append(gid)
+                if sectors[gid] & bit:
+                    full_hits += 1
+                else:
+                    partial += 1
+                    sectors[gid] |= bit
+            else:
+                full_miss += 1
+                if len(content) >= self.ways:
+                    old = content.pop(0)
+                    del sectors[old]
+                    evictions += 1
+                content.append(gid)
+                sectors[gid] = bit
+
+        return L2FrameResult(
+            accesses=len(gids),
+            full_hits=full_hits,
+            partial_hits=partial,
+            full_misses=full_miss,
+            evictions=evictions,
+        )

@@ -1,0 +1,121 @@
+"""Closed-form models: expected working set, structure sizes, performance.
+
+Three analytic pieces of the paper:
+
+* §4.1 / Fig 3 — expected inter-frame working set
+  ``W = (R * d * 4) / utilization`` bytes;
+* §5.4.1 / Table 4 — memory requirements of the L2 caching structures
+  (texture page table, BRL with and without active bits);
+* §5.4.2 / Table 7 — the simple performance model and the *fractional
+  advantage* ``f`` of the L2 caching architecture over pull.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.texture.tiling import CACHE_TEXEL_BYTES, L1_TILE_TEXELS
+
+__all__ = [
+    "expected_working_set_bytes",
+    "StructureSizes",
+    "l2_structure_sizes",
+    "fractional_advantage",
+    "average_access_time_pull",
+    "average_access_time_l2",
+]
+
+
+def expected_working_set_bytes(
+    resolution_pixels: int, depth_complexity: float, utilization: float
+) -> float:
+    """Expected inter-frame working set W (§4.1).
+
+    ``N_pix = R * d`` pixels are textured per frame at ~1:1 texel:pixel
+    compression, each texel 4 bytes in cache; block utilization divides
+    (utilization > 1 when texels are reused, < 1 with fragmentation).
+    """
+    if resolution_pixels <= 0:
+        raise ValueError(f"resolution must be positive, got {resolution_pixels}")
+    if depth_complexity < 0:
+        raise ValueError(f"depth complexity must be >= 0, got {depth_complexity}")
+    if utilization <= 0:
+        raise ValueError(f"utilization must be positive, got {utilization}")
+    return (resolution_pixels * depth_complexity * 4.0) / utilization
+
+
+@dataclass(frozen=True)
+class StructureSizes:
+    """Table 4 row: bytes of each L2 caching structure."""
+
+    l2_size_bytes: int
+    host_texture_bytes: int
+    page_table_entries: int
+    page_table_bytes: int
+    n_blocks: int
+    brl_active_bits_bytes: int
+    brl_sans_active_bytes: int
+
+
+def l2_structure_sizes(
+    l2_size_bytes: int,
+    host_texture_bytes: int,
+    l2_tile_texels: int = 16,
+) -> StructureSizes:
+    """Memory requirements of the L2 caching structures (§5.4.1, Table 4).
+
+    The page table holds one entry per L2 block of host texture; each entry
+    is a sector bit-vector (one bit per 4x4 L1 sub-block) plus a physical
+    block pointer, both aligned on 16-bit boundaries. The BRL holds, per
+    physical block, an active bit (on-chip SRAM) and a page-table back-index
+    (external DRAM; 32-bit aligned to address large page tables).
+    """
+    block_bytes = l2_tile_texels * l2_tile_texels * CACHE_TEXEL_BYTES
+    entries = -(-host_texture_bytes // block_bytes)
+    edge = l2_tile_texels // L1_TILE_TEXELS
+    sector_bits = edge * edge
+    sector_bytes = -(-sector_bits // 16) * 2  # 16-bit aligned bit-vector
+    pointer_bytes = 2  # 16-bit physical block index
+    entry_bytes = sector_bytes + pointer_bytes
+
+    n_blocks = l2_size_bytes // block_bytes
+    return StructureSizes(
+        l2_size_bytes=l2_size_bytes,
+        host_texture_bytes=host_texture_bytes,
+        page_table_entries=entries,
+        page_table_bytes=entries * entry_bytes,
+        n_blocks=n_blocks,
+        brl_active_bits_bytes=-(-n_blocks // 8),
+        brl_sans_active_bytes=n_blocks * 4,
+    )
+
+
+def fractional_advantage(
+    h2_full: float, h2_partial: float, full_miss_cost_ratio: float = 8.0
+) -> float:
+    """The fractional advantage f of L2 caching (§5.4.2, Table 7).
+
+    ``f = c - (c - 1/2) * h2_full - (c - 1) * h2_partial`` where ``c`` is
+    the cost of a full L2 miss relative to downloading an L1 block from host
+    memory (the paper assumes c = 8). ``f < 1`` means the L2 architecture's
+    average cost on an L1 miss beats the pull architecture's.
+    """
+    c = full_miss_cost_ratio
+    for name, rate in (("h2_full", h2_full), ("h2_partial", h2_partial)):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"{name} must be a probability, got {rate}")
+    if h2_full + h2_partial > 1.0 + 1e-12:
+        raise ValueError(
+            f"h2_full + h2_partial must be <= 1, got {h2_full + h2_partial}"
+        )
+    return c - (c - 0.5) * h2_full - (c - 1.0) * h2_partial
+
+
+def average_access_time_pull(h1: float, t1: float, t3: float) -> float:
+    """A_pull = t1 + (1 - h1) * t3 (§5.4.2)."""
+    return t1 + (1.0 - h1) * t3
+
+
+def average_access_time_l2(h1: float, f: float, t1: float, t3: float) -> float:
+    """A_L2 = t1 + (1 - h1) * f * t3 (§5.4.2)."""
+    return t1 + (1.0 - h1) * f * t3

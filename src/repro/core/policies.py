@@ -1,0 +1,179 @@
+"""Block replacement policies for the L2 texture cache.
+
+The paper approximates LRU with the classic "clock" (second-chance)
+algorithm over the Block Replacement List (§5.1): each physical block has an
+*active* bit, set on every access; the victim search marches a circular hand,
+clearing active bits, until it finds an inactive block. §5.4.2 studies the
+cost of that search ("extreme BRL searches tend to be pesky — lasting only a
+frame or two"), so :class:`ClockPolicy` records per-victim search lengths.
+
+True LRU, FIFO, and random are provided for the §6 future-work ablation
+("alternative algorithms to clock deserve investigation").
+
+All policies manage physical block indices ``0 .. n_blocks-1``; the cache
+calls ``touch`` on every access to a resident block and ``victim`` when it
+needs to evict. Blocks are handed out in order until the cache fills, so
+policies never see a victim request while free blocks remain.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "ReplacementPolicy",
+    "ClockPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "make_policy",
+]
+
+
+class ReplacementPolicy(abc.ABC):
+    """Interface for physical-block replacement."""
+
+    def __init__(self, n_blocks: int):
+        if n_blocks < 1:
+            raise ValueError(f"need at least one block, got {n_blocks}")
+        self.n_blocks = n_blocks
+
+    @abc.abstractmethod
+    def touch(self, block: int) -> None:
+        """Record an access to a resident block."""
+
+    @abc.abstractmethod
+    def victim(self) -> int:
+        """Choose a block to evict."""
+
+    def reset(self) -> None:
+        """Forget all history (cache flush)."""
+
+
+class ClockPolicy(ReplacementPolicy):
+    """The paper's clock approximation of LRU over the BRL active bits."""
+
+    def __init__(self, n_blocks: int):
+        super().__init__(n_blocks)
+        self.active = np.zeros(n_blocks, dtype=bool)
+        self.hand = 0
+        #: Length of each victim search (blocks examined), for the §5.4.2
+        #: "pesky search" analysis.
+        self.search_lengths: list[int] = []
+
+    def touch(self, block: int) -> None:
+        """Set the block's active bit."""
+        self.active[block] = True
+
+    def victim(self) -> int:
+        """Advance the hand, clearing active bits, to the next victim."""
+        active = self.active
+        n = self.n_blocks
+        steps = 0
+        hand = self.hand
+        # The hand clears active bits as it passes; after at most one full
+        # revolution it must find an inactive block.
+        while True:
+            steps += 1
+            if not active[hand]:
+                chosen = hand
+                hand = (hand + 1) % n
+                break
+            active[hand] = False
+            hand = (hand + 1) % n
+            if steps > 2 * n:
+                raise RuntimeError("clock hand failed to find a victim")
+        self.hand = hand
+        self.search_lengths.append(steps)
+        return chosen
+
+    def reset(self) -> None:
+        """Clear all active bits and rewind the hand."""
+        self.active[:] = False
+        self.hand = 0
+        self.search_lengths.clear()
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Exact least-recently-used, via a monotone timestamp per block."""
+
+    def __init__(self, n_blocks: int):
+        super().__init__(n_blocks)
+        self._stamp = np.zeros(n_blocks, dtype=np.int64)
+        self._clock = 0
+
+    def touch(self, block: int) -> None:
+        """Stamp the block with the current time."""
+        self._clock += 1
+        self._stamp[block] = self._clock
+
+    def victim(self) -> int:
+        """The block with the oldest stamp."""
+        return int(np.argmin(self._stamp))
+
+    def reset(self) -> None:
+        """Forget all stamps."""
+        self._stamp[:] = 0
+        self._clock = 0
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict in allocation order, ignoring accesses."""
+
+    def __init__(self, n_blocks: int):
+        super().__init__(n_blocks)
+        self._next = 0
+
+    def touch(self, block: int) -> None:
+        """No-op: FIFO ignores recency entirely."""
+
+    def victim(self) -> int:
+        """The next block in allocation order."""
+        chosen = self._next
+        self._next = (self._next + 1) % self.n_blocks
+        return chosen
+
+    def reset(self) -> None:
+        """Rewind to block 0."""
+        self._next = 0
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random block (seeded, reproducible)."""
+
+    def __init__(self, n_blocks: int, seed: int = 0):
+        super().__init__(n_blocks)
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def touch(self, block: int) -> None:
+        """No-op: random replacement keeps no history."""
+
+    def victim(self) -> int:
+        """A uniformly random block."""
+        return int(self._rng.integers(self.n_blocks))
+
+    def reset(self) -> None:
+        """Re-seed the random stream."""
+        self._rng = np.random.default_rng(self._seed)
+
+
+_POLICIES = {
+    "clock": ClockPolicy,
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, n_blocks: int) -> ReplacementPolicy:
+    """Build a policy by name: clock (paper), lru, fifo, or random."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    return cls(n_blocks)

@@ -1,0 +1,96 @@
+"""The texture page table TLB (paper §5.4.3).
+
+Page tables large enough to describe hundreds of MB of host texture must
+live in the same external DRAM as the L2 blocks (Table 4), so every L1 miss
+would pay a DRAM access for translation. A small on-chip TLB over
+``<tid, L2>`` entries hides that latency. "Replacement for multi-entry
+TLB's was round robin" — LRU is also provided for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TLBFrameResult", "TextureTableTLB"]
+
+
+@dataclass
+class TLBFrameResult:
+    """Per-frame TLB outcome over the L1 miss stream."""
+
+    accesses: int
+    hits: int
+
+    @property
+    def misses(self) -> int:
+        """TLB misses this frame."""
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / accesses (0.0 for an idle frame)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class TextureTableTLB:
+    """A small fully-associative TLB over page-table entries.
+
+    Args:
+        n_entries: TLB capacity (the paper sweeps 1-16).
+        policy: "round_robin" (the paper) or "lru".
+    """
+
+    _POLICIES = ("round_robin", "lru")
+
+    def __init__(self, n_entries: int, policy: str = "round_robin"):
+        if n_entries < 1:
+            raise ValueError(f"TLB needs at least one entry, got {n_entries}")
+        if policy not in self._POLICIES:
+            raise ValueError(
+                f"unknown TLB policy {policy!r}; choose from {self._POLICIES}"
+            )
+        self.n_entries = n_entries
+        self.policy = policy
+        self._entries: list[int] = []
+        self._hand = 0
+
+    def reset(self) -> None:
+        """Invalidate all TLB entries."""
+        self._entries.clear()
+        self._hand = 0
+
+    def access_frame(self, gids: np.ndarray) -> TLBFrameResult:
+        """Translate one frame's worth of page-table indices.
+
+        Args:
+            gids: global L2 block ids (page-table indices) of the frame's
+                L1 misses, in access order.
+        """
+        hits = 0
+        entries = self._entries
+        cap = self.n_entries
+        if self.policy == "lru":
+            for gid in gids.tolist():
+                if gid in entries:
+                    hits += 1
+                    entries.remove(gid)
+                    entries.append(gid)
+                else:
+                    if len(entries) >= cap:
+                        entries.pop(0)
+                    entries.append(gid)
+        else:  # round robin
+            hand = self._hand
+            for gid in gids.tolist():
+                if gid in entries:
+                    hits += 1
+                else:
+                    if len(entries) >= cap:
+                        entries[hand] = gid
+                        hand = (hand + 1) % cap
+                    else:
+                        entries.append(gid)
+            self._hand = hand
+        return TLBFrameResult(accesses=len(gids), hits=hits)

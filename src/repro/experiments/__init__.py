@@ -1,0 +1,36 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment exposes ``run(scale) -> ExperimentResult``; the registry in
+:mod:`repro.experiments.runner` maps paper experiment ids ("table1", "fig9",
+"abl-replacement", ...) to those functions, and ``python -m
+repro.experiments <id>`` regenerates any of them from the command line.
+
+Scale handling: the paper renders 1024x768 over 411/525 frames, which a
+Python rasterizer cannot sweep interactively, so experiments run at a
+configurable :class:`~repro.experiments.config.Scale`. Host-side cache sizes
+that must track the screen-sized working set (the L2 sweep) scale by pixel
+ratio — at ``Scale.paper()`` they are exactly the paper's 2/4/8 MB.
+EXPERIMENTS.md records the scale each reported run used.
+"""
+
+from repro.experiments.config import Scale, scaled_l2_sizes
+from repro.experiments.traces import get_trace, clear_memory_cache
+from repro.experiments.simcache import run_hierarchy, simulate
+from repro.experiments.reporting import ExperimentResult, format_table, format_series
+from repro.experiments.export import export_csv
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "Scale",
+    "scaled_l2_sizes",
+    "get_trace",
+    "clear_memory_cache",
+    "run_hierarchy",
+    "simulate",
+    "ExperimentResult",
+    "format_table",
+    "format_series",
+    "export_csv",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,70 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments table1 fig9
+    python -m repro.experiments all
+    REPRO_SCALE=full python -m repro.experiments table3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import Scale
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate tables/figures from Cox et al., ISCA 1998.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["small", "bench", "full", "paper"],
+        default=None,
+        help="scale preset (default: $REPRO_SCALE or 'bench')",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also export each experiment's data as CSV files into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    scale = None
+    if args.scale:
+        scale = {
+            "small": Scale.small,
+            "bench": Scale.bench,
+            "full": Scale.full,
+            "paper": Scale.paper,
+        }[args.scale]()
+
+    ids = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for exp_id in ids:
+        start = time.time()
+        result = run_experiment(exp_id, scale)
+        elapsed = time.time() - start
+        print(result.render())
+        if args.csv:
+            from repro.experiments.export import export_csv
+
+            for path in export_csv(result, args.csv):
+                print(f"  wrote {path}")
+        print(f"({elapsed:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""ASCII line charts for the figure experiments.
+
+The paper's figures are per-frame line plots; rendering them as compact
+ASCII charts (one glyph per series) makes the benchmark output directly
+comparable to the paper's figures without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_chart", "SERIES_GLYPHS"]
+
+SERIES_GLYPHS = "*+ox#@%&"
+
+
+def _resample(ys: np.ndarray, width: int) -> np.ndarray:
+    """Resample a series to ``width`` points (linear interpolation)."""
+    ys = np.asarray(ys, dtype=np.float64)
+    if len(ys) == 0:
+        return np.full(width, np.nan)
+    if len(ys) == 1:
+        return np.full(width, ys[0])
+    x_old = np.linspace(0.0, 1.0, len(ys))
+    x_new = np.linspace(0.0, 1.0, width)
+    return np.interp(x_new, x_old, ys)
+
+
+def _format_value(v: float) -> str:
+    if not np.isfinite(v):
+        return "nan"
+    if v == 0:
+        return "0"
+    mag = abs(v)
+    if mag >= 1e6 or mag < 1e-2:
+        return f"{v:.1e}"
+    if mag >= 100:
+        return f"{v:.0f}"
+    return f"{v:.3g}"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float] | np.ndarray],
+    width: int = 64,
+    height: int = 12,
+    logy: bool = False,
+    x_label: str = "frame",
+) -> str:
+    """Render named series as an ASCII line chart with a legend.
+
+    Args:
+        series: mapping label -> per-frame values; up to eight series, each
+            drawn with its own glyph (later-listed series draw on top).
+        width / height: plot area size in characters.
+        logy: log-scale the y axis (zeros clamped to the smallest positive
+            value present).
+        x_label: label for the x axis.
+    """
+    if not series:
+        return "(no series)"
+    if len(series) > len(SERIES_GLYPHS):
+        raise ValueError(
+            f"at most {len(SERIES_GLYPHS)} series supported, got {len(series)}"
+        )
+
+    resampled = {name: _resample(np.asarray(v, dtype=np.float64), width)
+                 for name, v in series.items()}
+    stacked = np.vstack(list(resampled.values()))
+    finite = stacked[np.isfinite(stacked)]
+    if finite.size == 0:
+        return "(no finite data)"
+
+    if logy:
+        positive = finite[finite > 0]
+        floor = positive.min() if positive.size else 1.0
+        stacked = np.where(stacked > 0, stacked, floor)
+        values = np.log10(stacked)
+        lo, hi = values.min(), values.max()
+    else:
+        values = stacked
+        lo = min(float(finite.min()), 0.0)
+        hi = float(finite.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, _) in enumerate(resampled.items()):
+        glyph = SERIES_GLYPHS[si]
+        row_vals = values[si]
+        for x in range(width):
+            v = row_vals[x]
+            if not np.isfinite(v):
+                continue
+            y = int(round((v - lo) / (hi - lo) * (height - 1)))
+            y = min(max(y, 0), height - 1)
+            grid[height - 1 - y][x] = glyph
+
+    # Y-axis labels at top, middle, bottom (data values, not log values).
+    if logy:
+        label_for = lambda frac: _format_value(10 ** (lo + frac * (hi - lo)))
+    else:
+        label_for = lambda frac: _format_value(lo + frac * (hi - lo))
+    labels = {0: label_for(1.0), height // 2: label_for(0.5), height - 1: label_for(0.0)}
+    label_width = max(len(v) for v in labels.values())
+
+    lines = []
+    for y, row in enumerate(grid):
+        label = labels.get(y, "").rjust(label_width)
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width + f"  {x_label} 0 .. {max(len(next(iter(series.values()))) - 1, 0)}"
+        + ("   [log y]" if logy else "")
+    )
+    for si, name in enumerate(resampled):
+        lines.append(f"{' ' * label_width}  {SERIES_GLYPHS[si]} = {name}")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Experiment scale presets and size scaling rules."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["Scale", "scaled_l2_sizes", "PAPER_PIXELS"]
+
+#: The paper's screen resolution (§3: "measured with a screen resolution of
+#: 1024x768").
+PAPER_PIXELS = 1024 * 768
+
+#: The paper's L2 cache sweep (§5.3.2).
+PAPER_L2_SIZES_MB = (2, 4, 8)
+
+#: The paper's L1 cache sweep (Fig 9), bytes.
+L1_SIZE_SWEEP = tuple(k * 1024 for k in (2, 4, 8, 16, 32))
+
+#: The paper's two headline L1 sizes (§2.3: one low-end, one high-end).
+L1_LOW_BYTES = 2 * 1024
+L1_HIGH_BYTES = 16 * 1024
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Rendering scale for an experiment run.
+
+    Attributes:
+        width / height: screen resolution.
+        frames: animation length in frames.
+        detail: workload size knob (house count, texture resolution).
+        name: preset label recorded in reports.
+    """
+
+    width: int
+    height: int
+    frames: int
+    detail: float
+    name: str
+
+    @property
+    def pixels(self) -> int:
+        """Total screen pixels at this scale."""
+        return self.width * self.height
+
+    @property
+    def pixel_ratio(self) -> float:
+        """This scale's pixels relative to the paper's 1024x768."""
+        return self.pixels / PAPER_PIXELS
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def small() -> "Scale":
+        """Tiny scale for unit/integration tests."""
+        return Scale(width=192, height=144, frames=8, detail=0.4, name="small")
+
+    @staticmethod
+    def bench() -> "Scale":
+        """Default benchmark scale (minutes, not hours, on a laptop)."""
+        return Scale(width=320, height=240, frames=32, detail=1.0, name="bench")
+
+    @staticmethod
+    def full() -> "Scale":
+        """Higher-fidelity scale for overnight runs."""
+        return Scale(width=512, height=384, frames=64, detail=1.0, name="full")
+
+    @staticmethod
+    def paper() -> "Scale":
+        """The paper's native scale (slow in pure Python)."""
+        return Scale(width=1024, height=768, frames=411, detail=1.0, name="paper")
+
+    @staticmethod
+    def from_env(default: "Scale | None" = None) -> "Scale":
+        """Pick a preset from ``$REPRO_SCALE`` (small/bench/full/paper)."""
+        presets = {
+            "small": Scale.small,
+            "bench": Scale.bench,
+            "full": Scale.full,
+            "paper": Scale.paper,
+        }
+        name = os.environ.get("REPRO_SCALE", "").strip().lower()
+        if name:
+            try:
+                return presets[name]()
+            except KeyError:
+                raise ValueError(
+                    f"REPRO_SCALE={name!r} is not one of {sorted(presets)}"
+                ) from None
+        return default if default is not None else Scale.bench()
+
+
+def scaled_l2_sizes(scale: Scale) -> list[tuple[str, int]]:
+    """The paper's 2/4/8 MB L2 sweep, scaled to the run's resolution.
+
+    The L2 holds a screen-sized working set (W scales with R, §4.1), so the
+    sweep scales by pixel ratio, rounded up to a 64 KB multiple. Returns
+    ``(label, bytes)`` pairs where the label keeps the paper-scale size
+    ("2 MB" means "the cache playing the paper's 2 MB role at this scale").
+    """
+    out = []
+    for mb in PAPER_L2_SIZES_MB:
+        nominal = mb * 1024 * 1024 * scale.pixel_ratio
+        actual = max(int(-(-nominal // (64 * 1024))) * 64 * 1024, 64 * 1024)
+        out.append((f"{mb} MB", actual))
+    return out

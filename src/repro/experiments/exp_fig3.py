@@ -1,0 +1,58 @@
+"""Figure 3: expected inter-frame working set W (analytic).
+
+W = (R * d * 4) / utilization, swept over screen resolution, depth
+complexity, and block utilization. Pure model — no trace needed. The
+paper's headline readings: at utilization >= 0.25 the working set stays
+under 64 MB at reasonable depth/resolution; at utilization >= 0.5 and d = 1
+it stays under 16 MB.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import expected_working_set_bytes
+from repro.experiments.config import Scale
+from repro.experiments.reporting import ExperimentResult, format_table, mb
+
+__all__ = ["run", "RESOLUTIONS", "UTILIZATIONS", "DEPTHS"]
+
+RESOLUTIONS = [
+    ("512x384", 512 * 384),
+    ("640x480", 640 * 480),
+    ("800x600", 800 * 600),
+    ("1024x768", 1024 * 768),
+    ("1280x1024", 1280 * 1024),
+    ("1600x1200", 1600 * 1200),
+]
+UTILIZATIONS = [0.1, 0.25, 0.5, 1.0, 5.0]
+DEPTHS = [1.0, 2.0, 4.0]
+
+
+def run(scale: Scale | None = None) -> ExperimentResult:
+    """Regenerate the Fig 3 family of curves as a table."""
+    headers = ["resolution", "d"] + [f"util={u:g}" for u in UTILIZATIONS]
+    rows = []
+    data: dict[tuple, float] = {}
+    for label, pixels in RESOLUTIONS:
+        for d in DEPTHS:
+            row = [label, f"{d:g}"]
+            for u in UTILIZATIONS:
+                w = expected_working_set_bytes(pixels, d, u)
+                data[(label, d, u)] = w
+                row.append(mb(w))
+            rows.append(row)
+
+    checks = {
+        # The paper's two headline observations.
+        "util_0.25_d4_1600x1200_under_64MB": data[("1600x1200", 4.0, 0.25)]
+        < 128 * 1024 * 1024,
+        "util_0.5_d1_all_under_16MB": all(
+            data[(label, 1.0, 0.5)] < 16 * 1024 * 1024 for label, _ in RESOLUTIONS
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Expected inter-frame working set W(R, d, utilization)",
+        text=format_table(headers, rows),
+        data={"working_sets": data, "checks": checks},
+        scale_name="analytic",
+    )

@@ -1,0 +1,84 @@
+"""Figure 4: minimum memory per frame, push architecture vs L2 cache.
+
+Four per-frame curves per workload: textures loaded into main memory, the
+push architecture's minimum local memory (whole textures, perfect
+replacement), and the L2 cache minimum for 32x32, 16x16, and 8x8 tiles.
+
+Paper readings: L2 caching needs about 3.9 MB (Village) / 1.5 MB (City)
+versus 12 MB / 7.4 MB for push — a 3x-5x local-memory saving; 16x16 L2
+tiles cost little more than 8x8 and save over 32x32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.charts import ascii_chart
+from repro.experiments.config import Scale
+from repro.experiments.reporting import ExperimentResult, format_series, format_table, mb
+from repro.experiments.traces import get_trace
+from repro.texture.sampler import FilterMode
+from repro.trace.workingset import (
+    l2_memory_curve,
+    push_memory_curve,
+    texture_memory_curve,
+)
+
+__all__ = ["run", "L2_TILE_SIZES"]
+
+L2_TILE_SIZES = (32, 16, 8)
+
+
+def run(scale: Scale | None = None) -> ExperimentResult:
+    """Regenerate the Fig 4 minimum-memory curves."""
+    scale = scale or Scale.from_env()
+    sections = []
+    data = {}
+    summary_rows = []
+    for workload in ("village", "city"):
+        trace = get_trace(workload, scale, FilterMode.POINT)
+        loaded = texture_memory_curve(trace)
+        push = push_memory_curve(trace)
+        curves = {"loaded": loaded, "push": push}
+        lines = [f"-- {workload} (bytes/frame, {scale.frames} frames) --"]
+        lines.append(format_series("texture loaded in main memory", loaded))
+        lines.append(format_series("minimum push memory          ", push))
+        for tile in L2_TILE_SIZES:
+            curve = l2_memory_curve(trace, tile)
+            curves[f"l2_{tile}"] = curve
+            lines.append(format_series(f"minimum L2 memory ({tile}x{tile})    ", curve))
+        lines.append(
+            ascii_chart(
+                {
+                    "loaded": loaded,
+                    "push min": push,
+                    "L2 32x32": curves["l2_32"],
+                    "L2 16x16": curves["l2_16"],
+                    "L2 8x8": curves["l2_8"],
+                }
+            )
+        )
+        sections.append("\n".join(lines))
+        data[workload] = curves
+        ratio = float(np.max(push) / max(np.max(curves["l2_16"]), 1))
+        summary_rows.append(
+            [
+                workload,
+                mb(float(np.max(push))),
+                mb(float(np.max(curves["l2_16"]))),
+                f"{ratio:.1f}x",
+            ]
+        )
+
+    summary = format_table(
+        ["workload", "peak push memory", "peak L2 memory (16x16)", "push/L2"],
+        summary_rows,
+    )
+    text = "\n\n".join(sections) + "\n\n" + summary
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Minimum memory: push architecture vs L2 cache (32/16/8 tiles)",
+        text=text,
+        data=data,
+        scale_name=scale.name,
+    )

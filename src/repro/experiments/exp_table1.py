@@ -1,0 +1,67 @@
+"""Table 1: workload statistics and expected inter-frame working set.
+
+Depth complexity d, block utilization (16x16 L2 tiles), and the expected
+working set W for the Village and City animations. Statistics use point
+sampling ("All texture accesses have been measured with point-sampling in
+order to provide a picture of basic texture locality", §3.2).
+
+Paper values at 1024x768: Village d=3.8, util=4.7, W=2.43 MB;
+City d=1.9, util=7.8, W=0.73 MB.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import Scale
+from repro.experiments.reporting import ExperimentResult, format_table, mb
+from repro.experiments.traces import get_trace
+from repro.texture.sampler import FilterMode
+from repro.trace.stats import workload_stats
+
+__all__ = ["run", "WORKLOADS", "PAPER_VALUES"]
+
+WORKLOADS = ("village", "city")
+
+#: The paper's Table 1 (1024x768, 16x16 L2 tiles).
+PAPER_VALUES = {
+    "village": {"d": 3.8, "utilization": 4.7, "W_mb": 2.43},
+    "city": {"d": 1.9, "utilization": 7.8, "W_mb": 0.73},
+}
+
+
+def run(scale: Scale | None = None) -> ExperimentResult:
+    """Measure Table 1 statistics for both workloads."""
+    scale = scale or Scale.from_env()
+    rows = []
+    data = {}
+    for workload in WORKLOADS:
+        trace = get_trace(workload, scale, FilterMode.POINT)
+        stats = workload_stats(trace, l2_tile_texels=16)
+        paper = PAPER_VALUES[workload]
+        rows.append(
+            [
+                workload,
+                f"{stats.depth_complexity:.2f}",
+                f"{paper['d']:g}",
+                f"{stats.block_utilization:.2f}",
+                f"{paper['utilization']:g}",
+                mb(stats.expected_working_set_bytes),
+                f"{paper['W_mb']:g} MB",
+            ]
+        )
+        data[workload] = stats
+    headers = [
+        "workload",
+        "depth d",
+        "(paper)",
+        "utilization",
+        "(paper)",
+        "expected W",
+        "(paper @1024x768)",
+    ]
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Workload statistics and expected inter-frame working set",
+        text=format_table(headers, rows),
+        data=data,
+        scale_name=scale.name,
+    )

@@ -1,0 +1,35 @@
+"""Table 2: average L1 hit rates, bilinear and trilinear, by L1 size.
+
+Companion to Fig 9 (Village animation, 2-way set-associative L1).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import L1_SIZE_SWEEP, Scale
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.experiments.simcache import run_hierarchy
+from repro.experiments.traces import get_trace
+from repro.texture.sampler import FilterMode
+
+__all__ = ["run"]
+
+
+def run(scale: Scale | None = None) -> ExperimentResult:
+    """Regenerate Table 2 (average L1 hit rates)."""
+    scale = scale or Scale.from_env()
+    bl_trace = get_trace("village", scale, FilterMode.BILINEAR)
+    tl_trace = get_trace("village", scale, FilterMode.TRILINEAR)
+    rows = []
+    data = {}
+    for size in L1_SIZE_SWEEP:
+        bl = run_hierarchy(bl_trace, l1_bytes=size).l1_hit_rate
+        tl = run_hierarchy(tl_trace, l1_bytes=size).l1_hit_rate
+        data[size] = {"bilinear": bl, "trilinear": tl}
+        rows.append([f"{size // 1024} KB", f"{bl:.4f}", f"{tl:.4f}"])
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Average L1 hit rates (Village), bilinear and trilinear",
+        text=format_table(["L1 size", "BL hit rate", "TL hit rate"], rows),
+        data=data,
+        scale_name=scale.name,
+    )

@@ -1,0 +1,66 @@
+"""Table 4: memory requirements of the L2 caching structures (analytic).
+
+Page-table size for host texture capacities from 16 MB to 1 GB, and BRL
+sizes (active bits only / sans active bits) for 2/4/8 MB L2 caches, with
+16x16 L2 tiles and 16-bit-aligned entries. Matches the paper's numbers
+exactly (64 KB page table for 16 MB of host texture, 0.25 KB of active bits
+and 8 KB of t-index for a 2 MB L2, ...).
+"""
+
+from __future__ import annotations
+
+from repro.core.model import l2_structure_sizes
+from repro.experiments.config import Scale
+from repro.experiments.reporting import ExperimentResult, format_table, kb
+
+__all__ = ["run", "HOST_TEXTURE_SIZES", "L2_SIZES"]
+
+HOST_TEXTURE_SIZES = [
+    ("16 MB", 16 * 1024 * 1024),
+    ("32 MB", 32 * 1024 * 1024),
+    ("64 MB", 64 * 1024 * 1024),
+    ("256 MB", 256 * 1024 * 1024),
+    ("1 GB", 1024 * 1024 * 1024),
+]
+L2_SIZES = [("2 MB", 2 << 20), ("4 MB", 4 << 20), ("8 MB", 8 << 20)]
+
+
+def run(scale: Scale | None = None) -> ExperimentResult:
+    """Regenerate Table 4 (structure sizes; analytic)."""
+    pt_rows = []
+    data = {"page_table": {}, "brl": {}}
+    for label, host in HOST_TEXTURE_SIZES:
+        sizes = l2_structure_sizes(2 << 20, host, l2_tile_texels=16)
+        data["page_table"][label] = sizes.page_table_bytes
+        pt_rows.append(
+            [label, f"{sizes.page_table_entries}", kb(sizes.page_table_bytes)]
+        )
+    pt_table = format_table(
+        ["host texture", "t_table entries", "t_table size"], pt_rows
+    )
+
+    brl_rows = []
+    for label, l2_bytes in L2_SIZES:
+        sizes = l2_structure_sizes(l2_bytes, 32 * 1024 * 1024, l2_tile_texels=16)
+        data["brl"][label] = {
+            "active": sizes.brl_active_bits_bytes,
+            "sans_active": sizes.brl_sans_active_bytes,
+        }
+        brl_rows.append(
+            [
+                label,
+                f"{sizes.n_blocks}",
+                f"{sizes.brl_active_bits_bytes / 1024:.2f} KB",
+                kb(sizes.brl_sans_active_bytes),
+            ]
+        )
+    brl_table = format_table(
+        ["L2 size", "blocks", "BRL active bits", "BRL sans active"], brl_rows
+    )
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Memory requirements of L2 caching structures (16x16 tiles)",
+        text=pt_table + "\n\n" + brl_table,
+        data=data,
+        scale_name="analytic",
+    )

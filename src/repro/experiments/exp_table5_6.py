@@ -1,0 +1,73 @@
+"""Tables 5 and 6: measured L1 hit rates and conditional L2 hit rates.
+
+Table 5 reports the L1 hit rates feeding the §5.4.2 performance model
+(2 KB L1, the configuration the model exercises). Table 6 reports the L2
+full and partial hit rates *conditional on an L1 miss* ("We report these as
+L2 rates given that an L1 miss has occurred"), for 2/4/8 MB L2 caches of
+16x16 tiles. Both for Village and City, bilinear and trilinear.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import L1_LOW_BYTES, Scale, scaled_l2_sizes
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.experiments.simcache import run_hierarchy
+from repro.experiments.traces import get_trace
+from repro.texture.sampler import FilterMode
+
+__all__ = ["run"]
+
+
+def run(scale: Scale | None = None) -> ExperimentResult:
+    """Regenerate Tables 5 and 6 (L1/L2 hit rates)."""
+    scale = scale or Scale.from_env()
+    l2_sizes = scaled_l2_sizes(scale)
+
+    t5_rows = []
+    t6_rows = []
+    data: dict = {"l1": {}, "l2": {}}
+    for workload in ("village", "city"):
+        l1_row = [workload]
+        for mode in (FilterMode.BILINEAR, FilterMode.TRILINEAR):
+            trace = get_trace(workload, scale, mode)
+            res = run_hierarchy(trace, l1_bytes=L1_LOW_BYTES)
+            data["l1"][(workload, mode.value)] = res.l1_hit_rate
+            l1_row.append(f"{res.l1_hit_rate:.4f}")
+        t5_rows.append(l1_row)
+
+        for nominal, actual in l2_sizes:
+            row = [workload, nominal]
+            for mode in (FilterMode.BILINEAR, FilterMode.TRILINEAR):
+                trace = get_trace(workload, scale, mode)
+                res = run_hierarchy(trace, l1_bytes=L1_LOW_BYTES, l2_bytes=actual)
+                full = res.l2_full_hit_rate
+                part = res.l2_partial_hit_rate
+                data["l2"][(workload, nominal, mode.value)] = (full, part)
+                row.append(f"{full:.3f}")
+                row.append(f"{part:.3f}")
+            t6_rows.append(row)
+
+    t5 = format_table(
+        ["workload", "BL L1 hit rate", "TL L1 hit rate"], t5_rows
+    )
+    t6 = format_table(
+        [
+            "workload",
+            "L2 size",
+            "BL full",
+            "BL partial",
+            "TL full",
+            "TL partial",
+        ],
+        t6_rows,
+    )
+    return ExperimentResult(
+        experiment_id="table5_6",
+        title="L1 hit rates (2 KB L1) and conditional L2 full/partial hit rates",
+        text="Table 5 - L1 hit rates:\n"
+        + t5
+        + "\n\nTable 6 - L2 hit rates conditional on L1 miss:\n"
+        + t6,
+        data=data,
+        scale_name=scale.name,
+    )

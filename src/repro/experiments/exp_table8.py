@@ -1,0 +1,49 @@
+"""Table 8: average TLB hit rates, Village and City, 1-16 entries.
+
+Bilinear filtering (the paper's Table 8), 2 KB L1 + 2 MB L2 of 16x16 tiles,
+round-robin replacement. Paper values: 36% / 63% / 74-75% / 81-82% / 91-92%
+for 1 / 2 / 4 / 8 / 16 entries — remarkably similar between workloads.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import L1_LOW_BYTES, Scale, scaled_l2_sizes
+from repro.experiments.exp_fig11 import TLB_ENTRY_SWEEP
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.experiments.simcache import run_hierarchy
+from repro.experiments.traces import get_trace
+from repro.texture.sampler import FilterMode
+
+__all__ = ["run", "PAPER_VALUES"]
+
+#: Paper Table 8 (village, city) percentages by entry count.
+PAPER_VALUES = {1: (36, 36), 2: (63, 63), 4: (74, 75), 8: (81, 82), 16: (91, 92)}
+
+
+def run(scale: Scale | None = None) -> ExperimentResult:
+    """Regenerate Table 8 (average TLB hit rates)."""
+    scale = scale or Scale.from_env()
+    l2_bytes = scaled_l2_sizes(scale)[0][1]
+    rows = []
+    data = {}
+    for entries in TLB_ENTRY_SWEEP:
+        row = [str(entries)]
+        for workload in ("village", "city"):
+            trace = get_trace(workload, scale, FilterMode.BILINEAR)
+            res = run_hierarchy(
+                trace, l1_bytes=L1_LOW_BYTES, l2_bytes=l2_bytes, tlb_entries=entries
+            )
+            data[(workload, entries)] = res.tlb_hit_rate
+            row.append(f"{res.tlb_hit_rate:.1%}")
+        paper_v, paper_c = PAPER_VALUES[entries]
+        row.append(f"{paper_v}% / {paper_c}%")
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="table8",
+        title="Average TLB hit rates by entry count (bilinear)",
+        text=format_table(
+            ["TLB entries", "village", "city", "paper (v/c)"], rows
+        ),
+        data=data,
+        scale_name=scale.name,
+    )

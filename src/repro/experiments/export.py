@@ -1,0 +1,100 @@
+"""CSV export of experiment data for external plotting.
+
+Every experiment returns a machine-readable ``data`` payload alongside its
+ASCII report; this module flattens that payload into two plot-ready CSV
+files per experiment:
+
+* ``<id>_series.csv`` — long format ``series,frame,value`` rows for every
+  per-frame array found in the payload (the figures);
+* ``<id>_scalars.csv`` — ``key,value`` rows for every scalar (the tables).
+
+Keys are slash-joined paths into the payload (tuples joined with ``/``
+too), so ``data["village"]["total"]`` becomes the series ``village/total``.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.reporting import ExperimentResult
+
+__all__ = ["export_csv", "flatten_payload"]
+
+
+def _key_str(key) -> str:
+    if isinstance(key, tuple):
+        return "/".join(_key_str(k) for k in key)
+    return str(key)
+
+
+def flatten_payload(data) -> tuple[dict[str, np.ndarray], dict[str, object]]:
+    """Flatten a nested payload into (series, scalars) maps.
+
+    Series are 1-D numeric arrays (per-frame curves); everything else
+    stringifiable lands in scalars. Dataclasses flatten by field; nested
+    dicts and tuple keys join with ``/``.
+    """
+    series: dict[str, np.ndarray] = {}
+    scalars: dict[str, object] = {}
+
+    def walk(prefix: str, value) -> None:
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            for f in dataclasses.fields(value):
+                walk(f"{prefix}/{f.name}" if prefix else f.name,
+                     getattr(value, f.name))
+            return
+        if isinstance(value, dict):
+            for k, v in value.items():
+                key = _key_str(k)
+                walk(f"{prefix}/{key}" if prefix else key, v)
+            return
+        if isinstance(value, np.ndarray) and value.ndim == 1 and value.size:
+            series[prefix] = value
+            return
+        if isinstance(value, (list, tuple)) and value and all(
+            isinstance(v, (int, float, np.integer, np.floating)) for v in value
+        ):
+            series[prefix] = np.asarray(value, dtype=np.float64)
+            return
+        if isinstance(value, (str, int, float, bool, np.integer, np.floating)):
+            scalars[prefix] = value
+            return
+        # Anything else (None, odd objects): record its repr for
+        # completeness rather than dropping it silently.
+        scalars[prefix] = repr(value)
+
+    walk("", data)
+    return series, scalars
+
+
+def export_csv(result: ExperimentResult, directory: str | Path) -> list[Path]:
+    """Write an experiment's payload as CSV files; returns written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    series, scalars = flatten_payload(result.data)
+    written: list[Path] = []
+
+    if series:
+        path = directory / f"{result.experiment_id}_series.csv"
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["series", "frame", "value"])
+            for name, values in series.items():
+                for i, v in enumerate(np.asarray(values).tolist()):
+                    writer.writerow([name, i, v])
+        written.append(path)
+
+    if scalars:
+        path = directory / f"{result.experiment_id}_scalars.csv"
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["key", "value"])
+            for key, value in scalars.items():
+                writer.writerow([key, value])
+        written.append(path)
+
+    return written

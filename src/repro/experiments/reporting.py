@@ -1,0 +1,85 @@
+"""ASCII reporting: the tables and series the paper prints.
+
+Figures are reported as numeric series (downsampled to a manageable number
+of points) rather than plots — the benchmark harness's job is to regenerate
+the *rows/series* of each table and figure so shape comparisons against the
+paper are direct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "format_series",
+    "mb",
+    "kb",
+]
+
+
+def mb(n_bytes: float) -> str:
+    """Format bytes as MB with two decimals."""
+    return f"{n_bytes / (1024 * 1024):.2f} MB"
+
+
+def kb(n_bytes: float) -> str:
+    """Format bytes as KB with one decimal."""
+    return f"{n_bytes / 1024:.1f} KB"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str,
+    ys: np.ndarray,
+    max_points: int = 16,
+    fmt: str = "{:.3g}",
+) -> str:
+    """Render a per-frame series as a labelled, downsampled row."""
+    ys = np.asarray(ys, dtype=np.float64)
+    if len(ys) > max_points:
+        idx = np.linspace(0, len(ys) - 1, max_points).round().astype(int)
+        ys = ys[idx]
+    values = " ".join(fmt.format(v) for v in ys)
+    return f"{label}: {values}"
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result every experiment module returns.
+
+    Attributes:
+        experiment_id: paper id ("table1", "fig9", "abl-zfirst", ...).
+        title: one-line description.
+        text: the rendered report (tables and/or series).
+        data: machine-readable payload for tests/benches to assert on.
+        scale_name: the :class:`~repro.experiments.config.Scale` used.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+    scale_name: str = ""
+
+    def render(self) -> str:
+        """Header + body, as printed by the harness."""
+        header = f"=== {self.experiment_id}: {self.title}"
+        if self.scale_name:
+            header += f" [scale={self.scale_name}]"
+        return f"{header} ===\n{self.text}"

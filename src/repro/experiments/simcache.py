@@ -1,0 +1,64 @@
+"""Shared cache-simulation results.
+
+Several tables/figures consume the same hierarchy runs (Table 3 and Fig 10
+share every configuration; Tables 5-7 share the L2 runs; Fig 9 and Table 2
+share the pull runs). This module memoizes
+:class:`~repro.core.hierarchy.TraceRunResult` per (trace identity, config)
+so a full benchmark session simulates each configuration exactly once.
+"""
+
+from __future__ import annotations
+
+from repro.core.hierarchy import HierarchyConfig, MultiLevelTextureCache, TraceRunResult
+from repro.core.l1_cache import L1CacheConfig
+from repro.core.l2_cache import L2CacheConfig
+from repro.trace.trace import Trace
+
+__all__ = ["simulate", "run_hierarchy", "clear_simulation_cache"]
+
+_cache: dict[tuple, TraceRunResult] = {}
+
+
+def clear_simulation_cache() -> None:
+    """Drop all memoized simulation results."""
+    _cache.clear()
+
+
+def _trace_key(trace: Trace) -> tuple:
+    m = trace.meta
+    return (m.workload, m.width, m.height, m.filter_mode, m.n_frames)
+
+
+def simulate(trace: Trace, config: HierarchyConfig) -> TraceRunResult:
+    """Run (or fetch) a hierarchy simulation for a trace."""
+    key = (_trace_key(trace), config)
+    if key not in _cache:
+        sim = MultiLevelTextureCache(config, trace.address_space)
+        _cache[key] = sim.run_trace(trace)
+    return _cache[key]
+
+
+def run_hierarchy(
+    trace: Trace,
+    l1_bytes: int,
+    l2_bytes: int | None = None,
+    l2_tile_texels: int = 16,
+    tlb_entries: int | None = None,
+    tlb_policy: str = "round_robin",
+    l2_policy: str = "clock",
+) -> TraceRunResult:
+    """Convenience wrapper building the :class:`HierarchyConfig` by sizes."""
+    l2 = (
+        L2CacheConfig(
+            size_bytes=l2_bytes, l2_tile_texels=l2_tile_texels, policy=l2_policy
+        )
+        if l2_bytes is not None
+        else None
+    )
+    config = HierarchyConfig(
+        l1=L1CacheConfig(size_bytes=l1_bytes),
+        l2=l2,
+        tlb_entries=tlb_entries,
+        tlb_policy=tlb_policy,
+    )
+    return simulate(trace, config)

@@ -1,0 +1,198 @@
+"""Trace production and caching.
+
+Rendering is the expensive step; this module renders each (workload, scale,
+filter) combination once, memoizes it in process memory, and persists it to
+a disk cache (``.trace_cache/`` at the repository root, overridable with
+``$REPRO_TRACE_CACHE``; set it to ``off`` to disable). The cache key embeds
+a scene version constant — bump it when scene builders change so stale
+traces are never reused.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from pathlib import Path
+
+from repro.raster.pipeline import Renderer, RenderOptions
+from repro.raster.rasterizer import RasterOrder
+from repro.scenes import WORKLOAD_BUILDERS
+from repro.texture.sampler import FilterMode
+from repro.trace.trace import Trace, TraceMeta
+from repro.trace.tracefile import load_trace, save_trace
+from repro.experiments.config import Scale
+
+__all__ = ["get_trace", "render_trace", "clear_memory_cache"]
+
+#: Bump when scene builders or the rasterizer change behaviourally.
+SCENE_VERSION = 4
+
+_memory_cache: dict[tuple, Trace] = {}
+
+
+def clear_memory_cache() -> None:
+    """Drop in-process cached traces (tests use this to bound memory)."""
+    _memory_cache.clear()
+
+
+def _cache_dir() -> Path | None:
+    env = os.environ.get("REPRO_TRACE_CACHE", "").strip()
+    if env.lower() == "off":
+        return None
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".trace_cache"
+
+
+def _variant_suffix(z_first: bool, tiled: bool) -> str:
+    parts = []
+    if z_first:
+        parts.append("zfirst")
+    if tiled:
+        parts.append("tiled")
+    return "+" + "+".join(parts) if parts else ""
+
+
+def _cache_key(
+    workload: str, scale: Scale, mode: FilterMode, z_first: bool, tiled: bool
+) -> str:
+    return (
+        f"v{SCENE_VERSION}_{workload}_{scale.width}x{scale.height}"
+        f"_f{scale.frames}_d{scale.detail:g}_{mode.value}"
+        f"{_variant_suffix(z_first, tiled).replace('+', '_')}"
+    )
+
+
+def _build_renderer(
+    workload: str, scale: Scale, mode: FilterMode, z_first: bool, tiled: bool
+):
+    try:
+        builder = WORKLOAD_BUILDERS[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose from {sorted(WORKLOAD_BUILDERS)}"
+        ) from None
+    wl = builder(detail=scale.detail)
+    options = RenderOptions(
+        width=scale.width,
+        height=scale.height,
+        filter_mode=mode,
+        z_before_texture=z_first,
+        order=RasterOrder.TILED if tiled else RasterOrder.SCANLINE,
+    )
+    return Renderer(wl.scene.instances, wl.scene.manager, options), wl
+
+
+# Per-worker renderer state for parallel rendering (scenes are deterministic,
+# so each worker rebuilds the same scene once and renders its frame shares).
+_worker_state: dict = {}
+
+
+def _worker_init(workload, scale, mode, z_first, tiled):
+    renderer, wl = _build_renderer(workload, scale, mode, z_first, tiled)
+    _worker_state["renderer"] = renderer
+    _worker_state["cameras"] = wl.cameras(scale.frames)
+
+
+def _worker_render(frame_index: int):
+    renderer = _worker_state["renderer"]
+    camera = _worker_state["cameras"][frame_index]
+    out = renderer.render_frame(camera)
+    return frame_index, out.trace
+
+
+def render_workers() -> int:
+    """Worker processes for trace rendering (``$REPRO_RENDER_WORKERS``).
+
+    Defaults to 1 (serial). Frames are rendered independently per worker;
+    note that per-frame traces are identical to a serial render — only the
+    wall-clock changes — because scenes and camera paths are deterministic.
+    """
+    try:
+        return max(int(os.environ.get("REPRO_RENDER_WORKERS", "1")), 1)
+    except ValueError:
+        return 1
+
+
+def render_trace(
+    workload: str,
+    scale: Scale,
+    mode: FilterMode,
+    z_first: bool = False,
+    tiled: bool = False,
+    workers: int | None = None,
+) -> Trace:
+    """Render a trace from scratch (no caching).
+
+    ``z_first`` enables the §6 z-before-texture optimization; ``tiled``
+    switches rasterization to tiled fragment order (the Hakura ablation).
+    Variant traces carry a suffixed workload name so downstream simulation
+    caches never confuse them with baseline traces.
+
+    ``workers`` > 1 renders frames in parallel processes (default from
+    ``$REPRO_RENDER_WORKERS``) — frames are independent, so results are
+    bit-identical to a serial render. Use it to make ``Scale.paper()``
+    renders practical.
+    """
+    workers = render_workers() if workers is None else max(workers, 1)
+    meta = TraceMeta(
+        workload=workload + _variant_suffix(z_first, tiled),
+        width=scale.width,
+        height=scale.height,
+        filter_mode=mode.value,
+        n_frames=scale.frames,
+    )
+    if workers > 1 and scale.frames > 1:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork: spawn works too
+            ctx = multiprocessing.get_context()
+        with ctx.Pool(
+            processes=min(workers, scale.frames),
+            initializer=_worker_init,
+            initargs=(workload, scale, mode, z_first, tiled),
+        ) as pool:
+            indexed = pool.map(_worker_render, range(scale.frames))
+        frames = [t for _, t in sorted(indexed, key=lambda p: p[0])]
+        # The texture set comes from a local (cheap) scene build.
+        _, wl = _build_renderer(workload, scale, mode, z_first, tiled)
+        return Trace(meta=meta, frames=frames, textures=wl.scene.manager.textures)
+
+    renderer, wl = _build_renderer(workload, scale, mode, z_first, tiled)
+    outputs = renderer.render_animation(wl.cameras(scale.frames))
+    return Trace(
+        meta=meta,
+        frames=[o.trace for o in outputs],
+        textures=wl.scene.manager.textures,
+    )
+
+
+def get_trace(
+    workload: str,
+    scale: Scale,
+    mode: FilterMode,
+    z_first: bool = False,
+    tiled: bool = False,
+) -> Trace:
+    """Fetch a trace through the memory and disk caches."""
+    key = (workload, scale, mode, z_first, tiled)
+    if key in _memory_cache:
+        return _memory_cache[key]
+
+    cache_dir = _cache_dir()
+    path = None
+    if cache_dir is not None:
+        path = cache_dir / f"{_cache_key(workload, scale, mode, z_first, tiled)}.npz"
+        if path.exists():
+            trace = load_trace(path)
+            _memory_cache[key] = trace
+            return trace
+
+    trace = render_trace(workload, scale, mode, z_first=z_first, tiled=tiled)
+    _memory_cache[key] = trace
+    if path is not None:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp.npz")
+        save_trace(trace, tmp)
+        os.replace(tmp, path)
+    return trace

@@ -1,0 +1,71 @@
+"""Geometry substrate: linear algebra, meshes, cameras, and animation paths.
+
+This package provides the 3D-geometry building blocks the rendering pipeline
+(:mod:`repro.raster`) consumes: small numpy-backed vector/matrix helpers,
+textured triangle meshes with per-vertex UVs, primitive generators used by the
+procedural workloads, a perspective camera with frustum culling, and
+key-framed camera paths used to script the Village walk-through and City
+fly-through animations.
+"""
+
+from repro.geometry.vectors import (
+    normalize,
+    vec3,
+    vec4,
+    cross,
+    dot,
+)
+from repro.geometry.transforms import (
+    identity,
+    translation,
+    scaling,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+    compose,
+    transform_points,
+    transform_directions,
+)
+from repro.geometry.camera import Camera, look_at, perspective
+from repro.geometry.frustum import Frustum
+from repro.geometry.mesh import Mesh, MeshInstance
+from repro.geometry.primitives import (
+    make_quad,
+    make_box,
+    make_prism_roof,
+    make_ground_grid,
+    make_sky_dome,
+    make_cylinder,
+)
+from repro.geometry.paths import CameraPath, Keyframe
+
+__all__ = [
+    "normalize",
+    "vec3",
+    "vec4",
+    "cross",
+    "dot",
+    "identity",
+    "translation",
+    "scaling",
+    "rotation_x",
+    "rotation_y",
+    "rotation_z",
+    "compose",
+    "transform_points",
+    "transform_directions",
+    "Camera",
+    "look_at",
+    "perspective",
+    "Frustum",
+    "Mesh",
+    "MeshInstance",
+    "make_quad",
+    "make_box",
+    "make_prism_roof",
+    "make_ground_grid",
+    "make_sky_dome",
+    "make_cylinder",
+    "CameraPath",
+    "Keyframe",
+]

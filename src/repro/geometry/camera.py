@@ -1,0 +1,90 @@
+"""Perspective camera: view and projection matrices.
+
+The projection follows the OpenGL convention: the camera looks down -Z in eye
+space, and clip space maps the frustum to the cube [-1, 1]^3 with
+``w_clip = -z_eye``. The raster pipeline divides by ``w`` and maps the
+resulting NDC to pixel coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.vectors import normalize
+
+__all__ = ["Camera", "look_at", "perspective"]
+
+
+def look_at(eye: np.ndarray, target: np.ndarray, up: np.ndarray) -> np.ndarray:
+    """Build a world-to-eye view matrix for a camera at ``eye`` facing ``target``."""
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    up = np.asarray(up, dtype=np.float64)
+    forward = normalize(target - eye)
+    right = normalize(np.cross(forward, up))
+    true_up = np.cross(right, forward)
+    m = np.eye(4, dtype=np.float64)
+    m[0, :3] = right
+    m[1, :3] = true_up
+    m[2, :3] = -forward
+    m[0, 3] = -float(np.dot(right, eye))
+    m[1, 3] = -float(np.dot(true_up, eye))
+    m[2, 3] = float(np.dot(forward, eye))
+    return m
+
+
+def perspective(fov_y_deg: float, aspect: float, near: float, far: float) -> np.ndarray:
+    """Build a perspective projection matrix.
+
+    Args:
+        fov_y_deg: full vertical field of view, in degrees.
+        aspect: width / height of the viewport.
+        near: distance to the near plane (> 0).
+        far: distance to the far plane (> near).
+    """
+    if near <= 0 or far <= near:
+        raise ValueError(f"need 0 < near < far, got near={near} far={far}")
+    f = 1.0 / math.tan(math.radians(fov_y_deg) / 2.0)
+    m = np.zeros((4, 4), dtype=np.float64)
+    m[0, 0] = f / aspect
+    m[1, 1] = f
+    m[2, 2] = (far + near) / (near - far)
+    m[2, 3] = 2.0 * far * near / (near - far)
+    m[3, 2] = -1.0
+    return m
+
+
+@dataclass
+class Camera:
+    """A positioned perspective camera.
+
+    Attributes:
+        eye: camera position in world space.
+        target: point the camera looks at.
+        up: approximate up direction (re-orthogonalized by :func:`look_at`).
+        fov_y_deg: full vertical field of view in degrees.
+        near: near clip distance.
+        far: far clip distance.
+    """
+
+    eye: np.ndarray
+    target: np.ndarray
+    up: np.ndarray = field(default_factory=lambda: np.array([0.0, 1.0, 0.0]))
+    fov_y_deg: float = 60.0
+    near: float = 0.25
+    far: float = 2000.0
+
+    def view_matrix(self) -> np.ndarray:
+        """World-to-eye transform."""
+        return look_at(self.eye, self.target, self.up)
+
+    def projection_matrix(self, width: int, height: int) -> np.ndarray:
+        """Eye-to-clip transform for a ``width`` x ``height`` viewport."""
+        return perspective(self.fov_y_deg, width / height, self.near, self.far)
+
+    def view_projection(self, width: int, height: int) -> np.ndarray:
+        """Combined world-to-clip transform."""
+        return self.projection_matrix(width, height) @ self.view_matrix()

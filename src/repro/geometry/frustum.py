@@ -1,0 +1,60 @@
+"""View-frustum extraction and conservative bounding-sphere culling.
+
+The scene manager the paper instrumented (Intel ISM) performs object-space
+visibility culling before rasterization; this module provides the same
+functionality so off-screen objects never reach the rasterizer or the
+texture-access trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Frustum"]
+
+
+class Frustum:
+    """The six planes of a view frustum, extracted from a view-projection matrix.
+
+    Planes are stored as rows ``(a, b, c, d)`` with the convention that a
+    point ``p`` is inside when ``a*x + b*y + c*z + d >= 0`` for every plane.
+    """
+
+    def __init__(self, view_projection: np.ndarray):
+        m = np.asarray(view_projection, dtype=np.float64)
+        rows = [
+            m[3] + m[0],  # left
+            m[3] - m[0],  # right
+            m[3] + m[1],  # bottom
+            m[3] - m[1],  # top
+            m[3] + m[2],  # near
+            m[3] - m[2],  # far
+        ]
+        planes = np.stack(rows)
+        # Normalize so plane distances are Euclidean, enabling sphere tests.
+        norms = np.linalg.norm(planes[:, :3], axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self.planes = planes / norms
+
+    def contains_sphere(self, center: np.ndarray, radius: float) -> bool:
+        """Conservatively test a bounding sphere.
+
+        Returns False only when the sphere is certainly outside; True may
+        include near-miss spheres (standard conservative culling).
+        """
+        c = np.asarray(center, dtype=np.float64)
+        dist = self.planes[:, :3] @ c + self.planes[:, 3]
+        return bool(np.all(dist >= -radius))
+
+    def contains_points_any(self, points: np.ndarray) -> bool:
+        """True if any of the ``(N, 3)`` points could be inside the frustum.
+
+        This is conservative at the same level as the sphere test: a triangle
+        crossing the frustum with all vertices outside different planes can be
+        kept; the rasterizer's pixel-level clipping is exact.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        dist = pts @ self.planes[:, :3].T + self.planes[:, 3]
+        # A point set is certainly outside if all points are outside one plane.
+        all_outside_some_plane = np.any(np.all(dist < 0, axis=0))
+        return not bool(all_outside_some_plane)

@@ -1,0 +1,112 @@
+"""Textured triangle meshes and positioned scene instances.
+
+A :class:`Mesh` is indexed triangle geometry with per-vertex texture
+coordinates. A :class:`MeshInstance` places a mesh in the world with a model
+transform and binds it to a texture id; instances are the unit the scene
+manager culls and submits to the rasterizer, and the unit at which the
+*current texture* changes (which drives the paper's texture page-table
+``tstart``/``tlen`` machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.transforms import transform_points
+
+__all__ = ["Mesh", "MeshInstance"]
+
+
+@dataclass
+class Mesh:
+    """Indexed triangle mesh with UVs.
+
+    Attributes:
+        positions: ``(V, 3)`` float64 vertex positions (object space).
+        uvs: ``(V, 2)`` float64 texture coordinates. Values outside [0, 1]
+            wrap (GL_REPEAT), which is how the workloads tile small textures
+            over large surfaces.
+        triangles: ``(T, 3)`` int32 vertex indices, counter-clockwise when
+            viewed from the front.
+        double_sided: disable backface culling (used for sky geometry seen
+            from inside).
+    """
+
+    positions: np.ndarray
+    uvs: np.ndarray
+    triangles: np.ndarray
+    double_sided: bool = False
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.float64).reshape(-1, 3)
+        self.uvs = np.asarray(self.uvs, dtype=np.float64).reshape(-1, 2)
+        self.triangles = np.asarray(self.triangles, dtype=np.int32).reshape(-1, 3)
+        if len(self.positions) != len(self.uvs):
+            raise ValueError(
+                f"positions ({len(self.positions)}) and uvs ({len(self.uvs)}) "
+                "must have the same vertex count"
+            )
+        if self.triangles.size and int(self.triangles.max()) >= len(self.positions):
+            raise ValueError("triangle index out of range")
+
+    @property
+    def triangle_count(self) -> int:
+        """Number of triangles."""
+        return int(self.triangles.shape[0])
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices."""
+        return int(self.positions.shape[0])
+
+    def merged_with(self, other: "Mesh") -> "Mesh":
+        """Concatenate two meshes that share a texture binding."""
+        offset = self.vertex_count
+        return Mesh(
+            positions=np.vstack([self.positions, other.positions]),
+            uvs=np.vstack([self.uvs, other.uvs]),
+            triangles=np.vstack([self.triangles, other.triangles + offset]),
+            double_sided=self.double_sided or other.double_sided,
+        )
+
+
+@dataclass
+class MeshInstance:
+    """A mesh placed in the world and bound to one or two textures.
+
+    Attributes:
+        mesh: shared geometry.
+        model: 4x4 object-to-world transform.
+        texture_id: the ``tid`` of the bound base texture (see
+            :class:`repro.texture.manager.TextureManager`).
+        name: label for debugging and reports.
+        secondary_texture_id: optional second texture (e.g. a lightmap)
+            sampled per fragment alongside the base texture — the
+            multi-texturing trend the paper cites as a growing source of
+            intra-frame working set ("hardware becomes more common that
+            supports multiple textures applied to the same object", §4).
+    """
+
+    mesh: Mesh
+    model: np.ndarray
+    texture_id: int
+    name: str = ""
+    secondary_texture_id: int | None = None
+    _bounds: tuple[np.ndarray, float] | None = field(
+        default=None, init=False, repr=False
+    )
+
+    def world_positions(self) -> np.ndarray:
+        """Vertex positions in world space."""
+        return transform_points(self.model, self.mesh.positions)
+
+    def bounding_sphere(self) -> tuple[np.ndarray, float]:
+        """World-space bounding sphere ``(center, radius)``, cached."""
+        if self._bounds is None:
+            pts = self.world_positions()
+            center = (pts.min(axis=0) + pts.max(axis=0)) / 2.0
+            radius = float(np.linalg.norm(pts - center, axis=1).max()) if len(pts) else 0.0
+            self._bounds = (center, radius)
+        return self._bounds

@@ -1,0 +1,103 @@
+"""Key-framed camera paths for scripted animations.
+
+The paper uses scripted animations (a walk-through of the Village and a
+fly-through of the City). :class:`CameraPath` interpolates camera eye and
+look-at positions over key frames with Catmull-Rom splines so the viewpoint
+"moves only incrementally between frames" — the property that produces the
+inter-frame texture locality the L2 cache exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.camera import Camera
+
+__all__ = ["Keyframe", "CameraPath"]
+
+
+@dataclass(frozen=True)
+class Keyframe:
+    """A camera pose at a parametric time ``t`` in [0, 1]."""
+
+    t: float
+    eye: tuple[float, float, float]
+    target: tuple[float, float, float]
+
+
+def _catmull_rom(p0, p1, p2, p3, s: np.ndarray) -> np.ndarray:
+    """Catmull-Rom interpolation between p1 and p2 for parameters s in [0,1]."""
+    s = np.asarray(s, dtype=np.float64)[..., None]
+    a = 2.0 * p1
+    b = p2 - p0
+    c = 2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3
+    d = -p0 + 3.0 * p1 - 3.0 * p2 + p3
+    return 0.5 * (a + b * s + c * s * s + d * s * s * s)
+
+
+class CameraPath:
+    """Smooth camera animation through a sequence of key frames.
+
+    Args:
+        keyframes: at least two keyframes with strictly increasing ``t``.
+        fov_y_deg / near / far: camera intrinsics held constant over the path.
+    """
+
+    def __init__(
+        self,
+        keyframes: Sequence[Keyframe],
+        fov_y_deg: float = 60.0,
+        near: float = 0.25,
+        far: float = 2000.0,
+    ):
+        if len(keyframes) < 2:
+            raise ValueError("a CameraPath needs at least two keyframes")
+        ts = [k.t for k in keyframes]
+        if any(b <= a for a, b in zip(ts, ts[1:])):
+            raise ValueError("keyframe times must be strictly increasing")
+        self.keyframes = list(keyframes)
+        self.fov_y_deg = fov_y_deg
+        self.near = near
+        self.far = far
+        self._ts = np.array(ts)
+        self._eyes = np.array([k.eye for k in keyframes], dtype=np.float64)
+        self._targets = np.array([k.target for k in keyframes], dtype=np.float64)
+
+    def _interp(self, pts: np.ndarray, t: float) -> np.ndarray:
+        ts = self._ts
+        t = float(np.clip(t, ts[0], ts[-1]))
+        i = int(np.searchsorted(ts, t, side="right") - 1)
+        i = min(max(i, 0), len(ts) - 2)
+        span = ts[i + 1] - ts[i]
+        s = (t - ts[i]) / span if span > 0 else 0.0
+        p0 = pts[max(i - 1, 0)]
+        p1 = pts[i]
+        p2 = pts[i + 1]
+        p3 = pts[min(i + 2, len(ts) - 1)]
+        return _catmull_rom(p0, p1, p2, p3, np.array(s))
+
+    def camera_at(self, t: float) -> Camera:
+        """Camera pose at parametric time ``t`` in [0, 1]."""
+        eye = self._interp(self._eyes, t)
+        target = self._interp(self._targets, t)
+        # Guard against a degenerate frame where eye == target.
+        if float(np.linalg.norm(target - eye)) < 1e-9:
+            target = target + np.array([0.0, 0.0, -1.0])
+        return Camera(
+            eye=eye,
+            target=target,
+            fov_y_deg=self.fov_y_deg,
+            near=self.near,
+            far=self.far,
+        )
+
+    def frames(self, n_frames: int) -> list[Camera]:
+        """Sample ``n_frames`` cameras uniformly over the path."""
+        if n_frames < 1:
+            raise ValueError("n_frames must be >= 1")
+        if n_frames == 1:
+            return [self.camera_at(0.0)]
+        return [self.camera_at(i / (n_frames - 1)) for i in range(n_frames)]

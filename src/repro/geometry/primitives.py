@@ -1,0 +1,224 @@
+"""Primitive mesh generators used by the procedural workloads.
+
+Every generator returns a :class:`~repro.geometry.mesh.Mesh` in object space
+with UVs laid out so that a texture *repeats* at a controllable density —
+repeated textures are one of the locality sources the paper measures (both
+the Village and the City reuse texels through UV tiling).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.mesh import Mesh
+
+__all__ = [
+    "make_quad",
+    "make_box",
+    "make_prism_roof",
+    "make_ground_grid",
+    "make_sky_dome",
+    "make_cylinder",
+]
+
+
+def make_quad(
+    width: float,
+    height: float,
+    uv_repeat: tuple[float, float] = (1.0, 1.0),
+) -> Mesh:
+    """An XY-plane quad centered at the origin, facing +Z.
+
+    Args:
+        width: extent along X.
+        height: extent along Y.
+        uv_repeat: how many times the texture tiles across (u, v).
+    """
+    hw, hh = width / 2.0, height / 2.0
+    ru, rv = uv_repeat
+    positions = np.array(
+        [[-hw, -hh, 0.0], [hw, -hh, 0.0], [hw, hh, 0.0], [-hw, hh, 0.0]]
+    )
+    uvs = np.array([[0.0, 0.0], [ru, 0.0], [ru, rv], [0.0, rv]])
+    triangles = np.array([[0, 1, 2], [0, 2, 3]])
+    return Mesh(positions, uvs, triangles)
+
+
+def make_box(
+    size_x: float,
+    size_y: float,
+    size_z: float,
+    uv_scale: float = 1.0,
+    include_bottom: bool = False,
+) -> Mesh:
+    """An axis-aligned box sitting on the XZ plane (y in [0, size_y]).
+
+    UVs tile at ``uv_scale`` repeats per world unit on every face so that a
+    facade texture repeats naturally over a large wall, exactly the pattern
+    the City workload exercises.
+    """
+    x0, x1 = -size_x / 2.0, size_x / 2.0
+    y0, y1 = 0.0, size_y
+    z0, z1 = -size_z / 2.0, size_z / 2.0
+    s = uv_scale
+
+    faces = [
+        # (corner quad CCW from outside, u extent, v extent)
+        ([(x0, y0, z1), (x1, y0, z1), (x1, y1, z1), (x0, y1, z1)], size_x, size_y),  # +Z
+        ([(x1, y0, z0), (x0, y0, z0), (x0, y1, z0), (x1, y1, z0)], size_x, size_y),  # -Z
+        ([(x1, y0, z1), (x1, y0, z0), (x1, y1, z0), (x1, y1, z1)], size_z, size_y),  # +X
+        ([(x0, y0, z0), (x0, y0, z1), (x0, y1, z1), (x0, y1, z0)], size_z, size_y),  # -X
+        ([(x0, y1, z1), (x1, y1, z1), (x1, y1, z0), (x0, y1, z0)], size_x, size_z),  # +Y
+    ]
+    if include_bottom:
+        faces.append(
+            ([(x0, y0, z0), (x1, y0, z0), (x1, y0, z1), (x0, y0, z1)], size_x, size_z)
+        )
+
+    positions: list[tuple[float, float, float]] = []
+    uvs: list[tuple[float, float]] = []
+    triangles: list[tuple[int, int, int]] = []
+    for corners, ue, ve in faces:
+        base = len(positions)
+        positions.extend(corners)
+        uvs.extend([(0.0, 0.0), (ue * s, 0.0), (ue * s, ve * s), (0.0, ve * s)])
+        triangles.append((base, base + 1, base + 2))
+        triangles.append((base, base + 2, base + 3))
+    return Mesh(np.array(positions), np.array(uvs), np.array(triangles))
+
+
+def make_prism_roof(
+    size_x: float,
+    size_z: float,
+    height: float,
+    uv_scale: float = 1.0,
+) -> Mesh:
+    """A gabled (triangular prism) roof over an XZ footprint, base at y=0.
+
+    The ridge runs along X. Used to top the Village houses.
+    """
+    x0, x1 = -size_x / 2.0, size_x / 2.0
+    z0, z1 = -size_z / 2.0, size_z / 2.0
+    ridge_y = height
+    s = uv_scale
+    slope = math.hypot(size_z / 2.0, height)
+
+    positions = [
+        (x0, 0.0, z1), (x1, 0.0, z1),           # front eave
+        (x0, ridge_y, 0.0), (x1, ridge_y, 0.0),  # ridge
+        (x0, 0.0, z0), (x1, 0.0, z0),           # back eave
+    ]
+    uvs = [
+        (0.0, 0.0), (size_x * s, 0.0),
+        (0.0, slope * s), (size_x * s, slope * s),
+        (0.0, 0.0), (size_x * s, 0.0),
+    ]
+    triangles = [
+        (0, 1, 3), (0, 3, 2),  # front slope
+        (5, 4, 2), (5, 2, 3),  # back slope
+    ]
+    # Gable end triangles (left and right), textured with the same material.
+    base = len(positions)
+    positions.extend([(x0, 0.0, z1), (x0, 0.0, z0), (x0, ridge_y, 0.0)])
+    uvs.extend([(0.0, 0.0), (size_z * s, 0.0), (size_z * s / 2.0, height * s)])
+    triangles.append((base, base + 1, base + 2))
+    base = len(positions)
+    positions.extend([(x1, 0.0, z0), (x1, 0.0, z1), (x1, ridge_y, 0.0)])
+    uvs.extend([(0.0, 0.0), (size_z * s, 0.0), (size_z * s / 2.0, height * s)])
+    triangles.append((base, base + 1, base + 2))
+    return Mesh(np.array(positions), np.array(uvs), np.array(triangles))
+
+
+def make_ground_grid(
+    extent: float,
+    cells: int,
+    uv_repeat_per_cell: float = 1.0,
+) -> Mesh:
+    """A flat XZ ground plane at y=0, subdivided into ``cells`` x ``cells`` quads.
+
+    Subdivision keeps individual triangles small, matching the paper's
+    scanline-rasterization assumption (tiled rasterization pays off only for
+    large triangles; typical scene managers tessellate large surfaces).
+    """
+    n = cells + 1
+    xs = np.linspace(-extent / 2.0, extent / 2.0, n)
+    zs = np.linspace(-extent / 2.0, extent / 2.0, n)
+    gx, gz = np.meshgrid(xs, zs, indexing="xy")
+    positions = np.stack([gx.ravel(), np.zeros(n * n), gz.ravel()], axis=1)
+    r = uv_repeat_per_cell
+    gu, gv = np.meshgrid(np.arange(n) * r, np.arange(n) * r, indexing="xy")
+    uvs = np.stack([gu.ravel(), gv.ravel()], axis=1)
+
+    triangles = []
+    for j in range(cells):
+        for i in range(cells):
+            a = j * n + i
+            b = a + 1
+            c = a + n + 1
+            d = a + n
+            # Upward-facing (+Y) winding.
+            triangles.append((a, c, b))
+            triangles.append((a, d, c))
+    return Mesh(positions, uvs, np.array(triangles))
+
+
+def make_sky_dome(radius: float, slices: int = 12, stacks: int = 4) -> Mesh:
+    """An inward-facing hemisphere used as sky; double-sided to be safe.
+
+    The sky is a large, distant, heavily-minified surface — it contributes
+    depth complexity and low-MIP-level accesses, like the sky textures the
+    paper's Village frames show.
+    """
+    positions = []
+    uvs = []
+    for j in range(stacks + 1):
+        phi = (j / stacks) * (math.pi / 2.0)  # 0 at horizon, pi/2 at zenith
+        y = radius * math.sin(phi)
+        r = radius * math.cos(phi)
+        for i in range(slices + 1):
+            theta = (i / slices) * 2.0 * math.pi
+            positions.append((r * math.cos(theta), y, r * math.sin(theta)))
+            uvs.append((4.0 * i / slices, 2.0 * j / stacks))
+    triangles = []
+    row = slices + 1
+    for j in range(stacks):
+        for i in range(slices):
+            a = j * row + i
+            b = a + 1
+            c = a + row + 1
+            d = a + row
+            # Inward-facing winding (viewed from inside the dome).
+            triangles.append((a, b, c))
+            triangles.append((a, c, d))
+    return Mesh(np.array(positions), np.array(uvs), np.array(triangles), double_sided=True)
+
+
+def make_cylinder(
+    radius: float,
+    height: float,
+    slices: int = 8,
+    uv_scale: float = 1.0,
+) -> Mesh:
+    """An open-ended vertical cylinder, base at y=0 (towers, silos, trees)."""
+    positions = []
+    uvs = []
+    circumference = 2.0 * math.pi * radius
+    for j in (0, 1):
+        y = j * height
+        for i in range(slices + 1):
+            theta = (i / slices) * 2.0 * math.pi
+            positions.append((radius * math.cos(theta), y, radius * math.sin(theta)))
+            uvs.append((circumference * uv_scale * i / slices, height * uv_scale * j))
+    triangles = []
+    row = slices + 1
+    for i in range(slices):
+        a = i
+        b = i + 1
+        c = row + i + 1
+        d = row + i
+        # Outward-facing winding.
+        triangles.append((a, c, b))
+        triangles.append((a, d, c))
+    return Mesh(np.array(positions), np.array(uvs), np.array(triangles))

@@ -1,0 +1,115 @@
+"""4x4 homogeneous transform builders and point/direction application.
+
+Matrices follow the column-vector convention: a point ``p`` is transformed as
+``M @ [p, 1]``, and transforms compose right-to-left (``compose(A, B)``
+applies ``B`` first).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "identity",
+    "translation",
+    "scaling",
+    "rotation_x",
+    "rotation_y",
+    "rotation_z",
+    "compose",
+    "transform_points",
+    "transform_directions",
+]
+
+
+def identity() -> np.ndarray:
+    """The 4x4 identity transform."""
+    return np.eye(4, dtype=np.float64)
+
+
+def translation(x: float, y: float, z: float) -> np.ndarray:
+    """Translation by ``(x, y, z)``."""
+    m = np.eye(4, dtype=np.float64)
+    m[0, 3] = x
+    m[1, 3] = y
+    m[2, 3] = z
+    return m
+
+
+def scaling(x: float, y: float | None = None, z: float | None = None) -> np.ndarray:
+    """Non-uniform scaling; with one argument, uniform scaling."""
+    if y is None:
+        y = x
+    if z is None:
+        z = x
+    m = np.eye(4, dtype=np.float64)
+    m[0, 0] = x
+    m[1, 1] = y
+    m[2, 2] = z
+    return m
+
+
+def _rotation(axis: int, radians: float) -> np.ndarray:
+    c = math.cos(radians)
+    s = math.sin(radians)
+    m = np.eye(4, dtype=np.float64)
+    i, j = [(1, 2), (0, 2), (0, 1)][axis]
+    m[i, i] = c
+    m[j, j] = c
+    if axis == 1:
+        # Y-axis rotation has the opposite off-diagonal sign pattern.
+        m[i, j] = s
+        m[j, i] = -s
+    else:
+        m[i, j] = -s
+        m[j, i] = s
+    return m
+
+
+def rotation_x(radians: float) -> np.ndarray:
+    """Rotation about the +X axis."""
+    return _rotation(0, radians)
+
+
+def rotation_y(radians: float) -> np.ndarray:
+    """Rotation about the +Y axis."""
+    return _rotation(1, radians)
+
+
+def rotation_z(radians: float) -> np.ndarray:
+    """Rotation about the +Z axis."""
+    return _rotation(2, radians)
+
+
+def compose(*matrices: np.ndarray) -> np.ndarray:
+    """Compose transforms left-to-right in application order of the *last* first.
+
+    ``compose(A, B, C)`` returns ``A @ B @ C``: when applied to a point, ``C``
+    acts first and ``A`` last.
+    """
+    out = np.eye(4, dtype=np.float64)
+    for m in matrices:
+        out = out @ m
+    return out
+
+
+def transform_points(matrix: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 transform to an ``(N, 3)`` array of points.
+
+    Returns an ``(N, 3)`` array; the homogeneous ``w`` is assumed to stay 1
+    (true for affine transforms — use the raster pipeline for projective ones).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    homo = np.empty((pts.shape[0], 4), dtype=np.float64)
+    homo[:, :3] = pts
+    homo[:, 3] = 1.0
+    out = homo @ matrix.T
+    return out[:, :3]
+
+
+def transform_directions(matrix: np.ndarray, dirs: np.ndarray) -> np.ndarray:
+    """Apply the linear part of a 4x4 transform to ``(N, 3)`` directions."""
+    d = np.asarray(dirs, dtype=np.float64)
+    return d @ matrix[:3, :3].T

@@ -1,0 +1,45 @@
+"""Small numpy-backed vector helpers.
+
+All vectors are plain ``numpy.ndarray`` of dtype float64; these helpers exist
+to make scene/camera code read like the math it implements rather than to
+wrap numpy in classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["vec3", "vec4", "normalize", "cross", "dot"]
+
+
+def vec3(x: float, y: float, z: float) -> np.ndarray:
+    """Build a 3-component float64 vector."""
+    return np.array([x, y, z], dtype=np.float64)
+
+
+def vec4(x: float, y: float, z: float, w: float) -> np.ndarray:
+    """Build a 4-component float64 vector."""
+    return np.array([x, y, z, w], dtype=np.float64)
+
+
+def normalize(v: np.ndarray) -> np.ndarray:
+    """Return ``v`` scaled to unit length.
+
+    Raises:
+        ValueError: if ``v`` has (near-)zero length, which would otherwise
+            silently produce NaNs downstream.
+    """
+    n = float(np.linalg.norm(v))
+    if n < 1e-12:
+        raise ValueError("cannot normalize a zero-length vector")
+    return v / n
+
+
+def cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Cross product of two 3-vectors."""
+    return np.cross(a, b)
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> float:
+    """Dot product as a Python float."""
+    return float(np.dot(a, b))

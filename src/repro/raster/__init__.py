@@ -1,0 +1,37 @@
+"""Software rendering pipeline (the paper's instrumented scene manager).
+
+The paper instruments the Intel Scene Manager to trace every texel reference
+during rasterization (§3). This package is the equivalent substrate: a
+perspective-correct scanline triangle rasterizer with per-pixel MIP-level
+selection, a z-buffer, and a pipeline that walks a scene per frame and emits
+the 4x4-texel tile-reference stream the cache simulators replay.
+
+Modules:
+
+* :mod:`repro.raster.framebuffer` — color buffer with PPM output (Fig 12
+  snapshots).
+* :mod:`repro.raster.zbuffer` — depth buffer.
+* :mod:`repro.raster.clipping` — near-plane polygon clipping in clip space.
+* :mod:`repro.raster.rasterizer` — triangle setup, edge-function coverage,
+  perspective-correct attributes, analytic LOD gradients, scanline or tiled
+  fragment ordering.
+* :mod:`repro.raster.pipeline` — the per-frame renderer/tracer.
+"""
+
+from repro.raster.framebuffer import Framebuffer
+from repro.raster.zbuffer import DepthBuffer
+from repro.raster.clipping import clip_triangle_near
+from repro.raster.rasterizer import Fragments, rasterize_triangle, RasterOrder
+from repro.raster.pipeline import RenderOptions, Renderer, FrameOutput
+
+__all__ = [
+    "Framebuffer",
+    "DepthBuffer",
+    "clip_triangle_near",
+    "Fragments",
+    "rasterize_triangle",
+    "RasterOrder",
+    "RenderOptions",
+    "Renderer",
+    "FrameOutput",
+]

@@ -1,0 +1,87 @@
+"""Near-plane clipping in clip space.
+
+Triangles crossing the near plane cannot be projected directly (w passes
+through zero); they are clipped against the near plane ``z_clip >= -w_clip``
+before the perspective divide, interpolating position and UV along the cut
+edges. Clipping against the side planes is unnecessary — the rasterizer
+clamps its pixel bounding box to the viewport — so only the near plane needs
+geometric treatment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["clip_triangle_plane", "clip_triangle_near"]
+
+
+def clip_triangle_plane(
+    clip_positions: np.ndarray,
+    uvs: np.ndarray,
+    distances: np.ndarray,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Clip one triangle against a half-space given per-vertex distances.
+
+    Any clip plane evaluates to a function linear in clip space; the caller
+    supplies its per-vertex values and vertices with ``distance >= 0`` are
+    kept. Sutherland–Hodgman against a single plane yields a triangle or a
+    quad, fanned back into triangles.
+
+    Args:
+        clip_positions: ``(3, 4)`` clip-space vertex positions.
+        uvs: ``(3, 2)`` texture coordinates.
+        distances: ``(3,)`` signed plane distances (inside >= 0).
+
+    Returns:
+        A list of 0, 1, or 2 ``(positions (3,4), uvs (3,2))`` triangles.
+    """
+    pos = np.asarray(clip_positions, dtype=np.float64)
+    uv = np.asarray(uvs, dtype=np.float64)
+    d = np.asarray(distances, dtype=np.float64)
+    inside = d >= 0.0
+
+    n_in = int(inside.sum())
+    if n_in == 3:
+        return [(pos, uv)]
+    if n_in == 0:
+        return []
+
+    # Walk the polygon edges, emitting kept vertices and intersections.
+    out_pos: list[np.ndarray] = []
+    out_uv: list[np.ndarray] = []
+    for i in range(3):
+        j = (i + 1) % 3
+        if inside[i]:
+            out_pos.append(pos[i])
+            out_uv.append(uv[i])
+        if inside[i] != inside[j]:
+            t = d[i] / (d[i] - d[j])  # crossing point: d interpolates to 0
+            out_pos.append(pos[i] + t * (pos[j] - pos[i]))
+            out_uv.append(uv[i] + t * (uv[j] - uv[i]))
+
+    if len(out_pos) < 3:
+        return []
+    tris = []
+    for k in range(1, len(out_pos) - 1):
+        tris.append(
+            (
+                np.stack([out_pos[0], out_pos[k], out_pos[k + 1]]),
+                np.stack([out_uv[0], out_uv[k], out_uv[k + 1]]),
+            )
+        )
+    return tris
+
+
+def clip_triangle_near(
+    clip_positions: np.ndarray,
+    uvs: np.ndarray,
+    epsilon: float = 1e-9,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Clip one triangle against the OpenGL near plane ``z >= -w``.
+
+    ``epsilon`` nudges the plane infinitesimally inward so that the clipped
+    vertices project to finite coordinates.
+    """
+    pos = np.asarray(clip_positions, dtype=np.float64)
+    d = pos[:, 2] + pos[:, 3] - epsilon
+    return clip_triangle_plane(pos, uvs, d)

@@ -1,0 +1,45 @@
+"""Color framebuffer with PPM image output.
+
+Only the example programs and the Fig 12 snapshot script shade pixels; trace
+runs skip color entirely. PPM (binary P6) needs no imaging dependency.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["Framebuffer"]
+
+
+class Framebuffer:
+    """A ``width`` x ``height`` RGB color buffer."""
+
+    def __init__(self, width: int, height: int, clear_color=(30, 40, 60)):
+        if width < 1 or height < 1:
+            raise ValueError(f"framebuffer size must be positive, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._clear_color = np.array(clear_color, dtype=np.float64)
+        self.color = np.empty((height, width, 3), dtype=np.float64)
+        self.clear()
+
+    def clear(self) -> None:
+        """Fill with the clear color."""
+        self.color[:] = self._clear_color
+
+    def write_pixels(self, ys: np.ndarray, xs: np.ndarray, rgb: np.ndarray) -> None:
+        """Write colors at (ys, xs); caller guarantees coordinates in range."""
+        self.color[ys, xs] = rgb
+
+    def as_uint8(self) -> np.ndarray:
+        """The image as (H, W, 3) uint8."""
+        return np.clip(self.color, 0, 255).astype(np.uint8)
+
+    def write_ppm(self, path: str | os.PathLike) -> None:
+        """Save as a binary PPM (P6) image."""
+        img = self.as_uint8()
+        with open(path, "wb") as f:
+            f.write(f"P6\n{self.width} {self.height}\n255\n".encode("ascii"))
+            f.write(img.tobytes())

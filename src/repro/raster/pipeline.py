@@ -1,0 +1,295 @@
+"""The per-frame rendering/tracing pipeline.
+
+This is the reproduction's equivalent of the instrumented Intel Scene
+Manager: per frame it culls instances against the view frustum, transforms
+and near-clips triangles, rasterizes them in scanline order, and emits the
+texel-access stream (as collapsed 4x4-tile references) that the §4
+statistics and the §5 cache simulator consume. Optionally it also shades
+pixels into a framebuffer (Fig 12 snapshots) and/or applies the §6
+z-before-texture optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.camera import Camera
+from repro.geometry.frustum import Frustum
+from repro.geometry.mesh import MeshInstance
+from repro.raster.clipping import clip_triangle_near
+from repro.raster.framebuffer import Framebuffer
+from repro.raster.rasterizer import Fragments, RasterOrder, rasterize_triangle
+from repro.raster.zbuffer import DepthBuffer
+import math
+
+from repro.texture.manager import TextureManager
+from repro.texture.sampler import FilterMode, footprint_tiles_grid, sample_color
+from repro.trace.events import collapse_runs
+from repro.trace.trace import FrameTrace
+
+__all__ = ["RenderOptions", "FrameOutput", "Renderer"]
+
+
+@dataclass(frozen=True)
+class RenderOptions:
+    """Pipeline configuration.
+
+    Attributes:
+        width / height: screen resolution (the paper uses 1024x768; the
+            experiment harness defaults lower for simulation speed).
+        filter_mode: texture filtering for the emitted access stream.
+        order: scanline (paper default) or tiled rasterization order.
+        z_before_texture: apply the depth test *before* texturing (§6 future
+            work). Off by default — the paper's traces texture every
+            rasterized fragment.
+        shade: produce a color image (requires textures with image data).
+        cull: frustum-cull instances by bounding sphere.
+    """
+
+    width: int = 512
+    height: int = 384
+    filter_mode: FilterMode = FilterMode.BILINEAR
+    order: RasterOrder = RasterOrder.SCANLINE
+    z_before_texture: bool = False
+    shade: bool = False
+    cull: bool = True
+
+
+@dataclass
+class FrameOutput:
+    """Result of rendering one frame."""
+
+    trace: FrameTrace
+    image: np.ndarray | None = None
+    culled_instances: int = 0
+    rasterized_triangles: int = 0
+
+
+class Renderer:
+    """Renders frames of a scene and traces their texture accesses.
+
+    Args:
+        instances: the scene's positioned meshes, in submission order
+            (submission order defines rasterization order, which defines the
+            access stream the caches see).
+        manager: texture manager holding every texture the instances bind.
+        options: pipeline configuration.
+    """
+
+    def __init__(
+        self,
+        instances: Sequence[MeshInstance],
+        manager: TextureManager,
+        options: RenderOptions | None = None,
+    ):
+        self.instances = list(instances)
+        self.manager = manager
+        self.options = options or RenderOptions()
+        for inst in self.instances:
+            # Fail fast on dangling texture bindings.
+            self.manager.texture(inst.texture_id)
+            if inst.secondary_texture_id is not None:
+                self.manager.texture(inst.secondary_texture_id)
+
+    # ------------------------------------------------------------------
+    def render_frame(self, camera: Camera) -> FrameOutput:
+        """Render one frame; returns its trace (and image when shading)."""
+        opt = self.options
+        w, h = opt.width, opt.height
+        vp = camera.view_projection(w, h)
+        frustum = Frustum(vp) if opt.cull else None
+
+        need_depth = opt.z_before_texture or opt.shade
+        depth = DepthBuffer(w, h) if need_depth else None
+        fb = Framebuffer(w, h) if opt.shade else None
+
+        # Per-object collapsed chunks: collapsing within (not across) object
+        # sub-streams keeps object boundaries exact for the §4 locality
+        # decomposition; the only cost is that a duplicate straddling a
+        # boundary survives as two entries (still a guaranteed L1 hit).
+        obj_refs: list[np.ndarray] = []
+        obj_weights: list[np.ndarray] = []
+        n_fragments = 0
+        culled = 0
+        rasterized = 0
+
+        for inst in self.instances:
+            ref_chunks: list[np.ndarray] = []
+            if frustum is not None:
+                center, radius = inst.bounding_sphere()
+                if not frustum.contains_sphere(center, radius):
+                    culled += 1
+                    continue
+            self.manager.bind(inst.texture_id)
+            tex = self.manager.texture(inst.texture_id)
+            mvp = vp @ inst.model
+
+            positions = inst.mesh.positions
+            homo = np.empty((positions.shape[0], 4), dtype=np.float64)
+            homo[:, :3] = positions
+            homo[:, 3] = 1.0
+            clip = homo @ mvp.T
+
+            # Near-plane distances per vertex; most triangles need no
+            # clipping, and fully-behind triangles drop without setup.
+            near_d = clip[:, 2] + clip[:, 3]
+            fully_in = near_d[inst.mesh.triangles] > 0.0
+            safe_w = np.where(np.abs(clip[:, 3]) > 1e-12, clip[:, 3], 1.0)
+            ndc_all = clip[:, :3] / safe_w[:, None]
+            screen_all = np.empty((clip.shape[0], 2), dtype=np.float64)
+            screen_all[:, 0] = (ndc_all[:, 0] + 1.0) * 0.5 * opt.width
+            screen_all[:, 1] = (1.0 - ndc_all[:, 1]) * 0.5 * opt.height
+            inv_w_all = 1.0 / safe_w
+
+            for t_idx, tri in enumerate(inst.mesh.triangles):
+                inside = fully_in[t_idx]
+                if inside.all():
+                    pieces = [None]  # sentinel: fast path, no clipping
+                elif not inside.any():
+                    continue
+                else:
+                    pieces = clip_triangle_near(clip[tri], inst.mesh.uvs[tri])
+                for piece in pieces:
+                    if piece is None:
+                        frags = rasterize_triangle(
+                            screen_xy=screen_all[tri],
+                            inv_w=inv_w_all[tri],
+                            uv=inst.mesh.uvs[tri],
+                            z_ndc=ndc_all[tri, 2],
+                            width=opt.width,
+                            height=opt.height,
+                            tex_width=tex.width,
+                            tex_height=tex.height,
+                            double_sided=inst.mesh.double_sided,
+                            order=opt.order,
+                        )
+                    else:
+                        cpos, cuv = piece
+                        frags = self._raster_one(
+                            cpos, cuv, tex, inst.mesh.double_sided
+                        )
+                    if frags is None:
+                        continue
+                    rasterized += 1
+                    if opt.z_before_texture:
+                        passed = depth.test_and_update(frags.ys, frags.xs, frags.z)
+                        frags = _select(frags, passed)
+                        if len(frags) == 0:
+                            continue
+                    n_fragments += len(frags)
+                    grid = footprint_tiles_grid(
+                        tex, inst.texture_id, frags.u, frags.v, frags.lod,
+                        opt.filter_mode,
+                    )
+                    if inst.secondary_texture_id is not None:
+                        # Multi-texturing: the second texture is sampled per
+                        # fragment, interleaved with the base texture's
+                        # footprint — exactly the access pattern that
+                        # inflates the intra-frame working set (§4).
+                        sec = self.manager.texture(inst.secondary_texture_id)
+                        lod_shift = math.log2(
+                            max(sec.width / tex.width, sec.height / tex.height)
+                        )
+                        sec_grid = footprint_tiles_grid(
+                            sec,
+                            inst.secondary_texture_id,
+                            frags.u,
+                            frags.v,
+                            frags.lod + lod_shift,
+                            opt.filter_mode,
+                        )
+                        grid = np.concatenate([grid, sec_grid], axis=1)
+                    ref_chunks.append(grid.reshape(-1))
+                    if opt.shade:
+                        self._shade(frags, inst, tex, depth, fb, opt)
+
+            if ref_chunks:
+                chunk_refs, chunk_weights = collapse_runs(
+                    np.concatenate(ref_chunks)
+                )
+                obj_refs.append(chunk_refs)
+                obj_weights.append(chunk_weights)
+
+        if obj_refs:
+            lengths = np.array([len(r) for r in obj_refs], dtype=np.int64)
+            offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+            refs = np.concatenate(obj_refs)
+            weights = np.concatenate(obj_weights)
+        else:
+            offsets = np.empty(0, dtype=np.int64)
+            refs = np.empty(0, dtype=np.int64)
+            weights = np.empty(0, dtype=np.int64)
+        trace = FrameTrace(
+            refs=refs,
+            weights=weights,
+            n_fragments=n_fragments,
+            object_offsets=offsets,
+        )
+        return FrameOutput(
+            trace=trace,
+            image=fb.as_uint8() if fb is not None else None,
+            culled_instances=culled,
+            rasterized_triangles=rasterized,
+        )
+
+    def render_animation(self, cameras: Sequence[Camera]) -> list[FrameOutput]:
+        """Render a list of camera poses (one per frame)."""
+        return [self.render_frame(cam) for cam in cameras]
+
+    # ------------------------------------------------------------------
+    def _raster_one(self, cpos, cuv, tex, double_sided) -> Fragments | None:
+        opt = self.options
+        w_clip = cpos[:, 3]
+        ndc = cpos[:, :3] / w_clip[:, None]
+        screen = np.empty((3, 2), dtype=np.float64)
+        screen[:, 0] = (ndc[:, 0] + 1.0) * 0.5 * opt.width
+        screen[:, 1] = (1.0 - ndc[:, 1]) * 0.5 * opt.height
+        return rasterize_triangle(
+            screen_xy=screen,
+            inv_w=1.0 / w_clip,
+            uv=cuv,
+            z_ndc=ndc[:, 2],
+            width=opt.width,
+            height=opt.height,
+            tex_width=tex.width,
+            tex_height=tex.height,
+            double_sided=double_sided,
+            order=opt.order,
+        )
+
+    def _shade(self, frags, inst, tex, depth, fb, opt) -> None:
+        if opt.z_before_texture:
+            # Depth already resolved; every surviving fragment is visible.
+            visible = np.ones(len(frags), dtype=bool)
+        else:
+            visible = depth.test_and_update(frags.ys, frags.xs, frags.z)
+        if not np.any(visible):
+            return
+        vis = _select(frags, visible)
+        colors = sample_color(tex, vis.u, vis.v, vis.lod, opt.filter_mode)
+        if inst.secondary_texture_id is not None:
+            # Modulate by the lightmap's luminance (standard multi-texture
+            # combine).
+            sec = self.manager.texture(inst.secondary_texture_id)
+            lod_shift = math.log2(
+                max(sec.width / tex.width, sec.height / tex.height)
+            )
+            light = sample_color(
+                sec, vis.u, vis.v, vis.lod + lod_shift, opt.filter_mode
+            )
+            colors = colors * (light.mean(axis=1, keepdims=True) / 255.0)
+        fb.write_pixels(vis.ys, vis.xs, colors)
+
+
+def _select(frags: Fragments, mask: np.ndarray) -> Fragments:
+    return Fragments(
+        xs=frags.xs[mask],
+        ys=frags.ys[mask],
+        z=frags.z[mask],
+        u=frags.u[mask],
+        v=frags.v[mask],
+        lod=frags.lod[mask],
+    )

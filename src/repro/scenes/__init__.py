@@ -1,0 +1,42 @@
+"""Procedural workloads: the Village walk-through and City fly-through.
+
+The paper's workloads are a village database (Evans & Sutherland) with a
+ground-level walk-through, and a UCLA city database with a fly-through. The
+databases are not available, so this package builds procedural equivalents
+that reproduce the *texture-locality signatures* the paper measures:
+
+* **Village** — dozens of houses drawing from a small shared pool of wall /
+  roof / door textures (inter-object sharing), repeating ground and sky
+  (repeated textures), and substantial overdraw (depth complexity ~ 3-4).
+* **City** — a building grid where every building has its *own* facade
+  texture that tiles across its faces: repeated textures but essentially no
+  sharing between objects, lower depth complexity (~2).
+* **Future** — the §6 "workloads of the future" stressor: more, larger,
+  less-shared textures.
+
+All scenes are deterministic (seeded) and parameterized by a size knob so
+tests run tiny scenes while experiments run representative ones.
+"""
+
+import functools
+
+from repro.scenes.scene import Scene, Workload
+from repro.scenes.village import build_village
+from repro.scenes.city import build_city
+from repro.scenes.future import build_future
+
+WORKLOAD_BUILDERS = {
+    "village": build_village,
+    "village-mt": functools.partial(build_village, multitexture=True),
+    "city": build_city,
+    "future": build_future,
+}
+
+__all__ = [
+    "Scene",
+    "Workload",
+    "build_village",
+    "build_city",
+    "build_future",
+    "WORKLOAD_BUILDERS",
+]

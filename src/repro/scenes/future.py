@@ -1,0 +1,130 @@
+"""The §6 "workloads of the future" stressor.
+
+The paper's conclusion calls for investigation with future workloads:
+more textures, higher resolution, less sharing. This scene is a dense
+city-scale grid where every building carries a *large* unique facade
+texture and the ground uses a high-resolution map, pushing both texture
+capacity and bandwidth well past the Village/City levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.mesh import MeshInstance
+from repro.geometry.paths import CameraPath, Keyframe
+from repro.geometry.primitives import make_box, make_cylinder, make_ground_grid
+from repro.geometry.transforms import translation
+from repro.scenes.scene import Scene, Workload
+from repro.texture import procedural
+from repro.texture.texture import Texture
+from repro.scenes.village import _texture_size
+
+__all__ = ["build_future"]
+
+
+def build_future(
+    detail: float = 1.0,
+    with_images: bool = False,
+    seed: int = 23,
+) -> Workload:
+    """Build the future-workload stressor.
+
+    At ``detail=1.0``: a 10x10 grid of buildings with unique 256^2 32-bit
+    facades plus unique 128^2 rooftop props — several times the City's
+    texture footprint, with near-zero inter-object sharing.
+    """
+    rng = np.random.default_rng(seed)
+    scene = Scene()
+    mgr = scene.manager
+
+    facade_size = _texture_size(detail, 256)
+    prop_size = _texture_size(detail, 128)
+    ground_size = _texture_size(detail, 512)
+
+    tid_ground = mgr.load(
+        Texture(
+            "future/ground",
+            ground_size,
+            ground_size,
+            original_depth_bits=32,
+            image=procedural.noise_texture(ground_size, 90, (70, 80, 90))
+            if with_images
+            else None,
+        )
+    )
+
+    grid = max(3, int(round(10 * detail)))
+    block = 20.0
+    extent = grid * block
+    half = extent / 2.0
+    scene.add(
+        MeshInstance(
+            make_ground_grid(extent * 1.3, cells=max(grid, 4), uv_repeat_per_cell=4.0),
+            translation(0, 0, 0),
+            tid_ground,
+            name="ground",
+        )
+    )
+
+    for gy in range(grid):
+        for gx in range(grid):
+            bx = -half + block * (gx + 0.5)
+            bz = -half + block * (gy + 0.5)
+            height = float(rng.uniform(15.0, 60.0))
+            footprint = float(rng.uniform(9.0, 14.0))
+            i = gy * grid + gx
+            tid = mgr.load(
+                Texture(
+                    f"future/facade_{i}",
+                    facade_size,
+                    facade_size,
+                    original_depth_bits=32,
+                    image=procedural.facade_texture(facade_size, seed * 100 + i)
+                    if with_images
+                    else None,
+                )
+            )
+            scene.add(
+                MeshInstance(
+                    make_box(footprint, height, footprint, uv_scale=0.1),
+                    translation(bx, 0, bz),
+                    tid,
+                    name=f"tower_{i}",
+                )
+            )
+            if i % 3 == 0:
+                # Rooftop prop with its own texture: more texture churn.
+                ptid = mgr.load(
+                    Texture(
+                        f"future/prop_{i}",
+                        prop_size,
+                        prop_size,
+                        original_depth_bits=16,
+                        image=procedural.noise_texture(prop_size, seed * 200 + i)
+                        if with_images
+                        else None,
+                    )
+                )
+                scene.add(
+                    MeshInstance(
+                        make_cylinder(2.0, 6.0, slices=6, uv_scale=0.2),
+                        translation(bx, height, bz),
+                        ptid,
+                        name=f"prop_{i}",
+                    )
+                )
+
+    e = half
+    path = CameraPath(
+        [
+            Keyframe(0.00, (-1.5 * e, 100.0, -1.5 * e), (0.0, 20.0, 0.0)),
+            Keyframe(0.35, (-0.4 * e, 40.0, -0.2 * e), (0.5 * e, 15.0, 0.4 * e)),
+            Keyframe(0.70, (0.5 * e, 25.0, 0.5 * e), (e, 30.0, -0.5 * e)),
+            Keyframe(1.00, (1.3 * e, 70.0, -0.8 * e), (2.2 * e, 0.0, -1.8 * e)),
+        ],
+        fov_y_deg=60.0,
+        near=0.5,
+        far=2500.0,
+    )
+    return Workload(name="future", scene=scene, path=path)

@@ -1,0 +1,49 @@
+"""Scene and workload containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.mesh import MeshInstance
+from repro.geometry.paths import CameraPath
+from repro.texture.manager import TextureManager
+
+__all__ = ["Scene", "Workload"]
+
+
+@dataclass
+class Scene:
+    """A set of positioned meshes plus the textures they bind.
+
+    Instance order is submission order: it defines rasterization order and
+    therefore the texture-access stream. Scene builders group instances by
+    texture where a real scene manager would (state sorting), which is also
+    what gives intra-frame texture locality.
+    """
+
+    instances: list[MeshInstance] = field(default_factory=list)
+    manager: TextureManager = field(default_factory=TextureManager)
+
+    def add(self, instance: MeshInstance) -> None:
+        """Append an instance (validating its texture binding)."""
+        # Validate the binding eagerly so builders fail fast.
+        self.manager.texture(instance.texture_id)
+        self.instances.append(instance)
+
+    @property
+    def triangle_count(self) -> int:
+        """Total triangles over all instances."""
+        return sum(i.mesh.triangle_count for i in self.instances)
+
+
+@dataclass
+class Workload:
+    """A scene plus its scripted animation: one of the paper's workloads."""
+
+    name: str
+    scene: Scene
+    path: CameraPath
+
+    def cameras(self, n_frames: int):
+        """The animation's camera poses."""
+        return self.path.frames(n_frames)

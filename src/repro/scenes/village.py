@@ -1,0 +1,282 @@
+"""The procedural Village and its scripted walk-through.
+
+Reproduces the texture-locality signature of the paper's Village workload
+(Evans & Sutherland database): many houses share a small pool of wall/roof
+textures (inter-object reuse), ground and sky tile heavily (repeated
+textures), and a ground-level walk-through gives high depth complexity and
+strong inter-frame locality.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.mesh import MeshInstance
+from repro.geometry.paths import CameraPath, Keyframe
+from repro.geometry.primitives import (
+    make_box,
+    make_ground_grid,
+    make_prism_roof,
+    make_quad,
+    make_sky_dome,
+)
+from repro.geometry.transforms import compose, rotation_y, translation
+from repro.scenes.scene import Scene, Workload
+from repro.texture import procedural
+from repro.texture.texture import Texture
+
+__all__ = ["build_village"]
+
+
+def _texture_size(detail: float, base: int) -> int:
+    """Power-of-two texture edge scaled by the detail knob, in [32, 512]."""
+    target = max(base * math.sqrt(max(detail, 1e-3)), 32)
+    return int(2 ** round(math.log2(min(target, 512))))
+
+
+def build_village(
+    detail: float = 1.0,
+    with_images: bool = False,
+    seed: int = 7,
+    multitexture: bool = False,
+) -> Workload:
+    """Build the Village workload.
+
+    Args:
+        detail: size knob; 1.0 is the standard experiment scene (~45 houses,
+            256^2 shared textures), smaller values shrink both house count
+            and texture resolution for fast tests.
+        with_images: generate procedural texel content (needed only for
+            shaded rendering; traces don't read texels).
+        seed: RNG seed for house placement and texture assignment.
+        multitexture: additionally bind shared lightmap textures to the
+            large surfaces (ground, walls, roofs), sampled per fragment —
+            the multi-texturing trend §4 cites as a growing working-set
+            source. Registered as the ``village-mt`` workload.
+    """
+    rng = np.random.default_rng(seed)
+    scene = Scene()
+    mgr = scene.manager
+
+    big = _texture_size(detail, 256)
+    mid = _texture_size(detail, 128)
+    small = _texture_size(detail, 64)
+
+    def load(name: str, size: int, gen, depth: int = 16) -> int:
+        """Register a texture, generating content only when shading."""
+        image = gen(size) if with_images else None
+        return mgr.load(
+            Texture(name, size, size, original_depth_bits=depth, image=image)
+        )
+
+    # Shared texture pool: this sharing *between* houses is what gives the
+    # Village its intra-frame reuse (paper Table 1 discussion).
+    tid_ground = load("village/ground", big, lambda s: procedural.ground_texture(s, 1))
+    tid_street = load(
+        "village/street", mid, lambda s: procedural.noise_texture(s, 2, (120, 116, 110))
+    )
+    tid_sky = load("village/sky", big, lambda s: procedural.sky_texture(s, 3), depth=32)
+    wall_tids = [
+        load(f"village/wall{i}", big, lambda s, i=i: procedural.brick_texture(s, 10 + i))
+        for i in range(4)
+    ]
+    roof_tids = [
+        load(f"village/roof{i}", mid, lambda s, i=i: procedural.roof_texture(s, 20 + i))
+        for i in range(2)
+    ]
+    tid_door = load(
+        "village/door", small, lambda s: procedural.noise_texture(s, 30, (96, 64, 30))
+    )
+    tid_fence = load(
+        "village/fence", small, lambda s: procedural.noise_texture(s, 31, (130, 104, 70))
+    )
+    tid_foliage = load(
+        "village/foliage", mid, lambda s: procedural.noise_texture(s, 32, (52, 92, 40))
+    )
+    tid_trunk = load(
+        "village/trunk", small, lambda s: procedural.noise_texture(s, 33, (82, 60, 40))
+    )
+    lightmap_tids: list[int] = []
+    if multitexture:
+        # Shared lightmaps: low-frequency luminance maps reused across
+        # surfaces, like baked outdoor shadowing.
+        lightmap_tids = [
+            load(
+                f"village/lightmap{i}",
+                mid,
+                lambda s, i=i: procedural.noise_texture(s, 50 + i, (200, 200, 190)),
+            )
+            for i in range(2)
+        ]
+
+    def lightmap_for(index: int) -> int | None:
+        """Round-robin a shared lightmap, or None without multitexture."""
+        if not lightmap_tids:
+            return None
+        return lightmap_tids[index % len(lightmap_tids)]
+
+    # Sky first (it is behind everything), then ground, then houses.
+    scene.add(
+        MeshInstance(
+            make_sky_dome(420.0, slices=16, stacks=5),
+            translation(0, -2.0, 0),
+            tid_sky,
+            name="sky",
+        )
+    )
+    extent = 220.0
+    scene.add(
+        MeshInstance(
+            make_ground_grid(extent, cells=12, uv_repeat_per_cell=6.0),
+            translation(0, 0, 0),
+            tid_ground,
+            name="ground",
+            secondary_texture_id=lightmap_for(0),
+        )
+    )
+    # The main street: a long textured strip along z through the village.
+    street = make_quad(8.0, extent, uv_repeat=(2.0, 50.0))
+    scene.add(
+        MeshInstance(
+            street,
+            compose(translation(0, 0.02, 0), rotation_y(0.0), _lay_flat()),
+            tid_street,
+            name="street",
+        )
+    )
+
+    # Houses line both sides of the street in two staggered rows, plus a
+    # scattered outer ring: rows of houses occlude each other down the view
+    # direction, which is where the Village's depth complexity comes from.
+    n_houses = max(4, int(round(44 * detail)))
+    house_positions = _house_positions(n_houses, rng)
+    for idx, (hx, hz, rot) in enumerate(house_positions):
+        sx = float(rng.uniform(7.0, 11.0))
+        sz = float(rng.uniform(7.0, 11.0))
+        sy = float(rng.uniform(5.0, 8.0))
+        wall = wall_tids[int(rng.integers(len(wall_tids)))]
+        roof = roof_tids[int(rng.integers(len(roof_tids)))]
+        place = compose(translation(hx, 0, hz), rotation_y(rot))
+        scene.add(
+            MeshInstance(
+                make_box(sx, sy, sz, uv_scale=0.5),
+                place,
+                wall,
+                name=f"house{idx}/walls",
+                secondary_texture_id=lightmap_for(idx),
+            )
+        )
+        scene.add(
+            MeshInstance(
+                make_prism_roof(sx * 1.1, sz * 1.1, sy * 0.5, uv_scale=0.4),
+                compose(place, translation(0, sy, 0)),
+                roof,
+                name=f"house{idx}/roof",
+                secondary_texture_id=lightmap_for(idx + 1),
+            )
+        )
+        # A door quad on the street-facing wall.
+        door = make_quad(1.2, 2.4, uv_repeat=(1.0, 1.0))
+        scene.add(
+            MeshInstance(
+                door,
+                compose(place, translation(0, 1.2, sz / 2 + 0.02)),
+                tid_door,
+                name=f"house{idx}/door",
+            )
+        )
+
+    # Fences along both street edges: long, low, close to the camera path —
+    # they overlap the houses behind them in nearly every frame.
+    fence_len = 150.0
+    for side in (-5.5, 5.5):
+        scene.add(
+            MeshInstance(
+                make_box(0.25, 1.1, fence_len, uv_scale=1.0),
+                translation(side, 0, 0),
+                tid_fence,
+                name=f"fence{side:+.0f}",
+            )
+        )
+
+    # Trees between the fences and the houses.
+    n_trees = max(4, int(round(26 * detail)))
+    from repro.geometry.primitives import make_cylinder
+
+    for i in range(n_trees):
+        tz = -80.0 + i * (160.0 / max(n_trees - 1, 1)) + float(rng.uniform(-2, 2))
+        tx = float(rng.choice([-7.5, 7.5]) + rng.uniform(-0.5, 0.5))
+        trunk_h = float(rng.uniform(2.5, 4.0))
+        scene.add(
+            MeshInstance(
+                make_cylinder(0.3, trunk_h, slices=5, uv_scale=0.8),
+                translation(tx, 0, tz),
+                tid_trunk,
+                name=f"tree{i}/trunk",
+            )
+        )
+        canopy = float(rng.uniform(4.0, 6.5))
+        scene.add(
+            MeshInstance(
+                make_box(canopy, canopy, canopy, uv_scale=0.4),
+                translation(tx, trunk_h, tz),
+                tid_foliage,
+                name=f"tree{i}/canopy",
+            )
+        )
+
+    path = _walkthrough_path()
+    name = "village-mt" if multitexture else "village"
+    return Workload(name=name, scene=scene, path=path)
+
+
+def _lay_flat():
+    """Rotate an XY quad to lie on the XZ plane facing +Y."""
+    from repro.geometry.transforms import rotation_x
+
+    return rotation_x(-math.pi / 2)
+
+
+def _house_positions(n: int, rng: np.random.Generator):
+    """Two staggered rows flanking the street, then an outer scattered ring."""
+    positions = []
+    inner = max(int(n * 0.45), 1)
+    outer_row = max(int(n * 0.3), 1)
+    spacing = 9.0
+    for i in range(inner):
+        z = -85.0 + i * spacing
+        side = -1.0 if i % 2 == 0 else 1.0
+        positions.append((side * 9.0, z, rng.uniform(-0.15, 0.15)))
+        if len(positions) < n:
+            positions.append((-side * 9.5, z + spacing / 2.0, rng.uniform(-0.15, 0.15)))
+    for i in range(outer_row):
+        # Second row behind the first, offset so it shows between gaps.
+        z = -82.0 + i * spacing * 1.3
+        side = 1.0 if i % 2 == 0 else -1.0
+        positions.append((side * 19.0, z, rng.uniform(-0.3, 0.3)))
+    while len(positions) < n:
+        theta = rng.uniform(0, 2 * math.pi)
+        r = rng.uniform(35.0, 90.0)
+        positions.append((r * math.cos(theta), r * math.sin(theta), theta))
+    return positions[:n]
+
+
+def _walkthrough_path() -> CameraPath:
+    """Ground-level walk down the street, a turn through the square, back.
+
+    Eye height 1.7 m; incremental motion between frames gives the
+    inter-frame working-set behaviour of Figs 4-6.
+    """
+    eye_h = 1.7
+    keys = [
+        Keyframe(0.00, (0.0, eye_h, -78.0), (0.5, eye_h, -40.0)),
+        Keyframe(0.18, (0.5, eye_h, -48.0), (-1.0, eye_h, -10.0)),
+        Keyframe(0.36, (-0.5, eye_h, -14.0), (4.0, eye_h, 20.0)),
+        Keyframe(0.52, (2.0, eye_h, 16.0), (-14.0, eye_h, 36.0)),
+        Keyframe(0.68, (-12.0, eye_h, 38.0), (-2.0, eye_h, 62.0)),
+        Keyframe(0.84, (-2.0, eye_h, 60.0), (4.0, eye_h, 85.0)),
+        Keyframe(1.00, (3.0, eye_h, 84.0), (0.0, eye_h, 40.0)),
+    ]
+    return CameraPath(keys, fov_y_deg=60.0, near=0.3, far=1200.0)

@@ -1,0 +1,72 @@
+"""Texture substrate: textures, MIP pyramids, tiled hierarchical addressing.
+
+This package implements everything the paper's Section 2 describes:
+
+* :mod:`repro.texture.texture` — the :class:`Texture` object (dimensions,
+  original texel depth, MIP pyramid).
+* :mod:`repro.texture.mipmap` — MIP pyramid construction (box filter) and
+  level geometry.
+* :mod:`repro.texture.tiling` — hierarchical texture tiling: packing of a
+  4x4-texel tile reference into a 64-bit integer, and the
+  :class:`AddressSpace` that translates packed references into the paper's
+  virtual texture addresses ``<tid, L2, L1>`` for any L2 tile size.
+* :mod:`repro.texture.procedural` — procedural texel content (checker,
+  brick, facade, noise) for image output and texture-set construction.
+* :mod:`repro.texture.manager` — the :class:`TextureManager` that assigns
+  texture ids, tracks load/delete, and models the host driver's page-table
+  extent allocation (``tstart``/``tlen``).
+* :mod:`repro.texture.sampler` — filtering footprints (point / bilinear /
+  trilinear) and color sampling for image rendering.
+"""
+
+from repro.texture.texture import Texture
+from repro.texture.mipmap import mip_level_dims, mip_level_count, build_mip_pyramid
+from repro.texture.tiling import (
+    AddressSpace,
+    TextureLayout,
+    pack_tile_refs,
+    unpack_tile_refs,
+    PackedRefFields,
+    MAX_MIP_LEVELS,
+    L1_TILE_TEXELS,
+    CACHE_TEXEL_BYTES,
+    L1_BLOCK_BYTES,
+)
+from repro.texture.manager import TextureManager
+from repro.texture.procedural import (
+    checker_texture,
+    brick_texture,
+    facade_texture,
+    noise_texture,
+    ground_texture,
+    sky_texture,
+    roof_texture,
+)
+from repro.texture.sampler import FilterMode, footprint_tiles, sample_color
+
+__all__ = [
+    "Texture",
+    "mip_level_dims",
+    "mip_level_count",
+    "build_mip_pyramid",
+    "AddressSpace",
+    "TextureLayout",
+    "pack_tile_refs",
+    "unpack_tile_refs",
+    "PackedRefFields",
+    "MAX_MIP_LEVELS",
+    "L1_TILE_TEXELS",
+    "CACHE_TEXEL_BYTES",
+    "L1_BLOCK_BYTES",
+    "TextureManager",
+    "checker_texture",
+    "brick_texture",
+    "facade_texture",
+    "noise_texture",
+    "ground_texture",
+    "sky_texture",
+    "roof_texture",
+    "FilterMode",
+    "footprint_tiles",
+    "sample_color",
+]

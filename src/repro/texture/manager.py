@@ -1,0 +1,116 @@
+"""Texture lifetime management: the host driver's side of §5.2.
+
+"Even today the host software driver keeps track of textures as the
+application loads and deletes them, and informs the accelerator whenever the
+application changes the current texture." The :class:`TextureManager` plays
+that role: it assigns texture ids, tracks load/delete, reports aggregate host
+memory in use (the "texture loaded into main memory" curve of Fig 4), and
+exposes the current-texture register the L2 page-table indexing relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.texture.texture import Texture
+from repro.texture.tiling import AddressSpace
+
+__all__ = ["TextureManager"]
+
+
+class TextureManager:
+    """Assigns texture ids and tracks texture lifetime.
+
+    Texture ids are never reused after deletion (a deleted tid keeps its
+    slot), so packed references remain unambiguous across a whole animation
+    and the :class:`~repro.texture.tiling.AddressSpace` stays valid.
+    """
+
+    def __init__(self) -> None:
+        self._textures: list[Texture] = []
+        self._loaded: list[bool] = []
+        self._current: int | None = None
+        self._address_space: AddressSpace | None = None
+
+    # ------------------------------------------------------------------
+    # Lifetime
+    # ------------------------------------------------------------------
+    def load(self, texture: Texture) -> int:
+        """Register a texture; returns its assigned ``tid``."""
+        tid = len(self._textures)
+        self._textures.append(texture)
+        self._loaded.append(True)
+        self._address_space = None  # invalidated by the new texture
+        return tid
+
+    def delete(self, tid: int) -> None:
+        """Mark a texture deleted (its tid is retired, never reused)."""
+        self._check_tid(tid)
+        if not self._loaded[tid]:
+            raise ValueError(f"texture {tid} is already deleted")
+        self._loaded[tid] = False
+        if self._current == tid:
+            self._current = None
+
+    def is_loaded(self, tid: int) -> bool:
+        """Whether ``tid`` is currently loaded (not deleted)."""
+        self._check_tid(tid)
+        return self._loaded[tid]
+
+    def _check_tid(self, tid: int) -> None:
+        if not 0 <= tid < len(self._textures):
+            raise IndexError(f"unknown texture id {tid}")
+
+    # ------------------------------------------------------------------
+    # Current texture (the accelerator register of §5.2)
+    # ------------------------------------------------------------------
+    @property
+    def current_texture(self) -> int | None:
+        """tid of the texture bound for rasterization, or None."""
+        return self._current
+
+    def bind(self, tid: int) -> None:
+        """Make ``tid`` the current texture."""
+        self._check_tid(tid)
+        if not self._loaded[tid]:
+            raise ValueError(f"cannot bind deleted texture {tid}")
+        self._current = tid
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def texture(self, tid: int) -> Texture:
+        """Look up a texture by id (loaded or deleted)."""
+        self._check_tid(tid)
+        return self._textures[tid]
+
+    def __len__(self) -> int:
+        return len(self._textures)
+
+    def __iter__(self) -> Iterator[Texture]:
+        return iter(self._textures)
+
+    @property
+    def textures(self) -> list[Texture]:
+        """All textures ever loaded, indexed by tid (including deleted)."""
+        return list(self._textures)
+
+    @property
+    def loaded_host_bytes(self) -> int:
+        """Host memory in use by loaded textures at their original depth."""
+        return sum(
+            t.host_bytes for t, live in zip(self._textures, self._loaded) if live
+        )
+
+    @property
+    def loaded_expanded_bytes(self) -> int:
+        """Memory all loaded textures would need at 32-bit cache depth."""
+        return sum(
+            t.expanded_bytes for t, live in zip(self._textures, self._loaded) if live
+        )
+
+    def address_space(self) -> AddressSpace:
+        """The :class:`AddressSpace` over every texture ever loaded (cached)."""
+        if self._address_space is None:
+            self._address_space = AddressSpace(self._textures)
+        return self._address_space

@@ -1,0 +1,76 @@
+"""MIP pyramid geometry and construction.
+
+"With mip mapping, the texture is stored at many resolutions called MIP
+levels. Each level is a one-quarter filtered image of the lower MIP level."
+(paper §2.1). Level 0 is the full-resolution image; each successive level
+halves each dimension (rounding down, clamped to 1) until the 1x1 level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mip_level_count", "mip_level_dims", "build_mip_pyramid"]
+
+
+def mip_level_count(width: int, height: int) -> int:
+    """Number of MIP levels for a ``width`` x ``height`` base image.
+
+    A full pyramid down to (and including) 1x1.
+    """
+    if width < 1 or height < 1:
+        raise ValueError(f"texture dimensions must be >= 1, got {width}x{height}")
+    n = 1
+    w, h = width, height
+    while w > 1 or h > 1:
+        w = max(w // 2, 1)
+        h = max(h // 2, 1)
+        n += 1
+    return n
+
+
+def mip_level_dims(width: int, height: int, level: int) -> tuple[int, int]:
+    """Dimensions ``(w, h)`` of MIP ``level`` for a given base size."""
+    if level < 0:
+        raise ValueError(f"MIP level must be >= 0, got {level}")
+    return max(width >> level, 1), max(height >> level, 1)
+
+
+def build_mip_pyramid(image: np.ndarray) -> list[np.ndarray]:
+    """Build a full box-filtered MIP pyramid from a base image.
+
+    Args:
+        image: ``(H, W, C)`` array (any float or integer dtype). Power-of-two
+            dimensions filter exactly; non-power-of-two levels are produced by
+            truncating the odd row/column before averaging (the standard
+            simple scheme).
+
+    Returns:
+        List of arrays, ``[level0, level1, ...]`` down to 1x1, same dtype as
+        the input (averaged in float64 and cast back).
+    """
+    img = np.asarray(image)
+    if img.ndim != 3:
+        raise ValueError(f"expected (H, W, C) image, got shape {img.shape}")
+    levels = [img]
+    current = img.astype(np.float64)
+    h, w = img.shape[:2]
+    while h > 1 or w > 1:
+        # Drop a trailing odd row/column so 2x2 box filtering is well-defined.
+        eh, ew = h - (h % 2 if h > 1 else 0), w - (w % 2 if w > 1 else 0)
+        trimmed = current[:eh, :ew]
+        if h > 1 and w > 1:
+            filtered = (
+                trimmed[0::2, 0::2]
+                + trimmed[1::2, 0::2]
+                + trimmed[0::2, 1::2]
+                + trimmed[1::2, 1::2]
+            ) / 4.0
+        elif h > 1:  # w == 1: filter vertically only
+            filtered = (trimmed[0::2] + trimmed[1::2]) / 2.0
+        else:  # h == 1: filter horizontally only
+            filtered = (trimmed[:, 0::2] + trimmed[:, 1::2]) / 2.0
+        current = filtered
+        h, w = current.shape[:2]
+        levels.append(current.astype(img.dtype))
+    return levels

@@ -1,0 +1,135 @@
+"""Procedural texel content for the synthetic workloads.
+
+The paper's Village and City databases ship with photographic/painted
+textures we do not have; these generators produce deterministic stand-ins
+(seeded numpy RNG) with comparable structure: repeating masonry, facade
+window grids, organic ground noise, and a sky gradient. Texture *content*
+only affects rendered images (Fig 12 snapshots); the cache studies depend
+only on texture *dimensions* and UV mappings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "checker_texture",
+    "brick_texture",
+    "facade_texture",
+    "noise_texture",
+    "ground_texture",
+    "sky_texture",
+    "roof_texture",
+]
+
+
+def _as_u8(img: np.ndarray) -> np.ndarray:
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+def checker_texture(
+    size: int,
+    cells: int = 8,
+    color_a: tuple[int, int, int] = (220, 220, 220),
+    color_b: tuple[int, int, int] = (40, 40, 40),
+) -> np.ndarray:
+    """Classic checkerboard, ``cells`` squares per side."""
+    y, x = np.mgrid[0:size, 0:size]
+    cell = size // max(cells, 1) or 1
+    mask = ((x // cell) + (y // cell)) % 2 == 0
+    img = np.empty((size, size, 3), dtype=np.float64)
+    img[mask] = color_a
+    img[~mask] = color_b
+    return _as_u8(img)
+
+
+def brick_texture(size: int, seed: int = 0) -> np.ndarray:
+    """Running-bond brick pattern with per-brick tint variation."""
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:size, 0:size]
+    brick_h = max(size // 8, 2)
+    brick_w = max(size // 4, 4)
+    row = y // brick_h
+    # Offset every other course by half a brick (running bond).
+    xs = x + (row % 2) * (brick_w // 2)
+    col = xs // brick_w
+    mortar = ((y % brick_h) < max(brick_h // 8, 1)) | ((xs % brick_w) < max(brick_w // 8, 1))
+    base = np.array([165.0, 72.0, 52.0])
+    tint = rng.uniform(0.82, 1.12, size=(int(row.max()) + 1, int(col.max()) + 1))
+    img = base[None, None, :] * tint[row, col][..., None]
+    img[mortar] = (190.0, 184.0, 176.0)
+    return _as_u8(img)
+
+
+def facade_texture(size: int, seed: int = 0) -> np.ndarray:
+    """Office-building facade: a window grid over a tinted wall.
+
+    Each City building gets one of these with a distinct seed, giving the
+    City its "repeated but not shared" texture profile.
+    """
+    rng = np.random.default_rng(seed)
+    wall = np.array(rng.uniform(90, 200, size=3))
+    y, x = np.mgrid[0:size, 0:size]
+    win = max(size // 8, 2)
+    frame = max(win // 4, 1)
+    in_win = ((x % win) >= frame) & ((y % win) >= frame)
+    # Some windows are lit.
+    wy = y // win
+    wx = x // win
+    lit = rng.random((int(wy.max()) + 1, int(wx.max()) + 1)) < 0.3
+    img = np.empty((size, size, 3), dtype=np.float64)
+    img[:] = wall
+    glass = np.where(lit[wy, wx][..., None], (255.0, 230.0, 140.0), (40.0, 60.0, 90.0))
+    img[in_win] = glass[in_win]
+    return _as_u8(img)
+
+
+def noise_texture(size: int, seed: int = 0, base: tuple[int, int, int] = (128, 128, 128)) -> np.ndarray:
+    """Value-noise texture: low-frequency octaves of seeded random values."""
+    rng = np.random.default_rng(seed)
+    img = np.zeros((size, size), dtype=np.float64)
+    amp = 1.0
+    freq = 4
+    total = 0.0
+    while freq <= size:
+        grid = rng.standard_normal((freq, freq))
+        up = np.kron(grid, np.ones((size // freq, size // freq)))
+        img += amp * up
+        total += amp
+        amp *= 0.55
+        freq *= 2
+    img = (img / max(total, 1e-9)) * 40.0
+    out = np.array(base, dtype=np.float64)[None, None, :] + img[..., None]
+    return _as_u8(out)
+
+
+def ground_texture(size: int, seed: int = 0) -> np.ndarray:
+    """Grass/dirt ground cover (greenish value noise)."""
+    return noise_texture(size, seed=seed, base=(78, 110, 52))
+
+
+def roof_texture(size: int, seed: int = 0) -> np.ndarray:
+    """Shingled roof: horizontal courses with per-course tint."""
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:size, 0:size]
+    course_h = max(size // 12, 2)
+    row = y // course_h
+    base = np.array([96.0, 56.0, 44.0])
+    tint = rng.uniform(0.8, 1.15, size=int(row.max()) + 1)
+    img = base[None, None, :] * tint[row][..., None]
+    gap = (y % course_h) < max(course_h // 6, 1)
+    img[gap] *= 0.55
+    return _as_u8(img)
+
+
+def sky_texture(size: int, seed: int = 0) -> np.ndarray:
+    """Sky: vertical blue gradient with soft cloud noise."""
+    rng = np.random.default_rng(seed)
+    v = np.linspace(0.0, 1.0, size)[:, None]
+    top = np.array([86.0, 130.0, 215.0])
+    horizon = np.array([196.0, 220.0, 245.0])
+    img = horizon[None, None, :] * (1 - v)[..., None] + top[None, None, :] * v[..., None]
+    clouds = noise_texture(size, seed=seed, base=(0, 0, 0)).astype(np.float64)[..., 0]
+    cloud_mask = np.clip((clouds - 10.0) / 30.0, 0.0, 1.0)[..., None]
+    img = img * (1 - 0.5 * cloud_mask) + 255.0 * 0.5 * cloud_mask
+    return _as_u8(img)

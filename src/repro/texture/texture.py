@@ -1,0 +1,114 @@
+"""The :class:`Texture` object: dimensions, texel depth, MIP pyramid.
+
+The paper distinguishes the texel depth textures have in host memory (their
+*original depth*, e.g. 16-bit) from the 32-bit depth the accelerator expands
+them to for cache storage (§3.2). :class:`Texture` records both: the original
+depth drives push-architecture memory accounting, while all cache structures
+use 32-bit texels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.texture.mipmap import build_mip_pyramid, mip_level_count, mip_level_dims
+
+__all__ = ["Texture"]
+
+
+@dataclass
+class Texture:
+    """A MIP-mapped 2D texture.
+
+    Attributes:
+        name: human-readable label for reports.
+        width / height: base (level 0) dimensions in texels. Power-of-two
+            sizes are typical for this era of hardware and are what the
+            procedural workloads generate, but any size >= 1 is accepted.
+        original_depth_bits: texel depth as stored in host memory (16, 24, or
+            32). The push architecture downloads and stores textures at this
+            depth (§3.2); caches always expand to 32 bits.
+        image: optional ``(H, W, 3)`` uint8 base image. When present, a MIP
+            pyramid is built lazily for color sampling; traces never need it.
+    """
+
+    name: str
+    width: int
+    height: int
+    original_depth_bits: int = 16
+    image: np.ndarray | None = None
+    _pyramid: list[np.ndarray] | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError(
+                f"texture {self.name!r}: dimensions must be >= 1, "
+                f"got {self.width}x{self.height}"
+            )
+        if self.original_depth_bits not in (8, 16, 24, 32):
+            raise ValueError(
+                f"texture {self.name!r}: unsupported original depth "
+                f"{self.original_depth_bits} bits"
+            )
+        if self.image is not None:
+            img = np.asarray(self.image)
+            if img.shape[:2] != (self.height, self.width):
+                raise ValueError(
+                    f"texture {self.name!r}: image shape {img.shape[:2]} does not "
+                    f"match declared size {(self.height, self.width)}"
+                )
+            self.image = img
+
+    @property
+    def level_count(self) -> int:
+        """Number of MIP levels in the full pyramid (down to 1x1)."""
+        return mip_level_count(self.width, self.height)
+
+    def level_dims(self, level: int) -> tuple[int, int]:
+        """``(w, h)`` of a MIP level; raises if the level does not exist."""
+        if level >= self.level_count:
+            raise ValueError(
+                f"texture {self.name!r} has {self.level_count} levels, "
+                f"requested level {level}"
+            )
+        return mip_level_dims(self.width, self.height, level)
+
+    @property
+    def texel_count(self) -> int:
+        """Total texels over all MIP levels."""
+        total = 0
+        for m in range(self.level_count):
+            w, h = self.level_dims(m)
+            total += w * h
+        return total
+
+    @property
+    def host_bytes(self) -> int:
+        """Bytes this texture occupies in host memory at its original depth.
+
+        Rounds the per-texel depth up to whole bytes, matching how host
+        drivers store 24-bit texels.
+        """
+        return self.texel_count * ((self.original_depth_bits + 7) // 8)
+
+    @property
+    def expanded_bytes(self) -> int:
+        """Bytes at the 32-bit cache-expanded depth (all MIP levels)."""
+        return self.texel_count * 4
+
+    def pyramid(self) -> list[np.ndarray]:
+        """MIP pyramid of the texture image (built lazily, cached).
+
+        Raises:
+            ValueError: if the texture has no image data (trace-only texture).
+        """
+        if self.image is None:
+            raise ValueError(
+                f"texture {self.name!r} has no image data; it can be traced "
+                "but not sampled for color"
+            )
+        if self._pyramid is None:
+            self._pyramid = build_mip_pyramid(self.image)
+        return self._pyramid

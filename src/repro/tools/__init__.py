@@ -1,0 +1,12 @@
+"""Command-line tools for working with traces outside the experiment harness.
+
+* ``python -m repro.tools.render`` — render a workload animation to a trace
+  file (npz).
+* ``python -m repro.tools.trace_info`` — summarize a trace file (frames,
+  reads, working sets, locality).
+* ``python -m repro.tools.simulate`` — replay a trace file through a chosen
+  cache configuration and print the transaction/bandwidth report.
+
+Together they support the workflow the paper's authors used: trace once
+with the instrumented renderer, then sweep cache designs over the trace.
+"""

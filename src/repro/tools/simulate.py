@@ -1,0 +1,92 @@
+"""CLI: replay a trace through a cache configuration.
+
+Usage::
+
+    python -m repro.tools.simulate trace.npz --l1-kb 2            # pull
+    python -m repro.tools.simulate trace.npz --l1-kb 2 --l2-kb 2048 \\
+        --l2-tile 16 --tlb 8 --policy clock                        # L2 arch
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.hierarchy import HierarchyConfig, MultiLevelTextureCache
+from repro.core.l1_cache import L1CacheConfig
+from repro.core.l2_cache import L2CacheConfig
+from repro.core.timing import TimingModel, bus_bound_fraction, estimate_frame_timings, mean_fps
+from repro.experiments.reporting import format_table
+from repro.trace.tracefile import load_trace
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.simulate",
+        description="Replay a trace through an L1(/L2/TLB) configuration.",
+    )
+    parser.add_argument("trace", help="trace file (.npz)")
+    parser.add_argument("--l1-kb", type=float, default=2.0,
+                        help="L1 cache size in KB (default 2)")
+    parser.add_argument("--ways", type=int, default=2,
+                        help="L1 associativity (default 2)")
+    parser.add_argument("--l2-kb", type=float, default=None,
+                        help="L2 cache size in KB (omit for pull architecture)")
+    parser.add_argument("--l2-tile", type=int, default=16,
+                        help="L2 block edge in texels (default 16)")
+    parser.add_argument("--policy", default="clock",
+                        choices=["clock", "lru", "fifo", "random"])
+    parser.add_argument("--tlb", type=int, default=None,
+                        help="TLB entries (requires --l2-kb)")
+    parser.add_argument("--fps", type=float, default=None,
+                        help="also report MB/s at this frame rate")
+    args = parser.parse_args(argv)
+
+    trace = load_trace(args.trace)
+    l2 = (
+        L2CacheConfig(
+            size_bytes=int(args.l2_kb * 1024),
+            l2_tile_texels=args.l2_tile,
+            policy=args.policy,
+        )
+        if args.l2_kb is not None
+        else None
+    )
+    config = HierarchyConfig(
+        l1=L1CacheConfig(size_bytes=int(args.l1_kb * 1024), ways=args.ways),
+        l2=l2,
+        tlb_entries=args.tlb,
+    )
+    start = time.time()
+    result = MultiLevelTextureCache(config, trace.address_space).run_trace(trace)
+    elapsed = time.time() - start
+
+    rows = [
+        ["texel reads", f"{result.total_texel_reads:,}"],
+        ["L1 misses", f"{result.total_l1_misses:,}"],
+        ["L1 hit rate", f"{result.l1_hit_rate:.4f}"],
+        ["mean AGP MB/frame", f"{result.mean_agp_bytes_per_frame / (1 << 20):.3f}"],
+    ]
+    if l2 is not None:
+        rows.append(["L2 full-hit rate", f"{result.l2_full_hit_rate:.3f}"])
+        rows.append(["L2 partial-hit rate", f"{result.l2_partial_hit_rate:.3f}"])
+    if args.tlb is not None:
+        rows.append(["TLB hit rate", f"{result.tlb_hit_rate:.3f}"])
+    if args.fps is not None:
+        mbps = result.mean_agp_bytes_per_frame * args.fps / 1e6
+        rows.append([f"AGP MB/s @ {args.fps:g} Hz", f"{mbps:.1f}"])
+    timings = estimate_frame_timings(result, TimingModel())
+    rows.append(["est. texturing fps (timing model)", f"{mean_fps(timings):.1f}"])
+    rows.append(["bus-bound frames", f"{bus_bound_fraction(timings):.0%}"])
+    rows.append(["simulation time", f"{elapsed:.2f}s"])
+
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

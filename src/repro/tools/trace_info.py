@@ -1,0 +1,81 @@
+"""CLI: summarize a trace file.
+
+Usage::
+
+    python -m repro.tools.trace_info trace.npz [--l2-tile 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.experiments.reporting import format_table, kb, mb
+from repro.trace.locality import frame_reuse_distance_histogram
+from repro.trace.stats import workload_stats
+from repro.trace.tracefile import load_trace
+from repro.trace.workingset import (
+    l2_memory_curve,
+    per_frame_new_blocks,
+    per_frame_unique_blocks,
+    push_memory_curve,
+)
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.trace_info",
+        description="Summarize a rendered texture-access trace.",
+    )
+    parser.add_argument("trace", help="trace file (.npz)")
+    parser.add_argument("--l2-tile", type=int, default=16,
+                        help="L2 block edge in texels (default 16)")
+    args = parser.parse_args(argv)
+
+    trace = load_trace(args.trace)
+    m = trace.meta
+    stats = workload_stats(trace, args.l2_tile)
+    uniques = per_frame_unique_blocks(trace, args.l2_tile)
+    new = per_frame_new_blocks(uniques)
+    l2_curve = l2_memory_curve(trace, args.l2_tile)
+    push_curve = push_memory_curve(trace)
+
+    print(f"trace: {args.trace}")
+    print(
+        f"  workload={m.workload}  {m.width}x{m.height}  frames={m.n_frames}  "
+        f"filter={m.filter_mode}"
+    )
+    print(f"  textures: {len(trace.textures)} "
+          f"({mb(sum(t.host_bytes for t in trace.textures))} host memory)")
+    print(f"  texel reads: {trace.total_texel_reads():,}")
+    print()
+    rows = [
+        ["depth complexity d", f"{stats.depth_complexity:.2f}"],
+        ["block utilization", f"{stats.block_utilization:.2f}"],
+        ["expected working set W", mb(stats.expected_working_set_bytes)],
+        ["mean unique blocks/frame", f"{np.mean([len(u) for u in uniques]):.0f}"],
+        ["mean new blocks/frame", f"{new[1:].mean() if len(new) > 1 else 0:.0f}"],
+        ["peak L2 minimum memory", mb(float(l2_curve.max()))],
+        ["peak push minimum memory", mb(float(push_curve.max()))],
+    ]
+    print(format_table(["statistic", f"value ({args.l2_tile}x{args.l2_tile} blocks)"], rows))
+
+    hist = frame_reuse_distance_histogram(trace, args.l2_tile)
+    total = max(sum(hist.values()), 1)
+    print("\nframe-level reuse distances (block first touches):")
+    print(
+        format_table(
+            ["distance"] + list(hist),
+            [["share"] + [f"{v / total:.1%}" for v in hist.values()]],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

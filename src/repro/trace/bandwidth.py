@@ -1,0 +1,40 @@
+"""Minimum download-bandwidth analysis (paper §4.2, Fig 6).
+
+"This figure shows the minimum total bandwidth required to download tiles to
+L1 cache, and also the minimum bandwidth required specifically to download
+L1 tiles that were not used in the previous frame. These numbers are
+conservative in that they only count once each L1 tile required during the
+frame." The total is the pull architecture's floor; the new-only curve is
+the L2 caching architecture's floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.texture.tiling import CACHE_TEXEL_BYTES
+from repro.trace.trace import Trace
+from repro.trace.workingset import per_frame_new_blocks, per_frame_unique_blocks
+
+__all__ = ["min_l1_bandwidth_curves"]
+
+
+def min_l1_bandwidth_curves(
+    trace: Trace, l1_tile_texels: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-frame (total, new) minimum L1 download bytes for a tile size.
+
+    Args:
+        trace: the workload trace.
+        l1_tile_texels: L1 tile edge in texels (the paper plots 4 and 8).
+
+    Returns:
+        ``(total_bytes, new_bytes)`` per frame: each distinct L1 tile hit at
+        least once costs one download; the "new" curve charges only tiles
+        absent from the previous frame.
+    """
+    tile_bytes = l1_tile_texels * l1_tile_texels * CACHE_TEXEL_BYTES
+    uniques = per_frame_unique_blocks(trace, l1_tile_texels)
+    total = np.array([len(u) * tile_bytes for u in uniques], dtype=np.int64)
+    new = per_frame_new_blocks(uniques) * tile_bytes
+    return total, new

@@ -1,0 +1,83 @@
+"""Workload statistics: depth complexity, block utilization, expected W.
+
+Implements the §4.1 accounting that produces Table 1:
+
+* depth complexity ``d`` — rasterized fragments per screen pixel;
+* block utilization — ``B_min / B``, where ``B_min = N_pix / texels-per-
+  block`` is the block count a perfectly-utilized tiling would need and
+  ``B`` is the distinct blocks actually touched (utilization exceeds 1 when
+  texels are reused: repeated textures, inter-object sharing);
+* expected inter-frame working set ``W = (R * d * 4) / utilization`` bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.trace import Trace
+from repro.trace.workingset import per_frame_unique_blocks
+
+__all__ = ["WorkloadStats", "workload_stats", "frame_depth_complexity"]
+
+
+def frame_depth_complexity(trace: Trace) -> np.ndarray:
+    """Per-frame depth complexity d = fragments / screen pixels."""
+    pixels = trace.pixels_per_frame
+    return np.array(
+        [f.n_fragments / pixels for f in trace.frames], dtype=np.float64
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """The Table 1 row for a workload."""
+
+    workload: str
+    resolution: tuple[int, int]
+    l2_tile_texels: int
+    depth_complexity: float
+    block_utilization: float
+    expected_working_set_bytes: float
+    mean_fragments: float
+    mean_unique_blocks: float
+
+
+def workload_stats(trace: Trace, l2_tile_texels: int = 16) -> WorkloadStats:
+    """Compute Table 1 statistics for a trace (default 16x16 L2 tiles).
+
+    Frames that rasterize nothing (empty view) are excluded from the
+    utilization average to avoid 0/0.
+    """
+    pixels = trace.pixels_per_frame
+    texels_per_block = l2_tile_texels * l2_tile_texels
+    uniques = per_frame_unique_blocks(trace, l2_tile_texels)
+
+    depths = []
+    utilizations = []
+    block_counts = []
+    for frame, unique in zip(trace.frames, uniques):
+        depths.append(frame.n_fragments / pixels)
+        if len(unique) == 0:
+            continue
+        b_min = frame.n_fragments / texels_per_block
+        utilizations.append(b_min / len(unique))
+        block_counts.append(len(unique))
+
+    d = float(np.mean(depths)) if depths else 0.0
+    util = float(np.mean(utilizations)) if utilizations else 0.0
+    # W = (R * d * 4) / utilization (§4.1), in bytes.
+    w = (pixels * d * 4.0) / util if util > 0 else 0.0
+    return WorkloadStats(
+        workload=trace.meta.workload,
+        resolution=(trace.meta.width, trace.meta.height),
+        l2_tile_texels=l2_tile_texels,
+        depth_complexity=d,
+        block_utilization=util,
+        expected_working_set_bytes=w,
+        mean_fragments=float(
+            np.mean([f.n_fragments for f in trace.frames]) if trace.frames else 0.0
+        ),
+        mean_unique_blocks=float(np.mean(block_counts)) if block_counts else 0.0,
+    )

@@ -1,0 +1,95 @@
+"""Trace persistence.
+
+Rendering is the expensive step of the study; traces are stored as
+compressed ``.npz`` archives so experiments re-run cache simulations without
+re-rendering. The archive holds per-frame ``refs``/``weights`` arrays, the
+fragment counts, the texture-set geometry, and the trace metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.texture.texture import Texture
+from repro.trace.trace import FrameTrace, Trace, TraceMeta
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_VERSION = 2
+
+
+def save_trace(trace: Trace, path: str | os.PathLike) -> None:
+    """Save a trace as a compressed npz archive."""
+    payload: dict[str, np.ndarray] = {}
+    meta = {
+        "version": _FORMAT_VERSION,
+        "workload": trace.meta.workload,
+        "width": trace.meta.width,
+        "height": trace.meta.height,
+        "filter_mode": trace.meta.filter_mode,
+        "n_frames": trace.meta.n_frames,
+        "textures": [
+            {
+                "name": t.name,
+                "width": t.width,
+                "height": t.height,
+                "original_depth_bits": t.original_depth_bits,
+            }
+            for t in trace.textures
+        ],
+    }
+    payload["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    payload["n_fragments"] = np.array(
+        [f.n_fragments for f in trace.frames], dtype=np.int64
+    )
+    for i, frame in enumerate(trace.frames):
+        payload[f"refs_{i}"] = frame.refs
+        payload[f"weights_{i}"] = frame.weights
+        if frame.object_offsets is not None:
+            payload[f"offsets_{i}"] = frame.object_offsets
+    np.savez_compressed(path, **payload)
+
+
+def load_trace(path: str | os.PathLike) -> Trace:
+    """Load a trace saved by :func:`save_trace`."""
+    with np.load(path) as data:
+        meta_raw = json.loads(bytes(data["meta_json"]).decode("utf-8"))
+        if meta_raw.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"trace file {path} has format version {meta_raw.get('version')}, "
+                f"expected {_FORMAT_VERSION}"
+            )
+        n_fragments = data["n_fragments"]
+        frames = [
+            FrameTrace(
+                refs=data[f"refs_{i}"],
+                weights=data[f"weights_{i}"],
+                n_fragments=int(n_fragments[i]),
+                object_offsets=data[f"offsets_{i}"]
+                if f"offsets_{i}" in data
+                else None,
+            )
+            for i in range(meta_raw["n_frames"])
+        ]
+    textures = [
+        Texture(
+            name=t["name"],
+            width=t["width"],
+            height=t["height"],
+            original_depth_bits=t["original_depth_bits"],
+        )
+        for t in meta_raw["textures"]
+    ]
+    meta = TraceMeta(
+        workload=meta_raw["workload"],
+        width=meta_raw["width"],
+        height=meta_raw["height"],
+        filter_mode=meta_raw["filter_mode"],
+        n_frames=meta_raw["n_frames"],
+    )
+    return Trace(meta=meta, frames=frames, textures=textures)

@@ -1,0 +1,30 @@
+"""Shared test configuration.
+
+Tests must never read or pollute the developer's ``.trace_cache``; the
+whole session runs against a temporary trace-cache directory (rendered
+micro-traces are still shared in process memory within the session).
+"""
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Property tests exercise numpy-heavy code whose first call pays warm-up
+# costs; wall-clock deadlines just add flakiness there.
+settings.register_profile(
+    "repro", deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def isolated_trace_cache(tmp_path_factory):
+    import os
+
+    path = tmp_path_factory.mktemp("trace_cache")
+    old = os.environ.get("REPRO_TRACE_CACHE")
+    os.environ["REPRO_TRACE_CACHE"] = str(path)
+    yield path
+    if old is None:
+        os.environ.pop("REPRO_TRACE_CACHE", None)
+    else:
+        os.environ["REPRO_TRACE_CACHE"] = old

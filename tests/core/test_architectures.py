@@ -1,0 +1,83 @@
+"""Tests for the push/pull/L2 architecture models."""
+
+import numpy as np
+import pytest
+
+from repro.core.architectures import (
+    L2CachingArchitecture,
+    PullArchitecture,
+    PushArchitecture,
+)
+from repro.core.l1_cache import L1CacheConfig
+from repro.core.l2_cache import L2CacheConfig
+from repro.texture.texture import Texture
+from repro.texture.tiling import pack_tile_refs
+from repro.trace.trace import FrameTrace, Trace, TraceMeta
+
+
+def make_trace(frame_tids):
+    """A trace whose frame i touches tile (0,0,0) of each tid listed."""
+    textures = [
+        Texture("a", 64, 64, original_depth_bits=16),
+        Texture("b", 128, 128, original_depth_bits=32),
+        Texture("c", 32, 32, original_depth_bits=16),
+    ]
+    frames = []
+    for tids in frame_tids:
+        refs = pack_tile_refs(
+            np.array(tids, dtype=np.int64), 0,
+            np.zeros(len(tids), dtype=np.int64),
+            np.zeros(len(tids), dtype=np.int64),
+        )
+        frames.append(
+            FrameTrace(refs=refs, weights=np.ones(len(tids), dtype=np.int64),
+                       n_fragments=len(tids))
+        )
+    meta = TraceMeta("synthetic", 8, 8, "point", len(frames))
+    return Trace(meta=meta, frames=frames, textures=textures)
+
+
+class TestPush:
+    def test_memory_is_touched_textures_at_host_depth(self):
+        trace = make_trace([[0, 1], [1]])
+        stats = PushArchitecture().run(trace)
+        t = trace.textures
+        assert stats[0].memory_bytes == t[0].host_bytes + t[1].host_bytes
+        assert stats[1].memory_bytes == t[1].host_bytes
+
+    def test_download_only_new_textures(self):
+        trace = make_trace([[0], [0, 2], [0, 2]])
+        stats = PushArchitecture().run(trace)
+        assert stats[0].download_bytes == trace.textures[0].host_bytes
+        assert stats[1].download_bytes == trace.textures[2].host_bytes
+        assert stats[2].download_bytes == 0
+
+    def test_textures_touched_count(self):
+        trace = make_trace([[0, 1, 2]])
+        assert PushArchitecture().run(trace)[0].textures_touched == 3
+
+
+class TestPullVsL2:
+    def test_l2_never_needs_more_agp_than_pull(self):
+        trace = make_trace([[0, 1, 2]] * 3)
+        l1 = L1CacheConfig(size_bytes=2048)
+        pull = PullArchitecture(l1).run(trace)
+        l2 = L2CachingArchitecture(l1, L2CacheConfig(size_bytes=64 * 1024)).run(trace)
+        assert l2.mean_agp_bytes_per_frame <= pull.mean_agp_bytes_per_frame
+
+    def test_same_l1_behaviour_in_both(self):
+        trace = make_trace([[0, 1], [1, 2]])
+        l1 = L1CacheConfig(size_bytes=2048)
+        pull = PullArchitecture(l1).run(trace)
+        l2 = L2CachingArchitecture(l1, L2CacheConfig(size_bytes=64 * 1024)).run(trace)
+        assert pull.l1_hit_rate == pytest.approx(l2.l1_hit_rate)
+
+    def test_tlb_plumbed_through(self):
+        trace = make_trace([[0, 1, 2]])
+        arch = L2CachingArchitecture(
+            L1CacheConfig(size_bytes=2048),
+            L2CacheConfig(size_bytes=64 * 1024),
+            tlb_entries=2,
+        )
+        res = arch.run(trace)
+        assert res.frames[0].tlb is not None

@@ -1,0 +1,140 @@
+"""Integration tests for the multi-level hierarchy (Figure 7 control flow)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import HierarchyConfig, MultiLevelTextureCache
+from repro.core.l1_cache import L1CacheConfig
+from repro.core.l2_cache import L2CacheConfig
+from repro.texture.texture import Texture
+from repro.texture.tiling import AddressSpace, pack_tile_refs
+from repro.trace.trace import FrameTrace, Trace, TraceMeta
+
+
+@pytest.fixture
+def space():
+    return AddressSpace([Texture("a", 64, 64), Texture("b", 64, 64)])
+
+
+def frame_of(refs):
+    refs = np.asarray(refs, dtype=np.int64)
+    return FrameTrace(refs=refs, weights=np.ones(len(refs), dtype=np.int64),
+                      n_fragments=len(refs))
+
+
+def trace_of(space, frames):
+    return Trace(
+        meta=TraceMeta("synthetic", 8, 8, "point", len(frames)),
+        frames=frames,
+        textures=space.textures,
+    )
+
+
+class TestConfigValidation:
+    def test_tlb_requires_l2(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(l1=L1CacheConfig(), l2=None, tlb_entries=4)
+
+
+class TestPullMode:
+    def test_l1_misses_are_agp_bytes(self, space):
+        sim = MultiLevelTextureCache(
+            HierarchyConfig(l1=L1CacheConfig(size_bytes=2048)), space
+        )
+        refs = pack_tile_refs(0, 0, np.zeros(4, dtype=np.int64), np.arange(4))
+        stats = sim.run_frame(frame_of(refs))
+        assert stats.l1_misses == 4
+        assert stats.agp_bytes == 4 * 64
+        assert stats.l2 is None
+
+
+class TestL2Mode:
+    def _sim(self, space, l2_blocks=8, tlb=None):
+        cfg = HierarchyConfig(
+            l1=L1CacheConfig(size_bytes=2048),
+            l2=L2CacheConfig(size_bytes=l2_blocks * 1024, l2_tile_texels=16),
+            tlb_entries=tlb,
+        )
+        return MultiLevelTextureCache(cfg, space)
+
+    def test_l2_absorbs_rereferences_after_l1_eviction(self, space):
+        sim = self._sim(space)
+        # 40 distinct tiles spanning 4 L2 blocks: they overflow a 2 KB L1
+        # (32 lines) but fit easily in the 8-block L2.
+        xs = np.arange(40) % 16
+        ys = np.arange(40) // 16
+        refs = pack_tile_refs(0, 0, ys, xs)
+        frame = frame_of(np.concatenate([refs, refs]))
+        stats = sim.run_frame(frame)
+        assert stats.l1_misses > 40  # second pass misses L1 again
+        # But the second pass hits L2 (sectors already downloaded).
+        assert stats.l2.full_hits > 0
+        assert stats.agp_bytes < stats.l1_misses * 64
+
+    def test_agp_counts_only_host_downloads(self, space):
+        sim = self._sim(space)
+        refs = pack_tile_refs(0, 0, np.zeros(2, dtype=np.int64), np.array([0, 1]))
+        stats = sim.run_frame(frame_of(refs))
+        # Both sub-blocks downloaded from host (1 full miss + 1 partial hit).
+        assert stats.agp_bytes == 2 * 64
+        assert stats.local_l2_bytes == 0
+
+    def test_tlb_sees_l1_miss_stream(self, space):
+        sim = self._sim(space, tlb=4)
+        refs = pack_tile_refs(0, 0, np.zeros(3, dtype=np.int64), np.array([0, 1, 2]))
+        stats = sim.run_frame(frame_of(refs))
+        assert stats.tlb is not None
+        assert stats.tlb.accesses == stats.l1_misses
+
+    def test_inclusion_not_guaranteed(self, space):
+        """An L1-resident tile can survive its L2 block's eviction (§5.4.2
+        footnote): the next access hits L1 and never consults L2."""
+        sim = self._sim(space, l2_blocks=1)
+        a = pack_tile_refs(0, 0, np.array([0]), np.array([0]))
+        b = pack_tile_refs(0, 0, np.array([4]), np.array([0]))  # different L2 block
+        sim.run_frame(frame_of(np.array([a[0], b[0]])))  # b evicted a's block
+        stats = sim.run_frame(frame_of(np.array([a[0]])))
+        assert stats.l1_misses == 0  # still in L1 even though L2 evicted it
+
+
+class TestTraceRun:
+    def test_aggregates_over_frames(self, space):
+        sim = MultiLevelTextureCache(
+            HierarchyConfig(
+                l1=L1CacheConfig(size_bytes=2048),
+                l2=L2CacheConfig(size_bytes=8 * 1024, l2_tile_texels=16),
+                tlb_entries=2,
+            ),
+            space,
+        )
+        refs = pack_tile_refs(0, 0, np.zeros(4, dtype=np.int64), np.arange(4))
+        trace = trace_of(space, [frame_of(refs), frame_of(refs)])
+        result = sim.run_trace(trace)
+        assert len(result.frames) == 2
+        # Frame 2 is all L1 hits (tiny working set).
+        assert result.frames[1].l1_misses == 0
+        assert result.total_texel_reads == 8
+        assert 0 < result.l1_hit_rate < 1
+        assert result.agp_bytes_per_frame().tolist()[1] == 0
+
+    def test_conditional_l2_rates(self, space):
+        sim = MultiLevelTextureCache(
+            HierarchyConfig(
+                l1=L1CacheConfig(size_bytes=2048),
+                l2=L2CacheConfig(size_bytes=8 * 1024, l2_tile_texels=16),
+            ),
+            space,
+        )
+        refs = pack_tile_refs(0, 0, np.zeros(4, dtype=np.int64), np.arange(4))
+        result = sim.run_trace(trace_of(space, [frame_of(refs)]))
+        # 1 full miss + 3 partial hits over 4 L1 misses.
+        assert result.l2_full_hit_rate == pytest.approx(0.0)
+        assert result.l2_partial_hit_rate == pytest.approx(0.75)
+
+    def test_tlb_rate_nan_free_without_tlb(self, space):
+        sim = MultiLevelTextureCache(
+            HierarchyConfig(l1=L1CacheConfig(size_bytes=2048)), space
+        )
+        refs = pack_tile_refs(0, 0, np.array([0]), np.array([0]))
+        result = sim.run_trace(trace_of(space, [frame_of(refs)]))
+        assert result.tlb_hit_rate == 0.0

@@ -1,0 +1,135 @@
+"""Property tests for hierarchy-level invariants.
+
+These capture the paper's structural claims as machine-checked properties
+over randomized access streams: the L2 architecture never needs more host
+bandwidth than the pull architecture, L2 outcome counts are conserved, and
+the L2 never allocates more physical blocks than it has.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import HierarchyConfig, MultiLevelTextureCache
+from repro.core.l1_cache import L1CacheConfig
+from repro.core.l2_cache import L2CacheConfig, L2TextureCache
+from repro.texture.texture import Texture
+from repro.texture.tiling import AddressSpace, pack_tile_refs
+from repro.trace.trace import FrameTrace, Trace, TraceMeta
+
+
+@pytest.fixture(scope="module")
+def space():
+    return AddressSpace([Texture("a", 64, 64), Texture("b", 128, 128)])
+
+
+def random_trace(space, seed, n_frames=3, refs_per_frame=200):
+    """A random-walk tile stream over the texture set (locality-bearing)."""
+    rng = np.random.default_rng(seed)
+    frames = []
+    for _ in range(n_frames):
+        tid = int(rng.integers(space.texture_count))
+        tex = space.textures[tid]
+        mip = int(rng.integers(min(3, tex.level_count)))
+        w, h = tex.level_dims(mip)
+        tw, th = max(w // 4, 1), max(h // 4, 1)
+        steps = rng.integers(-1, 2, size=(refs_per_frame, 2))
+        pos = np.cumsum(steps, axis=0)
+        xs = np.mod(pos[:, 0], tw)
+        ys = np.mod(pos[:, 1], th)
+        refs = pack_tile_refs(tid, mip, ys, xs, check=False)
+        frames.append(
+            FrameTrace(refs, np.ones(len(refs), dtype=np.int64), len(refs))
+        )
+    meta = TraceMeta("prop", 16, 16, "point", n_frames)
+    return Trace(meta=meta, frames=frames, textures=space.textures)
+
+
+streams = st.integers(0, 10_000)
+
+
+class TestArchitecturalInvariants:
+    @given(streams, st.sampled_from([2048, 16384]), st.sampled_from([8, 32, 128]))
+    @settings(max_examples=25, deadline=None)
+    def test_property_l2_agp_never_exceeds_pull(self, seed, l1_bytes, l2_blocks):
+        space = AddressSpace([Texture("a", 64, 64), Texture("b", 128, 128)])
+        trace = random_trace(space, seed)
+        pull = MultiLevelTextureCache(
+            HierarchyConfig(l1=L1CacheConfig(size_bytes=l1_bytes)), space
+        ).run_trace(trace)
+        l2 = MultiLevelTextureCache(
+            HierarchyConfig(
+                l1=L1CacheConfig(size_bytes=l1_bytes),
+                l2=L2CacheConfig(size_bytes=l2_blocks * 1024, l2_tile_texels=16),
+            ),
+            space,
+        ).run_trace(trace)
+        # Same L1 in both: identical miss streams; every L2 full hit removes
+        # one host download, so the L2 architecture's AGP traffic can never
+        # exceed the pull architecture's.
+        assert pull.total_l1_misses == l2.total_l1_misses
+        for pf, lf in zip(pull.frames, l2.frames):
+            assert lf.agp_bytes <= pf.agp_bytes
+
+    @given(streams)
+    @settings(max_examples=25, deadline=None)
+    def test_property_l2_outcomes_conserved(self, seed):
+        space = AddressSpace([Texture("a", 64, 64), Texture("b", 128, 128)])
+        trace = random_trace(space, seed)
+        sim = MultiLevelTextureCache(
+            HierarchyConfig(
+                l1=L1CacheConfig(size_bytes=2048),
+                l2=L2CacheConfig(size_bytes=32 * 1024, l2_tile_texels=16),
+            ),
+            space,
+        )
+        for frame_stats in (sim.run_frame(f) for f in trace.frames):
+            l2 = frame_stats.l2
+            assert (
+                l2.full_hits + l2.partial_hits + l2.full_misses == l2.accesses
+            )
+            assert l2.accesses == frame_stats.l1_misses
+
+    @given(streams, st.sampled_from([1, 4, 16]))
+    @settings(max_examples=25, deadline=None)
+    def test_property_resident_blocks_bounded(self, seed, n_blocks):
+        space = AddressSpace([Texture("a", 64, 64), Texture("b", 128, 128)])
+        trace = random_trace(space, seed)
+        cache = L2TextureCache(
+            L2CacheConfig(size_bytes=n_blocks * 1024, l2_tile_texels=16), space
+        )
+        for frame in trace.frames:
+            cache.access_frame(frame.refs)
+            assert cache.resident_blocks <= n_blocks
+
+    @given(streams)
+    @settings(max_examples=15, deadline=None)
+    def test_property_bigger_l1_never_hits_less(self, seed):
+        space = AddressSpace([Texture("a", 64, 64), Texture("b", 128, 128)])
+        trace = random_trace(space, seed)
+        rates = []
+        for size in (2048, 8192, 32768):
+            res = MultiLevelTextureCache(
+                HierarchyConfig(l1=L1CacheConfig(size_bytes=size)), space
+            ).run_trace(trace)
+            rates.append(res.l1_hit_rate)
+        # LRU set-associative caches of growing size+sets are not strictly
+        # inclusive, but on locality-bearing walks the trend must hold.
+        assert rates[0] <= rates[2] + 0.02
+
+    @given(streams)
+    @settings(max_examples=15, deadline=None)
+    def test_property_sector_mapping_monotone(self, seed):
+        """Replaying a frame immediately can only improve L2 outcomes."""
+        space = AddressSpace([Texture("a", 64, 64), Texture("b", 128, 128)])
+        trace = random_trace(space, seed, n_frames=1)
+        cache = L2TextureCache(
+            L2CacheConfig(size_bytes=1024 * 1024, l2_tile_texels=16), space
+        )
+        first = cache.access_frame(trace.frames[0].refs)
+        second = cache.access_frame(trace.frames[0].refs)
+        # With a cache big enough to avoid evictions, the replay is all
+        # full hits.
+        assert first.evictions == 0
+        assert second.full_hits == second.accesses

@@ -1,0 +1,186 @@
+"""Unit and property tests for the L1 cache simulator.
+
+The load-bearing test here is the differential property test: the
+vectorized grouped-scan LRU must match the explicit per-access reference
+implementation on arbitrary streams, including across frame boundaries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.l1_cache import L1CacheConfig, L1CacheSim
+
+
+def ones(n):
+    return np.ones(n, dtype=np.int64)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = L1CacheConfig()
+        assert cfg.n_sets == 128
+        assert cfg.n_lines == 256
+
+    def test_2kb_two_way(self):
+        cfg = L1CacheConfig(size_bytes=2048)
+        assert cfg.n_sets == 16
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(ValueError):
+            L1CacheConfig(size_bytes=1000)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            L1CacheConfig(size_bytes=3 * 128, ways=1, line_bytes=64)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            L1CacheConfig(ways=0)
+
+
+class TestBasicBehaviour:
+    def _sim(self, ways=2, sets=4, reference=False):
+        cfg = L1CacheConfig(size_bytes=sets * ways * 64, ways=ways)
+        return L1CacheSim(cfg, use_reference=reference)
+
+    def test_cold_miss_then_hit(self):
+        sim = self._sim()
+        refs = np.array([10, 10], dtype=np.int64)
+        res = sim.access_frame(refs, ones(2), np.zeros(2, dtype=np.int64))
+        assert res.misses == 1
+        assert res.miss_refs.tolist() == [10]
+
+    def test_two_way_holds_two_tags(self):
+        sim = self._sim()
+        refs = np.array([1, 2, 1, 2], dtype=np.int64)
+        res = sim.access_frame(refs, ones(4), np.zeros(4, dtype=np.int64))
+        assert res.misses == 2  # both cold misses, then both hit
+
+    def test_lru_eviction_order(self):
+        sim = self._sim()
+        # 1, 2, 3 -> 3 evicts 1 (LRU); re-access 1 misses, 3 hits, 2 evicted.
+        refs = np.array([1, 2, 3, 1, 3], dtype=np.int64)
+        res = sim.access_frame(refs, ones(5), np.zeros(5, dtype=np.int64))
+        assert res.misses == 4
+        assert res.miss_refs.tolist() == [1, 2, 3, 1]
+
+    def test_hit_promotes_to_mru(self):
+        sim = self._sim()
+        # 1, 2, then hit 1 (promote), then 3 evicts 2 not 1.
+        refs = np.array([1, 2, 1, 3, 1], dtype=np.int64)
+        res = sim.access_frame(refs, ones(5), np.zeros(5, dtype=np.int64))
+        assert res.miss_refs.tolist() == [1, 2, 3]
+
+    def test_sets_are_independent(self):
+        sim = self._sim()
+        refs = np.array([1, 1, 1, 1], dtype=np.int64)
+        sets = np.array([0, 1, 0, 1], dtype=np.int64)
+        res = sim.access_frame(refs, ones(4), sets)
+        assert res.misses == 2  # one cold miss per set
+
+    def test_state_persists_across_frames(self):
+        sim = self._sim()
+        sim.access_frame(np.array([1, 2]), ones(2), np.zeros(2, dtype=np.int64))
+        res = sim.access_frame(np.array([1, 2]), ones(2), np.zeros(2, dtype=np.int64))
+        assert res.misses == 0
+
+    def test_reset_invalidates(self):
+        sim = self._sim()
+        sim.access_frame(np.array([1]), ones(1), np.zeros(1, dtype=np.int64))
+        sim.reset()
+        res = sim.access_frame(np.array([1]), ones(1), np.zeros(1, dtype=np.int64))
+        assert res.misses == 1
+
+    def test_direct_mapped(self):
+        sim = self._sim(ways=1)
+        refs = np.array([1, 2, 1], dtype=np.int64)
+        res = sim.access_frame(refs, ones(3), np.zeros(3, dtype=np.int64))
+        assert res.misses == 3  # 2 evicts 1 in a direct-mapped set
+
+    def test_empty_frame(self):
+        sim = self._sim()
+        res = sim.access_frame(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        assert res.misses == 0
+        assert res.texel_hit_rate == 1.0
+
+    def test_mismatched_lengths_raise(self):
+        sim = self._sim()
+        with pytest.raises(ValueError):
+            sim.access_frame(np.array([1, 2]), ones(1), np.zeros(2, dtype=np.int64))
+
+
+class TestWeightAccounting:
+    def test_collapsed_weights_count_as_hits(self):
+        sim = L1CacheSim(L1CacheConfig(size_bytes=2048))
+        refs = np.array([7], dtype=np.int64)
+        res = sim.access_frame(refs, np.array([10], dtype=np.int64),
+                               np.zeros(1, dtype=np.int64))
+        assert res.texel_reads == 10
+        assert res.misses == 1
+        assert res.texel_hit_rate == pytest.approx(0.9)
+
+    def test_miss_bytes(self):
+        sim = L1CacheSim(L1CacheConfig(size_bytes=2048))
+        refs = np.array([1, 2, 3], dtype=np.int64)
+        res = sim.access_frame(refs, ones(3), np.zeros(3, dtype=np.int64))
+        assert res.miss_bytes == 3 * 64
+
+
+class TestVectorizedMatchesReference:
+    """The vectorized scan and the reference loop must agree exactly."""
+
+    @given(
+        st.integers(1, 2),  # ways
+        st.integers(0, 3),  # log2 sets
+        st.lists(st.integers(0, 20), min_size=0, max_size=200),
+        st.integers(1, 4),  # frames to split into
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_equivalence(self, ways, log_sets, tags, n_frames):
+        n_sets = 1 << log_sets
+        cfg = L1CacheConfig(size_bytes=n_sets * ways * 64, ways=ways)
+        fast = L1CacheSim(cfg)
+        ref = L1CacheSim(cfg, use_reference=True)
+        refs = np.array(tags, dtype=np.int64)
+        sets = refs % n_sets
+        # Split the stream into frames to also exercise state carry-over.
+        bounds = np.linspace(0, len(refs), n_frames + 1).astype(int)
+        for a, b in zip(bounds, bounds[1:]):
+            r_fast = fast.access_frame(refs[a:b], ones(b - a), sets[a:b])
+            r_ref = ref.access_frame(refs[a:b], ones(b - a), sets[a:b])
+            assert r_fast.misses == r_ref.misses
+            assert r_fast.miss_refs.tolist() == r_ref.miss_refs.tolist()
+
+    def test_adversarial_interleaving(self):
+        # Same tag in different sets, plus rapid alternation.
+        cfg = L1CacheConfig(size_bytes=2 * 2 * 64, ways=2)
+        fast = L1CacheSim(cfg)
+        ref = L1CacheSim(cfg, use_reference=True)
+        refs = np.array([5, 5, 6, 5, 7, 6, 5, 7, 8, 5, 5, 8], dtype=np.int64)
+        sets = np.array([0, 1, 0, 0, 1, 0, 1, 1, 0, 0, 1, 0], dtype=np.int64)
+        a = fast.access_frame(refs, ones(len(refs)), sets)
+        b = ref.access_frame(refs, ones(len(refs)), sets)
+        assert a.misses == b.misses
+        assert a.miss_refs.tolist() == b.miss_refs.tolist()
+
+
+class TestGeneralAssociativity:
+    def test_four_way_keeps_four(self):
+        cfg = L1CacheConfig(size_bytes=4 * 64, ways=4)
+        sim = L1CacheSim(cfg)
+        refs = np.array([1, 2, 3, 4, 1, 2, 3, 4], dtype=np.int64)
+        res = sim.access_frame(refs, ones(8), np.zeros(8, dtype=np.int64))
+        assert res.misses == 4
+
+    def test_four_way_lru_evicts_oldest(self):
+        cfg = L1CacheConfig(size_bytes=4 * 64, ways=4)
+        sim = L1CacheSim(cfg)
+        refs = np.array([1, 2, 3, 4, 5, 1], dtype=np.int64)
+        res = sim.access_frame(refs, ones(6), np.zeros(6, dtype=np.int64))
+        # 5 evicts 1, so the final 1 misses again.
+        assert res.misses == 6

@@ -1,0 +1,84 @@
+"""Tests for the pair-fetch (two-tile line) L1 simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.l1_cache import L1CacheConfig, L1CacheSim
+from repro.core.l1_prefetch import L1PairFetchSim
+from repro.texture.texture import Texture
+from repro.texture.tiling import AddressSpace, pack_tile_refs
+
+
+@pytest.fixture
+def space():
+    return AddressSpace([Texture("a", 256, 256)])
+
+
+def refs_of(*xy):
+    xs = np.array([x for x, _ in xy], dtype=np.int64)
+    ys = np.array([y for _, y in xy], dtype=np.int64)
+    return pack_tile_refs(0, 0, ys, xs)
+
+
+def ones(n):
+    return np.ones(n, dtype=np.int64)
+
+
+class TestPairFetch:
+    def test_buddy_prefetched(self, space):
+        sim = L1PairFetchSim(L1CacheConfig(size_bytes=2048), space)
+        # Miss on (0,0) prefetches (1,0): the next access hits.
+        refs = refs_of((0, 0), (1, 0))
+        res = sim.access_frame(refs, ones(2))
+        assert res.misses == 1
+        assert res.tiles_downloaded == 2
+
+    def test_buddy_is_xor_partner(self, space):
+        sim = L1PairFetchSim(L1CacheConfig(size_bytes=2048), space)
+        # (1,0)'s buddy is (0,0), not (2,0).
+        res = sim.access_frame(refs_of((1, 0), (0, 0), (2, 0)), ones(3))
+        assert res.misses == 2  # (1,0) miss; (0,0) hit; (2,0) miss
+
+    def test_vertical_neighbor_not_prefetched(self, space):
+        sim = L1PairFetchSim(L1CacheConfig(size_bytes=2048), space)
+        res = sim.access_frame(refs_of((0, 0), (0, 1)), ones(2))
+        assert res.misses == 2
+
+    def test_downloads_double_misses(self, space):
+        sim = L1PairFetchSim(L1CacheConfig(size_bytes=2048), space)
+        res = sim.access_frame(refs_of((0, 0), (4, 4), (8, 8)), ones(3))
+        assert res.tiles_downloaded == 2 * res.misses
+        assert res.download_bytes == res.tiles_downloaded * 64
+
+    def test_never_more_misses_than_baseline_on_scanline_walk(self, space):
+        """On a left-to-right tile walk the pair fetch halves the misses."""
+        config = L1CacheConfig(size_bytes=2048)
+        base = L1CacheSim(config)
+        pair = L1PairFetchSim(config, space)
+        walk = refs_of(*[(x, 0) for x in range(32)])
+        sets = space.l1_set_indices(walk, config.n_sets)
+        b = base.access_frame(walk, ones(32), sets)
+        p = pair.access_frame(walk, ones(32))
+        assert b.misses == 32
+        assert p.misses == 16
+
+    def test_state_persists_and_resets(self, space):
+        sim = L1PairFetchSim(L1CacheConfig(size_bytes=2048), space)
+        sim.access_frame(refs_of((0, 0)), ones(1))
+        res = sim.access_frame(refs_of((0, 0)), ones(1))
+        assert res.misses == 0
+        sim.reset()
+        res = sim.access_frame(refs_of((0, 0)), ones(1))
+        assert res.misses == 1
+
+    def test_weights_counted_as_reads(self, space):
+        sim = L1PairFetchSim(L1CacheConfig(size_bytes=2048), space)
+        res = sim.access_frame(refs_of((0, 0)), np.array([7], dtype=np.int64))
+        assert res.texel_reads == 7
+        assert res.texel_hit_rate == pytest.approx(6 / 7)
+
+    def test_empty_frame(self, space):
+        sim = L1PairFetchSim(L1CacheConfig(size_bytes=2048), space)
+        res = sim.access_frame(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert res.misses == 0
+        assert res.texel_hit_rate == 1.0

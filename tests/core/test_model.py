@@ -1,0 +1,111 @@
+"""Unit tests for the closed-form models (exact paper numbers for Table 4)."""
+
+import pytest
+
+from repro.core.model import (
+    average_access_time_l2,
+    average_access_time_pull,
+    expected_working_set_bytes,
+    fractional_advantage,
+    l2_structure_sizes,
+)
+
+MB = 1024 * 1024
+KB = 1024
+
+
+class TestExpectedWorkingSet:
+    def test_paper_village_row(self):
+        # Table 1: R=1024x768, d=3.8, util=4.7 -> W = 2.43 MB (paper, 10^6).
+        w = expected_working_set_bytes(1024 * 768, 3.8, 4.7)
+        assert w / 1e6 == pytest.approx(2.54, abs=0.02)
+
+    def test_paper_city_row(self):
+        w = expected_working_set_bytes(1024 * 768, 1.9, 7.8)
+        assert w / 1e6 == pytest.approx(0.77, abs=0.02)
+
+    def test_scales_linearly_with_depth(self):
+        assert expected_working_set_bytes(100, 4.0, 1.0) == pytest.approx(
+            4 * expected_working_set_bytes(100, 1.0, 1.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_working_set_bytes(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            expected_working_set_bytes(100, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            expected_working_set_bytes(100, 1.0, 0.0)
+
+
+class TestStructureSizes:
+    """Table 4, verified against the paper's exact numbers."""
+
+    @pytest.mark.parametrize(
+        "host_mb,expected_kb",
+        [(16, 64), (32, 128), (64, 256), (256, 1024), (1024, 4096)],
+    )
+    def test_page_table_sizes(self, host_mb, expected_kb):
+        sizes = l2_structure_sizes(2 * MB, host_mb * MB, l2_tile_texels=16)
+        assert sizes.page_table_bytes == expected_kb * KB
+
+    @pytest.mark.parametrize(
+        "l2_mb,active_kb,sans_kb", [(2, 0.25, 8), (4, 0.5, 16), (8, 1, 32)]
+    )
+    def test_brl_sizes(self, l2_mb, active_kb, sans_kb):
+        sizes = l2_structure_sizes(l2_mb * MB, 32 * MB, l2_tile_texels=16)
+        assert sizes.brl_active_bits_bytes == active_kb * KB
+        assert sizes.brl_sans_active_bytes == sans_kb * KB
+
+    def test_paper_example_32mb_gives_32k_entries(self):
+        # §5.2 footnote: 32 MB of texture, 16x16x32-bit blocks -> 32 K entries.
+        sizes = l2_structure_sizes(2 * MB, 32 * MB, l2_tile_texels=16)
+        assert sizes.page_table_entries == 32 * 1024
+
+    def test_8x8_tiles_have_smaller_entries(self):
+        s8 = l2_structure_sizes(2 * MB, 32 * MB, l2_tile_texels=8)
+        # 4 sector bits round to one 16-bit word, + 16-bit pointer = 4 bytes,
+        # but 4x as many entries as 16x16.
+        assert s8.page_table_entries == 128 * 1024
+        assert s8.page_table_bytes == 128 * 1024 * 4
+
+    def test_32x32_tiles_have_bigger_entries(self):
+        s32 = l2_structure_sizes(2 * MB, 32 * MB, l2_tile_texels=32)
+        # 64 sector bits = 8 bytes + 2-byte pointer = 10 bytes/entry.
+        assert s32.page_table_entries == 8 * 1024
+        assert s32.page_table_bytes == 8 * 1024 * 10
+
+
+class TestFractionalAdvantage:
+    def test_no_l2_hits_degenerates_to_c(self):
+        assert fractional_advantage(0.0, 0.0, 8.0) == pytest.approx(8.0)
+
+    def test_all_full_hits_gives_half(self):
+        # f = c - (c - 1/2) * 1 = 1/2: local L2 access at 2x host speed.
+        assert fractional_advantage(1.0, 0.0, 8.0) == pytest.approx(0.5)
+
+    def test_all_partial_hits_gives_one(self):
+        # Partial hits cost the same as a pull-architecture download.
+        assert fractional_advantage(0.0, 1.0, 8.0) == pytest.approx(1.0)
+
+    def test_high_full_hit_rate_beats_pull(self):
+        assert fractional_advantage(0.95, 0.04, 8.0) < 1.0
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            fractional_advantage(1.2, 0.0)
+        with pytest.raises(ValueError):
+            fractional_advantage(0.7, 0.6)
+
+
+class TestAccessTimes:
+    def test_pull_formula(self):
+        # A_pull = t1 + (1 - h1) t3
+        assert average_access_time_pull(0.95, 1.0, 10.0) == pytest.approx(1.5)
+
+    def test_l2_beats_pull_when_f_below_one(self):
+        h1, t1, t3 = 0.95, 1.0, 10.0
+        f = fractional_advantage(0.9, 0.08, 8.0)
+        assert average_access_time_l2(h1, f, t1, t3) < average_access_time_pull(
+            h1, t1, t3
+        )

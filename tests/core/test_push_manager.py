@@ -1,0 +1,89 @@
+"""Tests for the budgeted push-architecture texture manager."""
+
+import numpy as np
+import pytest
+
+from repro.core.push_manager import BudgetedPushArchitecture
+from repro.texture.texture import Texture
+from repro.texture.tiling import pack_tile_refs
+from repro.trace.trace import FrameTrace, Trace, TraceMeta
+
+
+def make_trace(frame_tids):
+    textures = [
+        Texture("a", 64, 64, original_depth_bits=16),   # host_bytes Ha
+        Texture("b", 64, 64, original_depth_bits=16),
+        Texture("c", 64, 64, original_depth_bits=16),
+    ]
+    frames = []
+    for tids in frame_tids:
+        refs = pack_tile_refs(
+            np.array(tids, dtype=np.int64), 0,
+            np.zeros(len(tids), dtype=np.int64),
+            np.zeros(len(tids), dtype=np.int64),
+        )
+        frames.append(FrameTrace(refs, np.ones(len(tids), dtype=np.int64),
+                                 len(tids)))
+    meta = TraceMeta("t", 8, 8, "point", len(frames))
+    return Trace(meta=meta, frames=frames, textures=textures)
+
+
+TEX_BYTES = Texture("x", 64, 64, original_depth_bits=16).host_bytes
+
+
+class TestValidation:
+    def test_positive_budget(self):
+        with pytest.raises(ValueError):
+            BudgetedPushArchitecture(0)
+
+
+class TestDownloads:
+    def test_cold_start_downloads_everything(self):
+        trace = make_trace([[0, 1]])
+        res = BudgetedPushArchitecture(10 * TEX_BYTES).run(trace)
+        assert res.download_bytes.tolist() == [2 * TEX_BYTES]
+
+    def test_resident_textures_not_redownloaded(self):
+        trace = make_trace([[0, 1], [0, 1]])
+        res = BudgetedPushArchitecture(10 * TEX_BYTES).run(trace)
+        assert res.download_bytes.tolist() == [2 * TEX_BYTES, 0]
+
+    def test_generous_budget_keeps_all(self):
+        trace = make_trace([[0], [1], [2], [0], [1], [2]])
+        res = BudgetedPushArchitecture(10 * TEX_BYTES).run(trace)
+        assert res.total_download_bytes == 3 * TEX_BYTES  # each once
+
+    def test_tight_budget_thrashes(self):
+        # Budget for one texture; alternating needs re-download every frame.
+        trace = make_trace([[0], [1], [0], [1]])
+        res = BudgetedPushArchitecture(TEX_BYTES).run(trace)
+        assert res.download_bytes.tolist() == [TEX_BYTES] * 4
+
+    def test_lru_eviction_order(self):
+        # Budget for two textures; access 0, 1, then 2 evicts 0 (LRU).
+        trace = make_trace([[0], [1], [2], [1], [0]])
+        res = BudgetedPushArchitecture(2 * TEX_BYTES).run(trace)
+        # Frame 3 (tid 1) is still resident; frame 4 (tid 0) was evicted.
+        assert res.download_bytes.tolist() == [
+            TEX_BYTES, TEX_BYTES, TEX_BYTES, 0, TEX_BYTES,
+        ]
+
+
+class TestAccounting:
+    def test_resident_curve_within_budget_when_fitting(self):
+        trace = make_trace([[0], [1], [2]])
+        res = BudgetedPushArchitecture(2 * TEX_BYTES).run(trace)
+        assert np.all(res.resident_bytes <= 2 * TEX_BYTES)
+
+    def test_overflow_frames_counted(self):
+        # Three textures needed at once, budget for one.
+        trace = make_trace([[0, 1, 2]])
+        res = BudgetedPushArchitecture(TEX_BYTES).run(trace)
+        assert res.overflow_frames == 1
+        # The frame's own textures are kept even over budget.
+        assert res.resident_bytes[0] == 3 * TEX_BYTES
+
+    def test_mean_download(self):
+        trace = make_trace([[0], [1]])
+        res = BudgetedPushArchitecture(10 * TEX_BYTES).run(trace)
+        assert res.mean_download_bytes == pytest.approx(TEX_BYTES)

@@ -1,0 +1,136 @@
+"""Tests for the transaction-latency timing model."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import FrameCacheStats, TraceRunResult, HierarchyConfig
+from repro.core.l1_cache import L1CacheConfig
+from repro.core.l2_cache import L2CacheConfig, L2FrameResult
+from repro.core.tlb import TLBFrameResult
+from repro.core.timing import (
+    FrameTiming,
+    TimingModel,
+    bus_bound_fraction,
+    estimate_frame_timings,
+    mean_fps,
+    sanity_check_against_fractional_advantage,
+)
+
+
+def pull_result(frames):
+    return TraceRunResult(
+        config=HierarchyConfig(l1=L1CacheConfig(size_bytes=2048)), frames=frames
+    )
+
+
+def l2_result(frames):
+    return TraceRunResult(
+        config=HierarchyConfig(
+            l1=L1CacheConfig(size_bytes=2048),
+            l2=L2CacheConfig(size_bytes=64 * 1024),
+        ),
+        frames=frames,
+    )
+
+
+class TestModelValidation:
+    def test_derived_latencies(self):
+        m = TimingModel(host_download_cycles=20.0, full_miss_cost_ratio=8.0)
+        assert m.l2_full_hit_cycles == 10.0
+        assert m.l2_partial_hit_cycles == 20.0
+        assert m.l2_full_miss_cycles == 160.0
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            TimingModel(clock_hz=0)
+        with pytest.raises(ValueError):
+            TimingModel(agp_bytes_per_second=-1)
+
+    def test_rejects_cheap_downloads(self):
+        with pytest.raises(ValueError):
+            TimingModel(l1_hit_cycles=5.0, host_download_cycles=2.0)
+
+
+class TestFrameTiming:
+    def test_pull_frame_cycles(self):
+        m = TimingModel(clock_hz=100.0, agp_bytes_per_second=1e12)
+        stats = FrameCacheStats(texel_reads=100, l1_accesses=50, l1_misses=10)
+        (t,) = estimate_frame_timings(pull_result([stats]), m)
+        # 100 hits * 1 + 10 misses * 20 = 300 cycles at 100 Hz = 3 s.
+        assert t.compute_cycles == 300.0
+        assert t.compute_seconds == pytest.approx(3.0)
+        assert not t.bus_bound
+
+    def test_l2_frame_cycles(self):
+        m = TimingModel(clock_hz=100.0, agp_bytes_per_second=1e12)
+        stats = FrameCacheStats(
+            texel_reads=100,
+            l1_accesses=50,
+            l1_misses=10,
+            l2=L2FrameResult(
+                accesses=10, full_hits=6, partial_hits=3, full_misses=1,
+                evictions=0,
+            ),
+        )
+        (t,) = estimate_frame_timings(l2_result([stats]), m)
+        # 100*1 + 6*10 + 3*20 + 1*160 = 380 cycles.
+        assert t.compute_cycles == 380.0
+
+    def test_tlb_penalty_added(self):
+        m = TimingModel(clock_hz=100.0, agp_bytes_per_second=1e12)
+        stats = FrameCacheStats(
+            texel_reads=10,
+            l1_accesses=5,
+            l1_misses=2,
+            l2=L2FrameResult(accesses=2, full_hits=2, partial_hits=0,
+                             full_misses=0, evictions=0),
+            tlb=TLBFrameResult(accesses=2, hits=1),
+        )
+        (t,) = estimate_frame_timings(l2_result([stats]), m)
+        assert t.compute_cycles == 10 + 2 * 10 + 1 * 10
+
+    def test_bus_bound_frame(self):
+        # Slow bus: 64 bytes take 64 s; compute takes far less.
+        m = TimingModel(clock_hz=1e9, agp_bytes_per_second=1.0)
+        stats = FrameCacheStats(texel_reads=10, l1_accesses=5, l1_misses=1)
+        (t,) = estimate_frame_timings(pull_result([stats]), m)
+        assert t.bus_bound
+        assert t.seconds == pytest.approx(64.0)
+
+
+class TestAggregates:
+    def _timings(self):
+        return [
+            FrameTiming(100, 0, compute_seconds=0.1, bus_seconds=0.05),
+            FrameTiming(100, 0, compute_seconds=0.1, bus_seconds=0.3),
+        ]
+
+    def test_mean_fps(self):
+        # Frame times 0.1 and 0.3 -> 2 frames / 0.4 s = 5 fps.
+        assert mean_fps(self._timings()) == pytest.approx(5.0)
+
+    def test_bus_bound_fraction(self):
+        assert bus_bound_fraction(self._timings()) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert mean_fps([]) == 0.0
+        assert bus_bound_fraction([]) == 0.0
+
+
+class TestConsistencyWithClosedForm:
+    def test_agreement_on_uniform_frames(self):
+        """When every frame has the same mix, the transaction timing and
+        the SS5.4.2 closed form coincide exactly (texel-read weighting)."""
+        pull_stats = FrameCacheStats(texel_reads=1000, l1_accesses=500,
+                                     l1_misses=50)
+        l2_stats = FrameCacheStats(
+            texel_reads=1000,
+            l1_accesses=500,
+            l1_misses=50,
+            l2=L2FrameResult(accesses=50, full_hits=40, partial_hits=8,
+                             full_misses=2, evictions=0),
+        )
+        timing, closed = sanity_check_against_fractional_advantage(
+            pull_result([pull_stats] * 3), l2_result([l2_stats] * 3)
+        )
+        assert timing == pytest.approx(closed, rel=1e-9)

@@ -1,0 +1,58 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.charts import SERIES_GLYPHS, ascii_chart
+
+
+class TestAsciiChart:
+    def test_single_series_renders(self):
+        out = ascii_chart({"a": np.linspace(0, 10, 20)}, width=20, height=6)
+        lines = out.splitlines()
+        assert any("*" in line for line in lines)
+        assert "* = a" in out
+
+    def test_monotone_series_rises_left_to_right(self):
+        out = ascii_chart({"a": np.linspace(0, 10, 40)}, width=40, height=8)
+        rows = [line.split("|", 1)[1] for line in out.splitlines() if "|" in line]
+        # The first (top) row's marks must be to the right of the last
+        # mark-bearing row's marks.
+        top_cols = [i for i, c in enumerate(rows[0]) if c == "*"]
+        bottom_cols = [i for i, c in enumerate(rows[-1]) if c == "*"]
+        assert min(top_cols) > max(bottom_cols)
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = ascii_chart(
+            {"a": [1, 2, 3], "b": [3, 2, 1], "c": [2, 2, 2]}, width=12, height=6
+        )
+        for glyph, name in zip(SERIES_GLYPHS, "abc"):
+            assert f"{glyph} = {name}" in out
+
+    def test_too_many_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({str(i): [1] for i in range(9)})
+
+    def test_empty_series_dict(self):
+        assert "no series" in ascii_chart({})
+
+    def test_all_nan(self):
+        assert "no finite data" in ascii_chart({"a": [np.nan, np.nan]})
+
+    def test_constant_series_no_crash(self):
+        out = ascii_chart({"a": [5.0, 5.0, 5.0]}, width=10, height=4)
+        assert "*" in out
+
+    def test_log_scale_handles_zeros(self):
+        out = ascii_chart({"a": [0.0, 1.0, 1000.0]}, logy=True, width=12, height=6)
+        assert "[log y]" in out
+
+    def test_axis_labels_present(self):
+        out = ascii_chart({"a": [0.0, 10.0]}, width=10, height=5)
+        assert "10" in out
+        assert "frame 0 .. 1" in out
+
+    def test_resampling_long_series(self):
+        out = ascii_chart({"a": np.sin(np.linspace(0, 6, 500))}, width=30, height=6)
+        rows = [line.split("|", 1)[1] for line in out.splitlines() if "|" in line]
+        assert all(len(r) == 30 for r in rows)

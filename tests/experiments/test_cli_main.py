@@ -1,0 +1,25 @@
+"""Tests for the experiments CLI entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestMain:
+    def test_analytic_experiments(self, capsys):
+        assert main(["fig3", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table4" in out
+        assert "t_table" in out
+
+    def test_scale_flag(self, capsys):
+        # Analytic experiments ignore scale but the flag must parse.
+        assert main(["table4", "--scale", "small"]) == 0
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError):
+            main(["fig99"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--scale", "enormous"])

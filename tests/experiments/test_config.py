@@ -1,0 +1,74 @@
+"""Tests for experiment scale presets and size scaling."""
+
+import pytest
+
+from repro.experiments.config import (
+    L1_SIZE_SWEEP,
+    PAPER_PIXELS,
+    Scale,
+    scaled_l2_sizes,
+)
+
+
+class TestScale:
+    def test_presets_ordered_by_cost(self):
+        assert Scale.small().pixels < Scale.bench().pixels
+        assert Scale.bench().pixels < Scale.full().pixels
+        assert Scale.full().pixels < Scale.paper().pixels
+
+    def test_paper_preset_matches_paper(self):
+        p = Scale.paper()
+        assert (p.width, p.height) == (1024, 768)
+        assert p.frames == 411
+        assert p.pixel_ratio == 1.0
+
+    def test_pixel_ratio(self):
+        s = Scale(width=512, height=384, frames=10, detail=1.0, name="x")
+        assert s.pixel_ratio == pytest.approx(0.25)
+
+    def test_from_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert Scale.from_env().name == "bench"
+        assert Scale.from_env(Scale.small()).name == "small"
+
+    def test_from_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert Scale.from_env().name == "full"
+        # Env beats the in-code default.
+        assert Scale.from_env(Scale.small()).name == "full"
+
+    def test_from_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "gigantic")
+        with pytest.raises(ValueError):
+            Scale.from_env()
+
+
+class TestScaledL2Sizes:
+    def test_paper_scale_exact(self):
+        sizes = dict(scaled_l2_sizes(Scale.paper()))
+        assert sizes["2 MB"] == 2 << 20
+        assert sizes["4 MB"] == 4 << 20
+        assert sizes["8 MB"] == 8 << 20
+
+    def test_scaled_down_proportionally(self):
+        s = Scale(width=512, height=384, frames=10, detail=1.0, name="x")
+        sizes = dict(scaled_l2_sizes(s))
+        assert sizes["2 MB"] == (2 << 20) // 4
+        assert sizes["8 MB"] == (8 << 20) // 4
+
+    def test_minimum_clamp(self):
+        tiny = Scale(width=16, height=16, frames=1, detail=0.1, name="t")
+        for _, actual in scaled_l2_sizes(tiny):
+            assert actual >= 64 * 1024
+
+    def test_monotone(self):
+        sizes = [b for _, b in scaled_l2_sizes(Scale.bench())]
+        assert sizes == sorted(sizes)
+
+
+class TestSweeps:
+    def test_l1_sweep_is_paper_range(self):
+        assert [s // 1024 for s in L1_SIZE_SWEEP] == [2, 4, 8, 16, 32]
+
+    def test_paper_pixels(self):
+        assert PAPER_PIXELS == 786432

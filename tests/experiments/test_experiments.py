@@ -1,0 +1,176 @@
+"""End-to-end tests: every registered experiment runs and reproduces the
+paper's qualitative shape at micro scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import Scale
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+MICRO = Scale(width=96, height=72, frames=3, detail=0.25, name="micro")
+
+ALL_IDS = sorted(EXPERIMENTS)
+
+
+@pytest.fixture(autouse=True)
+def snapshots_in_tmp(tmp_path, monkeypatch):
+    # fig12 writes PPM images; keep them out of the repository.
+    monkeypatch.setenv("REPRO_SNAPSHOT_DIR", str(tmp_path / "snaps"))
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        for exp_id in ("fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11",
+                       "table1", "table2", "table3", "table4", "table5_6",
+                       "table7", "table8"):
+            assert exp_id in EXPERIMENTS
+
+    def test_ablations_registered(self):
+        for exp_id in ("abl-zfirst", "abl-replacement", "abl-raster-order",
+                       "abl-l2-assoc", "abl-future"):
+            assert exp_id in EXPERIMENTS
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99", MICRO)
+
+
+@pytest.mark.parametrize("exp_id", ALL_IDS)
+def test_every_experiment_runs(exp_id):
+    result = run_experiment(exp_id, MICRO)
+    assert result.experiment_id == exp_id
+    assert result.text.strip()
+    assert result.render().startswith(f"=== {exp_id}")
+
+
+class TestShapes:
+    """Qualitative paper findings that must hold even at micro scale."""
+
+    def test_fig3_headline_checks(self):
+        result = run_experiment("fig3", MICRO)
+        assert all(result.data["checks"].values())
+
+    def test_table1_city_leaner_than_village(self):
+        result = run_experiment("table1", MICRO)
+        v = result.data["village"]
+        c = result.data["city"]
+        assert v.depth_complexity > c.depth_complexity
+        assert v.expected_working_set_bytes > c.expected_working_set_bytes
+
+    def test_fig4_l2_needs_less_memory_than_push(self):
+        result = run_experiment("fig4", MICRO)
+        for workload in ("village", "city"):
+            curves = result.data[workload]
+            # Compare totals over the animation (per-frame noise aside).
+            assert curves["l2_16"].sum() < curves["push"].sum()
+            # Smaller L2 tiles need less memory than bigger ones.
+            assert curves["l2_8"].sum() <= curves["l2_16"].sum()
+            assert curves["l2_16"].sum() <= curves["l2_32"].sum()
+
+    def test_fig5_new_below_total(self):
+        result = run_experiment("fig5", MICRO)
+        for workload in ("village", "city"):
+            d = result.data[workload]
+            assert np.all(d["new"] <= d["total"])
+
+    def test_fig6_new_below_total(self):
+        result = run_experiment("fig6", MICRO)
+        for workload in ("village", "city"):
+            for tile in (4, 8):
+                d = result.data[workload][tile]
+                assert np.all(d["new"] <= d["total"])
+
+    def test_fig9_miss_rate_monotone_in_size(self):
+        result = run_experiment("fig9", MICRO)
+        for mode in ("bilinear", "trilinear"):
+            means = [result.data[mode][s]["mean"] for s in sorted(result.data[mode])]
+            assert means == sorted(means, reverse=True)
+
+    def test_table2_hit_rates_high_and_monotone(self):
+        result = run_experiment("table2", MICRO)
+        rates = [result.data[s]["bilinear"] for s in sorted(result.data)]
+        assert rates == sorted(rates)
+        assert rates[0] > 0.9
+
+    def test_table3_l2_saves_bandwidth(self):
+        result = run_experiment("table3", MICRO)
+        for workload in ("village", "city"):
+            key = (workload, "trilinear")
+            no_l2 = result.data["2 KB L1, no L2"][key]
+            with_l2 = result.data["2 KB L1, 8 MB L2"][key]
+            assert with_l2 < no_l2
+
+    def test_table7_f_shrinks_with_l2_size(self):
+        # At micro scale (3 frames) compulsory misses dominate, so f < 1 is
+        # not yet reachable (the bench asserts it at real scale); but f must
+        # never exceed the full-miss cost and must improve with L2 size.
+        result = run_experiment("table7", MICRO)
+        assert all(f < 8.0 for f in result.data.values())
+        for workload in ("village", "city"):
+            for mode in ("bilinear", "trilinear"):
+                fs = [result.data[(workload, s, mode)]
+                      for s in ("2 MB", "4 MB", "8 MB")]
+                assert fs[0] >= fs[1] >= fs[2]
+
+    def test_fig11_tlb_improves_with_entries(self):
+        result = run_experiment("fig11", MICRO)
+        means = [result.data[e]["mean"] for e in sorted(result.data)]
+        assert means == sorted(means)
+
+    def test_table8_both_workloads_improve(self):
+        result = run_experiment("table8", MICRO)
+        for workload in ("village", "city"):
+            rates = [result.data[(workload, e)] for e in (1, 2, 4, 8, 16)]
+            assert rates == sorted(rates)
+
+    def test_abl_zfirst_reduces_depth(self):
+        result = run_experiment("abl-zfirst", MICRO)
+        for workload in ("village", "city"):
+            base_d, z_d = result.data[workload]["depth"]
+            assert z_d <= base_d
+
+    def test_abl_raster_order_tiled_not_worse(self):
+        result = run_experiment("abl-raster-order", MICRO)
+        for workload in ("village", "city"):
+            d = result.data[workload]
+            assert d["tiled_miss"] <= d["scanline_miss"] * 1.2
+
+    def test_locality_fractions_sum_to_one(self):
+        result = run_experiment("locality", MICRO)
+        for workload in ("village", "city"):
+            reads = result.data[workload]["reads"]
+            assert sum(reads.values()) == pytest.approx(1.0)
+            frame_level = result.data[workload]["frame_level"]
+            assert sum(frame_level.values()) == pytest.approx(1.0)
+
+    def test_perf_model_agreement(self):
+        result = run_experiment("perf", MICRO)
+        for workload in ("village", "city"):
+            timing, closed = result.data[(workload, "speedup")]
+            assert timing == pytest.approx(closed, rel=0.2)
+
+    def test_abl_line_size_tradeoff(self):
+        result = run_experiment("abl-line-size", MICRO)
+        for workload in ("village", "city"):
+            d = result.data[workload]
+            assert d["pair_miss_rate"] <= d["base_miss_rate"]
+            assert d["pair_tiles"] >= d["base_tiles"]
+
+    def test_abl_l1_assoc_two_way_recovers_conflicts(self):
+        result = run_experiment("abl-l1-assoc", MICRO)
+        assert result.data[1] >= result.data[2] >= result.data[4] * 0.99
+
+    def test_abl_push_budget_monotone(self):
+        result = run_experiment("abl-push-budget", MICRO)
+        mbs = [result.data[f]["mb_per_frame"] for f in (0.4, 0.6, 0.8, 1.0, 1.5)]
+        assert all(a >= b - 1e-9 for a, b in zip(mbs, mbs[1:]))
+
+
+class TestCLI:
+    def test_main_runs_analytic_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig3", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "table4" in out

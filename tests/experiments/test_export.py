@@ -1,0 +1,85 @@
+"""Tests for CSV export of experiment payloads."""
+
+import csv
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import export_csv, flatten_payload
+from repro.experiments.reporting import ExperimentResult
+
+
+@dataclass
+class Stats:
+    depth: float
+    name: str
+
+
+class TestFlatten:
+    def test_arrays_become_series(self):
+        series, scalars = flatten_payload({"a": np.arange(3)})
+        assert series["a"].tolist() == [0, 1, 2]
+        assert scalars == {}
+
+    def test_nested_dicts_join_keys(self):
+        series, _ = flatten_payload({"village": {"total": np.ones(2)}})
+        assert "village/total" in series
+
+    def test_tuple_keys_join(self):
+        _, scalars = flatten_payload({("village", 2): 0.5})
+        assert scalars["village/2"] == 0.5
+
+    def test_dataclass_fields_flatten(self):
+        _, scalars = flatten_payload({"stats": Stats(depth=2.5, name="v")})
+        assert scalars["stats/depth"] == 2.5
+        assert scalars["stats/name"] == "v"
+
+    def test_numeric_lists_become_series(self):
+        series, _ = flatten_payload({"xs": [1.0, 2.0, 3.0]})
+        assert series["xs"].tolist() == [1.0, 2.0, 3.0]
+
+    def test_odd_values_kept_as_repr(self):
+        _, scalars = flatten_payload({"weird": None})
+        assert scalars["weird"] == "None"
+
+
+class TestExport:
+    def _result(self):
+        return ExperimentResult(
+            experiment_id="figX",
+            title="t",
+            text="b",
+            data={"curve": np.array([1.0, 2.0]), "mean": 1.5},
+        )
+
+    def test_writes_both_files(self, tmp_path):
+        paths = export_csv(self._result(), tmp_path)
+        names = sorted(p.name for p in paths)
+        assert names == ["figX_scalars.csv", "figX_series.csv"]
+
+    def test_series_long_format(self, tmp_path):
+        export_csv(self._result(), tmp_path)
+        with open(tmp_path / "figX_series.csv") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["series", "frame", "value"]
+        assert rows[1] == ["curve", "0", "1.0"]
+        assert rows[2] == ["curve", "1", "2.0"]
+
+    def test_scalars_file(self, tmp_path):
+        export_csv(self._result(), tmp_path)
+        with open(tmp_path / "figX_scalars.csv") as f:
+            rows = dict(list(csv.reader(f))[1:])
+        assert rows["mean"] == "1.5"
+
+    def test_empty_payload_writes_nothing(self, tmp_path):
+        r = ExperimentResult("figY", "t", "b", data={})
+        assert export_csv(r, tmp_path) == []
+
+    def test_cli_csv_flag(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table4", "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "table4_scalars.csv").exists()

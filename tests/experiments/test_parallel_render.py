@@ -1,0 +1,42 @@
+"""Tests for parallel trace rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import Scale
+from repro.experiments.traces import render_trace, render_workers
+from repro.texture.sampler import FilterMode
+
+MICRO = Scale(width=64, height=48, frames=4, detail=0.2, name="micro")
+
+
+class TestParallelRender:
+    def test_parallel_identical_to_serial(self):
+        serial = render_trace("city", MICRO, FilterMode.POINT, workers=1)
+        parallel = render_trace("city", MICRO, FilterMode.POINT, workers=2)
+        assert serial.meta == parallel.meta
+        for a, b in zip(serial.frames, parallel.frames):
+            assert np.array_equal(a.refs, b.refs)
+            assert np.array_equal(a.weights, b.weights)
+            assert a.n_fragments == b.n_fragments
+            assert np.array_equal(a.object_offsets, b.object_offsets)
+
+    def test_more_workers_than_frames(self):
+        trace = render_trace("city", MICRO, FilterMode.POINT, workers=16)
+        assert trace.meta.n_frames == MICRO.frames
+
+    def test_variants_supported(self):
+        trace = render_trace(
+            "city", MICRO, FilterMode.POINT, z_first=True, workers=2
+        )
+        assert trace.meta.workload == "city+zfirst"
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RENDER_WORKERS", raising=False)
+        assert render_workers() == 1
+        monkeypatch.setenv("REPRO_RENDER_WORKERS", "6")
+        assert render_workers() == 6
+        monkeypatch.setenv("REPRO_RENDER_WORKERS", "junk")
+        assert render_workers() == 1
+        monkeypatch.setenv("REPRO_RENDER_WORKERS", "0")
+        assert render_workers() == 1

@@ -1,0 +1,63 @@
+"""Tests for the ASCII reporting helpers."""
+
+import numpy as np
+
+from repro.experiments.reporting import (
+    ExperimentResult,
+    format_series,
+    format_table,
+    kb,
+    mb,
+)
+
+
+class TestFormatters:
+    def test_mb(self):
+        assert mb(2 * 1024 * 1024) == "2.00 MB"
+
+    def test_kb(self):
+        assert kb(1536) == "1.5 KB"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "long"], [["xxxx", "1"], ["y", "22"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        # Columns align: 'long' starts at the same offset everywhere.
+        col = lines[0].index("long")
+        assert lines[2][col] == "1"
+
+    def test_empty_rows(self):
+        out = format_table(["h"], [])
+        assert "h" in out
+
+
+class TestFormatSeries:
+    def test_short_series_full(self):
+        out = format_series("x", np.array([1.0, 2.0, 3.0]))
+        assert out == "x: 1 2 3"
+
+    def test_long_series_downsampled(self):
+        out = format_series("x", np.arange(100.0), max_points=5)
+        assert len(out.split(":")[1].split()) == 5
+
+    def test_custom_format(self):
+        out = format_series("x", np.array([0.12345]), fmt="{:.2f}")
+        assert "0.12" in out
+
+
+class TestExperimentResult:
+    def test_render_includes_header(self):
+        r = ExperimentResult("fig1", "a title", "body", scale_name="small")
+        text = r.render()
+        assert "fig1" in text
+        assert "a title" in text
+        assert "[scale=small]" in text
+        assert text.endswith("body")
+
+    def test_render_without_scale(self):
+        r = ExperimentResult("fig1", "t", "b")
+        assert "[scale=" not in r.render()

@@ -1,0 +1,98 @@
+"""Unit tests for camera matrices and frustum culling."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.camera import Camera, look_at, perspective
+from repro.geometry.frustum import Frustum
+
+
+def _project(vp, point):
+    homo = vp @ np.array([*point, 1.0])
+    return homo[:3] / homo[3]
+
+
+class TestLookAt:
+    def test_eye_maps_to_origin(self):
+        m = look_at(np.array([1.0, 2.0, 3.0]), np.array([0.0, 0.0, 0.0]), np.array([0.0, 1.0, 0.0]))
+        out = m @ np.array([1.0, 2.0, 3.0, 1.0])
+        assert np.allclose(out[:3], 0, atol=1e-12)
+
+    def test_target_is_on_negative_z(self):
+        eye = np.array([0.0, 0.0, 5.0])
+        target = np.array([0.0, 0.0, 0.0])
+        m = look_at(eye, target, np.array([0.0, 1.0, 0.0]))
+        out = m @ np.array([*target, 1.0])
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(0.0, abs=1e-12)
+        assert out[2] == pytest.approx(-5.0)
+
+    def test_view_is_rigid(self):
+        m = look_at(np.array([3.0, 4.0, 5.0]), np.array([0.0, 1.0, 0.0]), np.array([0.0, 1.0, 0.0]))
+        # Rotation part must be orthonormal.
+        r = m[:3, :3]
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+
+
+class TestPerspective:
+    def test_near_plane_maps_to_minus_one(self):
+        p = perspective(90.0, 1.0, 1.0, 100.0)
+        ndc = _project(p, (0, 0, -1.0))
+        assert ndc[2] == pytest.approx(-1.0)
+
+    def test_far_plane_maps_to_plus_one(self):
+        p = perspective(90.0, 1.0, 1.0, 100.0)
+        ndc = _project(p, (0, 0, -100.0))
+        assert ndc[2] == pytest.approx(1.0)
+
+    def test_fov_edge_maps_to_unit_y(self):
+        p = perspective(90.0, 1.0, 1.0, 100.0)
+        # At 90 deg fov, a point at 45 deg elevation hits y = +/-1 in NDC.
+        ndc = _project(p, (0, 2.0, -2.0))
+        assert ndc[1] == pytest.approx(1.0)
+
+    def test_invalid_planes_raise(self):
+        with pytest.raises(ValueError):
+            perspective(60.0, 1.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            perspective(60.0, 1.0, 10.0, 5.0)
+
+
+class TestCamera:
+    def test_view_projection_shape(self):
+        cam = Camera(eye=np.array([0.0, 1.0, 5.0]), target=np.zeros(3))
+        vp = cam.view_projection(640, 480)
+        assert vp.shape == (4, 4)
+
+    def test_point_in_front_lands_in_ndc_box(self):
+        cam = Camera(eye=np.array([0.0, 0.0, 5.0]), target=np.zeros(3))
+        ndc = _project(cam.view_projection(640, 480), (0.0, 0.0, 0.0))
+        assert np.all(np.abs(ndc) <= 1.0 + 1e-9)
+
+
+class TestFrustum:
+    @pytest.fixture
+    def frustum(self):
+        cam = Camera(eye=np.array([0.0, 0.0, 10.0]), target=np.zeros(3), near=1.0, far=100.0)
+        return Frustum(cam.view_projection(640, 480))
+
+    def test_visible_sphere_kept(self, frustum):
+        assert frustum.contains_sphere(np.zeros(3), 1.0)
+
+    def test_sphere_behind_camera_culled(self, frustum):
+        assert not frustum.contains_sphere(np.array([0.0, 0.0, 50.0]), 1.0)
+
+    def test_sphere_far_to_the_side_culled(self, frustum):
+        assert not frustum.contains_sphere(np.array([1000.0, 0.0, 0.0]), 1.0)
+
+    def test_sphere_straddling_plane_kept(self, frustum):
+        # Centered outside the near plane but radius crosses it.
+        assert frustum.contains_sphere(np.array([0.0, 0.0, 9.5]), 2.0)
+
+    def test_points_any_visible(self, frustum):
+        pts = np.array([[0.0, 0.0, 0.0], [500.0, 0.0, 0.0]])
+        assert frustum.contains_points_any(pts)
+
+    def test_points_all_outside_one_plane_culled(self, frustum):
+        pts = np.array([[0.0, 0.0, 200.0], [0.0, 5.0, 300.0]])
+        assert not frustum.contains_points_any(pts)

@@ -1,0 +1,148 @@
+"""Unit tests for meshes, primitives, and camera paths."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mesh import Mesh, MeshInstance
+from repro.geometry.paths import CameraPath, Keyframe
+from repro.geometry.primitives import (
+    make_box,
+    make_cylinder,
+    make_ground_grid,
+    make_prism_roof,
+    make_quad,
+    make_sky_dome,
+)
+from repro.geometry.transforms import translation
+
+
+class TestMeshValidation:
+    def test_mismatched_uv_count_raises(self):
+        with pytest.raises(ValueError):
+            Mesh(
+                positions=np.zeros((3, 3)),
+                uvs=np.zeros((2, 2)),
+                triangles=np.array([[0, 1, 2]]),
+            )
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(ValueError):
+            Mesh(
+                positions=np.zeros((3, 3)),
+                uvs=np.zeros((3, 2)),
+                triangles=np.array([[0, 1, 5]]),
+            )
+
+    def test_merged_with_offsets_indices(self):
+        a = make_quad(1, 1)
+        b = make_quad(2, 2)
+        merged = a.merged_with(b)
+        assert merged.vertex_count == 8
+        assert merged.triangle_count == 4
+        assert int(merged.triangles[2:].min()) == 4
+
+
+class TestPrimitives:
+    def test_quad_counts(self):
+        q = make_quad(2, 3, uv_repeat=(2, 5))
+        assert q.vertex_count == 4
+        assert q.triangle_count == 2
+        assert q.uvs.max(axis=0).tolist() == [2.0, 5.0]
+
+    def test_box_has_five_faces_by_default(self):
+        b = make_box(1, 2, 3)
+        assert b.triangle_count == 10
+        assert b.positions[:, 1].min() == 0.0
+        assert b.positions[:, 1].max() == 2.0
+
+    def test_box_with_bottom(self):
+        assert make_box(1, 1, 1, include_bottom=True).triangle_count == 12
+
+    def test_roof_spans_footprint(self):
+        r = make_prism_roof(4, 2, 1.5)
+        assert r.positions[:, 0].min() == -2.0
+        assert r.positions[:, 0].max() == 2.0
+        assert r.positions[:, 1].max() == 1.5
+
+    def test_ground_grid_cells(self):
+        g = make_ground_grid(10.0, cells=4)
+        assert g.vertex_count == 25
+        assert g.triangle_count == 32
+        assert np.allclose(g.positions[:, 1], 0.0)
+
+    def test_sky_dome_double_sided(self):
+        d = make_sky_dome(100.0, slices=6, stacks=2)
+        assert d.double_sided
+        assert d.positions[:, 1].min() >= -1e-9
+
+    def test_cylinder_counts(self):
+        c = make_cylinder(1.0, 5.0, slices=8)
+        assert c.triangle_count == 16
+        assert c.positions[:, 1].max() == 5.0
+
+
+class TestMeshInstance:
+    def test_world_positions_apply_model(self):
+        inst = MeshInstance(make_quad(2, 2), translation(10, 0, 0), texture_id=0)
+        assert np.allclose(inst.world_positions()[:, 0].mean(), 10.0)
+
+    def test_bounding_sphere_contains_vertices(self):
+        inst = MeshInstance(make_box(2, 4, 6), translation(5, 0, -3), texture_id=1)
+        center, radius = inst.bounding_sphere()
+        d = np.linalg.norm(inst.world_positions() - center, axis=1)
+        assert np.all(d <= radius + 1e-9)
+
+    def test_bounding_sphere_cached(self):
+        inst = MeshInstance(make_quad(1, 1), translation(0, 0, 0), texture_id=0)
+        assert inst.bounding_sphere() is inst.bounding_sphere()
+
+
+class TestCameraPath:
+    def _path(self):
+        return CameraPath(
+            [
+                Keyframe(0.0, (0, 1, 0), (0, 1, -10)),
+                Keyframe(0.5, (5, 1, -5), (5, 1, -15)),
+                Keyframe(1.0, (10, 1, -10), (10, 1, -20)),
+            ]
+        )
+
+    def test_needs_two_keyframes(self):
+        with pytest.raises(ValueError):
+            CameraPath([Keyframe(0.0, (0, 0, 0), (0, 0, -1))])
+
+    def test_times_must_increase(self):
+        with pytest.raises(ValueError):
+            CameraPath(
+                [
+                    Keyframe(0.5, (0, 0, 0), (0, 0, -1)),
+                    Keyframe(0.5, (1, 0, 0), (1, 0, -1)),
+                ]
+            )
+
+    def test_endpoints_match_keyframes(self):
+        p = self._path()
+        assert np.allclose(p.camera_at(0.0).eye, [0, 1, 0])
+        assert np.allclose(p.camera_at(1.0).eye, [10, 1, -10])
+
+    def test_frames_count_and_smoothness(self):
+        p = self._path()
+        cams = p.frames(33)
+        assert len(cams) == 33
+        eyes = np.array([c.eye for c in cams])
+        steps = np.linalg.norm(np.diff(eyes, axis=0), axis=1)
+        # Incremental viewpoint motion: no frame jumps wildly.
+        assert steps.max() < 2.0
+
+    def test_single_frame(self):
+        assert len(self._path().frames(1)) == 1
+
+    def test_degenerate_eye_equals_target_guarded(self):
+        p = CameraPath(
+            [
+                Keyframe(0.0, (0, 0, 0), (0, 0, 0)),
+                Keyframe(1.0, (1, 0, 0), (1, 0, 0)),
+            ]
+        )
+        cam = p.camera_at(0.5)
+        assert np.linalg.norm(cam.target - cam.eye) > 1e-9

@@ -1,0 +1,74 @@
+"""Property tests for camera paths (smoothness and interpolation bounds)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.paths import CameraPath, Keyframe
+
+position = st.tuples(
+    st.floats(-100, 100), st.floats(0.1, 50), st.floats(-100, 100)
+)
+
+
+@st.composite
+def paths(draw):
+    n = draw(st.integers(2, 6))
+    ts = sorted(draw(st.lists(st.floats(0.0, 1.0), min_size=n, max_size=n,
+                              unique=True)))
+    keys = []
+    for t in ts:
+        eye = draw(position)
+        target = draw(position)
+        keys.append(Keyframe(t, eye, target))
+    return CameraPath(keys)
+
+
+class TestPathProperties:
+    @given(paths())
+    @settings(max_examples=50, deadline=None)
+    def test_property_endpoints_interpolate_keyframes(self, path):
+        first, last = path.keyframes[0], path.keyframes[-1]
+        assert np.allclose(path.camera_at(first.t).eye, first.eye, atol=1e-9)
+        assert np.allclose(path.camera_at(last.t).eye, last.eye, atol=1e-9)
+
+    @given(paths(), st.floats(-0.5, 1.5))
+    @settings(max_examples=100, deadline=None)
+    def test_property_queries_clamped_and_finite(self, path, t):
+        cam = path.camera_at(t)
+        assert np.all(np.isfinite(cam.eye))
+        assert np.all(np.isfinite(cam.target))
+        assert np.linalg.norm(cam.target - cam.eye) > 1e-10
+
+    @given(paths(), st.integers(2, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_property_frames_motion_bounded(self, path, n):
+        """Catmull-Rom stays within a bounded overshoot of the control
+        points: the sampled path cannot fly off to infinity."""
+        eyes = np.array([c.eye for c in path.frames(n)])
+        ctrl = np.array([k.eye for k in path.keyframes])
+        lo = ctrl.min(axis=0)
+        hi = ctrl.max(axis=0)
+        span = np.maximum(hi - lo, 1.0)
+        assert np.all(eyes >= lo - span)
+        assert np.all(eyes <= hi + span)
+
+    @given(paths())
+    @settings(max_examples=50, deadline=None)
+    def test_property_sampling_deterministic(self, path):
+        a = np.array([c.eye for c in path.frames(37)])
+        b = np.array([c.eye for c in path.frames(37)])
+        assert np.array_equal(a, b)
+
+    def test_evenly_spaced_keyframes_are_smooth(self):
+        """With well-spaced keyframes (how the workloads use paths), dense
+        samples never teleport."""
+        keys = [
+            Keyframe(i / 4, (10.0 * i, 1.0, -5.0 * i), (10.0 * i, 1.0, -5.0 * i - 10))
+            for i in range(5)
+        ]
+        path = CameraPath(keys)
+        eyes = np.array([c.eye for c in path.frames(200)])
+        steps = np.linalg.norm(np.diff(eyes, axis=0), axis=1)
+        extent = np.linalg.norm(eyes.max(axis=0) - eyes.min(axis=0))
+        assert steps.max() <= 0.05 * extent

@@ -1,0 +1,86 @@
+"""Unit tests for repro.geometry.transforms."""
+
+import math
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.transforms import (
+    compose,
+    identity,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+    scaling,
+    transform_directions,
+    transform_points,
+    translation,
+)
+
+finite = st.floats(-1e3, 1e3, allow_nan=False)
+
+
+class TestBuilders:
+    def test_identity_leaves_points_alone(self):
+        pts = np.array([[1.0, 2.0, 3.0], [-4.0, 0.0, 5.0]])
+        assert np.allclose(transform_points(identity(), pts), pts)
+
+    def test_translation_moves_points(self):
+        out = transform_points(translation(1, 2, 3), np.array([[0.0, 0.0, 0.0]]))
+        assert np.allclose(out, [[1, 2, 3]])
+
+    def test_translation_does_not_move_directions(self):
+        out = transform_directions(translation(5, 5, 5), np.array([[1.0, 0.0, 0.0]]))
+        assert np.allclose(out, [[1, 0, 0]])
+
+    def test_uniform_scaling_single_arg(self):
+        out = transform_points(scaling(2), np.array([[1.0, 1.0, 1.0]]))
+        assert np.allclose(out, [[2, 2, 2]])
+
+    def test_nonuniform_scaling(self):
+        out = transform_points(scaling(2, 3, 4), np.array([[1.0, 1.0, 1.0]]))
+        assert np.allclose(out, [[2, 3, 4]])
+
+
+class TestRotations:
+    def test_rotation_x_sends_y_to_z(self):
+        out = transform_points(rotation_x(math.pi / 2), np.array([[0.0, 1.0, 0.0]]))
+        assert np.allclose(out, [[0, 0, 1]], atol=1e-12)
+
+    def test_rotation_y_sends_z_to_x(self):
+        out = transform_points(rotation_y(math.pi / 2), np.array([[0.0, 0.0, 1.0]]))
+        assert np.allclose(out, [[1, 0, 0]], atol=1e-12)
+
+    def test_rotation_z_sends_x_to_y(self):
+        out = transform_points(rotation_z(math.pi / 2), np.array([[1.0, 0.0, 0.0]]))
+        assert np.allclose(out, [[0, 1, 0]], atol=1e-12)
+
+    @given(st.floats(-10, 10))
+    def test_property_rotations_preserve_length(self, angle):
+        p = np.array([[1.0, 2.0, 3.0]])
+        for rot in (rotation_x, rotation_y, rotation_z):
+            out = transform_points(rot(angle), p)
+            assert np.isclose(np.linalg.norm(out), np.linalg.norm(p))
+
+    @given(st.floats(-10, 10))
+    def test_property_rotation_inverse_is_negative_angle(self, angle):
+        m = compose(rotation_y(-angle), rotation_y(angle))
+        assert np.allclose(m, identity(), atol=1e-9)
+
+
+class TestCompose:
+    def test_compose_order_rightmost_first(self):
+        # compose(T, S) applies S first: scale then translate.
+        m = compose(translation(10, 0, 0), scaling(2))
+        out = transform_points(m, np.array([[1.0, 0.0, 0.0]]))
+        assert np.allclose(out, [[12, 0, 0]])
+
+    def test_compose_empty_is_identity(self):
+        assert np.allclose(compose(), identity())
+
+    @given(finite, finite, finite)
+    def test_property_translation_composes_additively(self, x, y, z):
+        m = compose(translation(x, y, z), translation(1, 2, 3))
+        out = transform_points(m, np.array([[0.0, 0.0, 0.0]]))
+        assert np.allclose(out, [[x + 1, y + 2, z + 3]])

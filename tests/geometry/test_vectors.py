@@ -1,0 +1,53 @@
+"""Unit tests for repro.geometry.vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.vectors import cross, dot, normalize, vec3, vec4
+
+
+class TestConstructors:
+    def test_vec3_values_and_dtype(self):
+        v = vec3(1, 2, 3)
+        assert v.dtype == np.float64
+        assert v.tolist() == [1.0, 2.0, 3.0]
+
+    def test_vec4_values(self):
+        assert vec4(1, 2, 3, 4).tolist() == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestNormalize:
+    def test_unit_length(self):
+        v = normalize(vec3(3, 4, 0))
+        assert np.allclose(v, [0.6, 0.8, 0.0])
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            normalize(vec3(0, 0, 0))
+
+    @given(
+        st.tuples(
+            st.floats(-1e6, 1e6), st.floats(-1e6, 1e6), st.floats(-1e6, 1e6)
+        ).filter(lambda t: sum(abs(x) for x in t) > 1e-3)
+    )
+    def test_property_norm_is_one(self, xyz):
+        v = normalize(vec3(*xyz))
+        assert np.isclose(np.linalg.norm(v), 1.0)
+
+
+class TestCrossDot:
+    def test_cross_right_handed(self):
+        assert np.allclose(cross(vec3(1, 0, 0), vec3(0, 1, 0)), [0, 0, 1])
+
+    def test_dot_returns_python_float(self):
+        d = dot(vec3(1, 2, 3), vec3(4, 5, 6))
+        assert isinstance(d, float)
+        assert d == 32.0
+
+    def test_cross_is_orthogonal(self):
+        a, b = vec3(1, 2, 3), vec3(-2, 1, 5)
+        c = cross(a, b)
+        assert abs(dot(a, c)) < 1e-12
+        assert abs(dot(b, c)) < 1e-12

@@ -1,0 +1,75 @@
+"""Tests for framebuffer and depth buffer."""
+
+import numpy as np
+import pytest
+
+from repro.raster.framebuffer import Framebuffer
+from repro.raster.zbuffer import DepthBuffer
+
+
+class TestFramebuffer:
+    def test_clear_color(self):
+        fb = Framebuffer(4, 3, clear_color=(1, 2, 3))
+        assert np.all(fb.color == [1, 2, 3])
+
+    def test_write_pixels(self):
+        fb = Framebuffer(4, 4)
+        fb.write_pixels(np.array([1]), np.array([2]), np.array([[9.0, 8.0, 7.0]]))
+        assert fb.color[1, 2].tolist() == [9.0, 8.0, 7.0]
+
+    def test_as_uint8_clips(self):
+        fb = Framebuffer(2, 2)
+        fb.color[0, 0] = [300.0, -5.0, 127.4]
+        out = fb.as_uint8()
+        assert out[0, 0].tolist() == [255, 0, 127]
+
+    def test_write_ppm(self, tmp_path):
+        fb = Framebuffer(3, 2, clear_color=(10, 20, 30))
+        path = tmp_path / "img.ppm"
+        fb.write_ppm(path)
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n3 2\n255\n")
+        assert len(data) == len(b"P6\n3 2\n255\n") + 3 * 2 * 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Framebuffer(0, 4)
+
+
+class TestDepthBuffer:
+    def test_first_write_passes(self):
+        z = DepthBuffer(4, 4)
+        passed = z.test_and_update(np.array([0]), np.array([0]), np.array([0.5]))
+        assert passed.tolist() == [True]
+
+    def test_farther_fragment_fails(self):
+        z = DepthBuffer(4, 4)
+        z.test_and_update(np.array([0]), np.array([0]), np.array([0.5]))
+        passed = z.test_and_update(np.array([0]), np.array([0]), np.array([0.7]))
+        assert passed.tolist() == [False]
+
+    def test_closer_fragment_passes_and_updates(self):
+        z = DepthBuffer(4, 4)
+        z.test_and_update(np.array([0]), np.array([0]), np.array([0.5]))
+        passed = z.test_and_update(np.array([0]), np.array([0]), np.array([0.2]))
+        assert passed.tolist() == [True]
+        assert z.depth[0, 0] == 0.2
+
+    def test_equal_depth_fails(self):
+        z = DepthBuffer(4, 4)
+        z.test_and_update(np.array([0]), np.array([0]), np.array([0.5]))
+        passed = z.test_and_update(np.array([0]), np.array([0]), np.array([0.5]))
+        assert passed.tolist() == [False]
+
+    def test_clear(self):
+        z = DepthBuffer(2, 2)
+        z.test_and_update(np.array([0]), np.array([0]), np.array([0.5]))
+        z.clear()
+        assert np.all(np.isinf(z.depth))
+
+    def test_vectorized_mixed_batch(self):
+        z = DepthBuffer(4, 1)
+        z.test_and_update(np.zeros(4, dtype=int), np.arange(4), np.full(4, 0.5))
+        zs = np.array([0.1, 0.9, 0.3, 0.6])
+        passed = z.test_and_update(np.zeros(4, dtype=int), np.arange(4), zs)
+        assert passed.tolist() == [True, False, True, False]

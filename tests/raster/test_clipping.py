@@ -1,0 +1,75 @@
+"""Tests for near-plane clipping."""
+
+import numpy as np
+import pytest
+
+from repro.raster.clipping import clip_triangle_near, clip_triangle_plane
+
+
+def tri(positions, uvs=None):
+    pos = np.array(positions, dtype=np.float64)
+    uv = np.array(uvs if uvs is not None else [[0, 0], [1, 0], [0, 1]],
+                  dtype=np.float64)
+    return pos, uv
+
+
+class TestClipPlane:
+    def test_all_inside_passthrough(self):
+        pos, uv = tri([[0, 0, 0, 1], [1, 0, 0, 1], [0, 1, 0, 1]])
+        out = clip_triangle_plane(pos, uv, np.array([1.0, 1.0, 1.0]))
+        assert len(out) == 1
+        assert np.array_equal(out[0][0], pos)
+
+    def test_all_outside_dropped(self):
+        pos, uv = tri([[0, 0, 0, 1], [1, 0, 0, 1], [0, 1, 0, 1]])
+        assert clip_triangle_plane(pos, uv, np.array([-1.0, -1.0, -2.0])) == []
+
+    def test_one_inside_gives_one_triangle(self):
+        pos, uv = tri([[0, 0, 0, 1], [1, 0, 0, 1], [0, 1, 0, 1]])
+        out = clip_triangle_plane(pos, uv, np.array([1.0, -1.0, -1.0]))
+        assert len(out) == 1
+
+    def test_two_inside_gives_two_triangles(self):
+        pos, uv = tri([[0, 0, 0, 1], [1, 0, 0, 1], [0, 1, 0, 1]])
+        out = clip_triangle_plane(pos, uv, np.array([1.0, 1.0, -1.0]))
+        assert len(out) == 2
+
+    def test_intersection_interpolates_linearly(self):
+        pos, uv = tri(
+            [[0, 0, 0, 1], [2, 0, 0, 1], [0, 2, 0, 1]],
+            uvs=[[0, 0], [1, 0], [0, 1]],
+        )
+        # Plane crosses the 0->1 edge exactly halfway.
+        out = clip_triangle_plane(pos, uv, np.array([1.0, -1.0, 1.0]))
+        verts = np.vstack([t[0] for t in out])
+        uvs = np.vstack([t[1] for t in out])
+        # The crossing vertex on edge 0->1 is at x=1, u=0.5.
+        has_midpoint = np.any(
+            np.isclose(verts[:, 0], 1.0) & np.isclose(uvs[:, 0], 0.5)
+        )
+        assert has_midpoint
+
+
+class TestClipNear:
+    def test_behind_camera_clipped(self):
+        # One vertex behind the near plane (z < -w).
+        pos, uv = tri([[0, 0, -2, 1], [1, 0, 0, 1], [0, 1, 0, 1]])
+        out = clip_triangle_near(pos, uv)
+        assert len(out) == 2
+        for cpos, _ in out:
+            assert np.all(cpos[:, 2] + cpos[:, 3] >= -1e-6)
+
+    def test_fully_visible_untouched(self):
+        pos, uv = tri([[0, 0, 0, 1], [1, 0, 0.5, 1], [0, 1, 0, 2]])
+        out = clip_triangle_near(pos, uv)
+        assert len(out) == 1
+
+    def test_fully_behind_dropped(self):
+        pos, uv = tri([[0, 0, -3, 1], [1, 0, -4, 1], [0, 1, -5, 1]])
+        assert clip_triangle_near(pos, uv) == []
+
+    def test_clipped_vertices_have_positive_w(self):
+        pos, uv = tri([[0, 0, -5, 0.5], [1, 0, 1, 2], [0, 1, 1, 2]])
+        for cpos, _ in clip_triangle_near(pos, uv):
+            # At the near plane w = -z > 0, so all clipped w must be positive.
+            assert np.all(cpos[:, 3] > 0)

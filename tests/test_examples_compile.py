@@ -1,0 +1,43 @@
+"""Smoke checks that every example script parses and has a main().
+
+Running the examples renders animations (slow), so tests only verify the
+scripts are syntactically valid, import only available modules at top
+level, and expose the documented entry point.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parents[1] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+class TestExamples:
+    def test_parses(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+    def test_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+
+    def test_imports_resolve(self, path):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    __import__(node.module)
+
+
+def test_expected_example_set():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "render_snapshots.py",
+        "cache_designer.py",
+        "texture_lifetime.py",
+        "agp_budget.py",
+        "locality_report.py",
+    } <= names

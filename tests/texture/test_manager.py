@@ -1,0 +1,78 @@
+"""Unit tests for TextureManager."""
+
+import pytest
+
+from repro.texture.manager import TextureManager
+from repro.texture.texture import Texture
+
+
+@pytest.fixture
+def manager():
+    m = TextureManager()
+    m.load(Texture("a", 64, 64, original_depth_bits=16))
+    m.load(Texture("b", 32, 32, original_depth_bits=32))
+    return m
+
+
+class TestLifetime:
+    def test_sequential_tids(self, manager):
+        assert manager.load(Texture("c", 16, 16)) == 2
+
+    def test_delete_retires_tid(self, manager):
+        manager.delete(0)
+        assert not manager.is_loaded(0)
+        assert manager.is_loaded(1)
+        # tid not reused
+        assert manager.load(Texture("c", 16, 16)) == 2
+
+    def test_double_delete_raises(self, manager):
+        manager.delete(0)
+        with pytest.raises(ValueError):
+            manager.delete(0)
+
+    def test_unknown_tid_raises(self, manager):
+        with pytest.raises(IndexError):
+            manager.delete(99)
+
+
+class TestBinding:
+    def test_bind_and_current(self, manager):
+        manager.bind(1)
+        assert manager.current_texture == 1
+
+    def test_bind_deleted_raises(self, manager):
+        manager.delete(1)
+        with pytest.raises(ValueError):
+            manager.bind(1)
+
+    def test_delete_clears_current(self, manager):
+        manager.bind(0)
+        manager.delete(0)
+        assert manager.current_texture is None
+
+
+class TestAccounting:
+    def test_host_bytes_respects_depth(self, manager):
+        a = manager.texture(0)
+        b = manager.texture(1)
+        assert manager.loaded_host_bytes == a.host_bytes + b.host_bytes
+
+    def test_delete_reduces_host_bytes(self, manager):
+        before = manager.loaded_host_bytes
+        manager.delete(0)
+        assert manager.loaded_host_bytes == before - manager.texture(0).host_bytes
+
+    def test_expanded_bytes_all_32bit(self, manager):
+        assert manager.loaded_expanded_bytes == sum(
+            t.expanded_bytes for t in manager
+        )
+
+
+class TestAddressSpace:
+    def test_cached_until_load(self, manager):
+        s1 = manager.address_space()
+        assert manager.address_space() is s1
+        manager.load(Texture("c", 16, 16))
+        s2 = manager.address_space()
+        assert s2 is not s1
+        assert s2.texture_count == 3

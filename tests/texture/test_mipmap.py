@@ -1,0 +1,79 @@
+"""Unit tests for MIP pyramid geometry and construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.texture.mipmap import build_mip_pyramid, mip_level_count, mip_level_dims
+
+
+class TestLevelGeometry:
+    @pytest.mark.parametrize(
+        "w,h,n",
+        [(1, 1, 1), (2, 2, 2), (256, 256, 9), (256, 64, 9), (1024, 1, 11), (3, 5, 3)],
+    )
+    def test_level_count(self, w, h, n):
+        assert mip_level_count(w, h) == n
+
+    def test_level_dims_halve(self):
+        assert mip_level_dims(256, 128, 0) == (256, 128)
+        assert mip_level_dims(256, 128, 1) == (128, 64)
+        assert mip_level_dims(256, 128, 8) == (1, 1)
+
+    def test_level_dims_clamp_at_one(self):
+        assert mip_level_dims(16, 4, 3) == (2, 1)
+        assert mip_level_dims(16, 4, 4) == (1, 1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            mip_level_count(0, 4)
+        with pytest.raises(ValueError):
+            mip_level_dims(4, 4, -1)
+
+    @given(st.integers(1, 4096), st.integers(1, 4096))
+    def test_property_last_level_is_1x1(self, w, h):
+        n = mip_level_count(w, h)
+        assert mip_level_dims(w, h, n - 1) == (1, 1)
+        if n > 1:
+            assert mip_level_dims(w, h, n - 2) != (1, 1)
+
+
+class TestPyramidConstruction:
+    def test_level_shapes(self):
+        img = np.zeros((8, 16, 3), dtype=np.uint8)
+        pyr = build_mip_pyramid(img)
+        shapes = [lvl.shape[:2] for lvl in pyr]
+        assert shapes == [(8, 16), (4, 8), (2, 4), (1, 2), (1, 1)]
+
+    def test_box_filter_averages(self):
+        img = np.array(
+            [[[0], [4]], [[8], [12]]], dtype=np.float64
+        )  # 2x2, single channel
+        pyr = build_mip_pyramid(img)
+        assert pyr[1].shape == (1, 1, 1)
+        assert pyr[1][0, 0, 0] == pytest.approx(6.0)
+
+    def test_constant_image_stays_constant(self):
+        img = np.full((16, 16, 3), 77, dtype=np.uint8)
+        for lvl in build_mip_pyramid(img):
+            assert np.all(lvl == 77)
+
+    def test_mean_preserved_for_pow2(self):
+        rng = np.random.default_rng(1)
+        img = rng.uniform(0, 255, size=(32, 32, 3))
+        pyr = build_mip_pyramid(img)
+        assert pyr[-1][0, 0].mean() == pytest.approx(img.mean(), rel=1e-9)
+
+    def test_non_power_of_two(self):
+        img = np.zeros((5, 3, 3))
+        pyr = build_mip_pyramid(img)
+        assert pyr[-1].shape[:2] == (1, 1)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            build_mip_pyramid(np.zeros((4, 4)))
+
+    def test_dtype_preserved(self):
+        img = np.zeros((4, 4, 3), dtype=np.uint8)
+        assert all(lvl.dtype == np.uint8 for lvl in build_mip_pyramid(img))

@@ -1,0 +1,147 @@
+"""Unit tests for filtering footprints and color sampling."""
+
+import numpy as np
+import pytest
+
+from repro.texture.procedural import checker_texture
+from repro.texture.sampler import (
+    FilterMode,
+    footprint_tiles,
+    sample_color,
+    texel_reads_per_fragment,
+)
+from repro.texture.texture import Texture
+from repro.texture.tiling import unpack_tile_refs
+
+
+@pytest.fixture
+def tex():
+    return Texture("t", 64, 64)
+
+
+class TestReadsPerFragment:
+    def test_counts(self):
+        assert texel_reads_per_fragment(FilterMode.POINT) == 1
+        assert texel_reads_per_fragment(FilterMode.BILINEAR) == 4
+        assert texel_reads_per_fragment(FilterMode.TRILINEAR) == 8
+
+
+class TestPointFootprint:
+    def test_one_ref_per_fragment(self, tex):
+        refs = footprint_tiles(
+            tex, 0, np.array([0.1, 0.9]), np.array([0.5, 0.5]), np.zeros(2), FilterMode.POINT
+        )
+        assert refs.shape == (2,)
+
+    def test_tile_coordinates(self, tex):
+        # u=0.5 at level 0 of a 64-wide texture is texel 32 -> 4x4 tile 8.
+        refs = footprint_tiles(
+            tex, 7, np.array([0.5]), np.array([0.25]), np.zeros(1), FilterMode.POINT
+        )
+        f = unpack_tile_refs(refs)
+        assert int(f.tid[0]) == 7
+        assert int(f.mip[0]) == 0
+        assert int(f.tile_x[0]) == 8
+        assert int(f.tile_y[0]) == 4
+
+    def test_lod_selects_nearest_level(self, tex):
+        refs = footprint_tiles(
+            tex, 0, np.array([0.0, 0.0, 0.0]), np.zeros(3),
+            np.array([0.4, 0.6, 9.0]), FilterMode.POINT,
+        )
+        f = unpack_tile_refs(refs)
+        assert f.mip.tolist() == [0, 1, 6]  # 9.0 clamps to last level (64 -> 7 levels)
+
+    def test_uv_wraps(self, tex):
+        refs = footprint_tiles(
+            tex, 0, np.array([1.25]), np.array([-0.25]), np.zeros(1), FilterMode.POINT
+        )
+        f = unpack_tile_refs(refs)
+        assert int(f.tile_x[0]) == 4  # 0.25 * 64 = texel 16 -> tile 4
+        assert int(f.tile_y[0]) == 12  # 0.75 * 64 = texel 48 -> tile 12
+
+
+class TestBilinearFootprint:
+    def test_four_refs_per_fragment(self, tex):
+        refs = footprint_tiles(
+            tex, 0, np.array([0.5]), np.array([0.5]), np.zeros(1), FilterMode.BILINEAR
+        )
+        assert refs.shape == (4,)
+
+    def test_interior_footprint_single_tile(self, tex):
+        # Texel center deep inside a tile: all 4 taps in the same 4x4 tile.
+        u = (2 + 0.5) / 64  # texel 2 of tile 0
+        refs = footprint_tiles(
+            tex, 0, np.array([u]), np.array([u]), np.zeros(1), FilterMode.BILINEAR
+        )
+        assert len(np.unique(refs)) == 1
+
+    def test_tile_boundary_footprint_spans_tiles(self, tex):
+        # u exactly at a 4-texel boundary: taps straddle two tiles in x.
+        u = 4.0 / 64
+        refs = footprint_tiles(
+            tex, 0, np.array([u]), np.array([0.6]), np.zeros(1), FilterMode.BILINEAR
+        )
+        f = unpack_tile_refs(refs)
+        assert set(f.tile_x.tolist()) == {0, 1}
+
+    def test_corner_footprint_spans_four_tiles(self, tex):
+        u = 4.0 / 64
+        refs = footprint_tiles(
+            tex, 0, np.array([u]), np.array([u]), np.zeros(1), FilterMode.BILINEAR
+        )
+        assert len(np.unique(refs)) == 4
+
+
+class TestTrilinearFootprint:
+    def test_eight_refs_per_fragment(self, tex):
+        refs = footprint_tiles(
+            tex, 0, np.array([0.5]), np.array([0.5]), np.array([1.5]), FilterMode.TRILINEAR
+        )
+        assert refs.shape == (8,)
+
+    def test_two_levels_touched(self, tex):
+        refs = footprint_tiles(
+            tex, 0, np.array([0.3]), np.array([0.3]), np.array([1.5]), FilterMode.TRILINEAR
+        )
+        f = unpack_tile_refs(refs)
+        assert set(f.mip.tolist()) == {1, 2}
+
+    def test_last_level_clamps(self, tex):
+        refs = footprint_tiles(
+            tex, 0, np.array([0.3]), np.array([0.3]), np.array([50.0]), FilterMode.TRILINEAR
+        )
+        f = unpack_tile_refs(refs)
+        assert set(f.mip.tolist()) == {tex.level_count - 1}
+
+
+class TestColorSampling:
+    @pytest.fixture
+    def checker(self):
+        img = checker_texture(64, cells=2, color_a=(255, 255, 255), color_b=(0, 0, 0))
+        return Texture("c", 64, 64, image=img)
+
+    def test_point_sample_hits_cells(self, checker):
+        c = sample_color(
+            checker, np.array([0.1, 0.6]), np.array([0.1, 0.1]),
+            np.zeros(2), FilterMode.POINT,
+        )
+        assert np.allclose(c[0], 255)
+        assert np.allclose(c[1], 0)
+
+    def test_bilinear_blends_at_boundary(self, checker):
+        c = sample_color(
+            checker, np.array([0.5]), np.array([0.25]), np.zeros(1), FilterMode.BILINEAR
+        )
+        assert 0 < c[0, 0] < 255
+
+    def test_trilinear_at_high_lod_averages(self, checker):
+        c = sample_color(
+            checker, np.array([0.3]), np.array([0.3]),
+            np.array([checker.level_count - 1.0]), FilterMode.TRILINEAR,
+        )
+        assert np.allclose(c[0], 127.5, atol=2.0)
+
+    def test_shape(self, checker):
+        c = sample_color(checker, np.zeros(5), np.zeros(5), np.zeros(5), FilterMode.POINT)
+        assert c.shape == (5, 3)

@@ -1,0 +1,68 @@
+"""Unit tests for the Texture object."""
+
+import numpy as np
+import pytest
+
+from repro.texture.texture import Texture
+
+
+class TestValidation:
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Texture("bad", 0, 16)
+
+    def test_rejects_odd_depth(self):
+        with pytest.raises(ValueError):
+            Texture("bad", 16, 16, original_depth_bits=12)
+
+    def test_rejects_mismatched_image(self):
+        with pytest.raises(ValueError):
+            Texture("bad", 16, 16, image=np.zeros((8, 8, 3), dtype=np.uint8))
+
+
+class TestGeometry:
+    def test_level_count_and_dims(self):
+        t = Texture("t", 256, 64)
+        assert t.level_count == 9
+        assert t.level_dims(0) == (256, 64)
+        assert t.level_dims(6) == (4, 1)
+        with pytest.raises(ValueError):
+            t.level_dims(9)
+
+    def test_texel_count_includes_pyramid(self):
+        t = Texture("t", 4, 4)
+        # 16 + 4 + 1
+        assert t.texel_count == 21
+
+    def test_square_pow2_texel_count_close_to_4_thirds(self):
+        t = Texture("t", 256, 256)
+        assert t.texel_count == pytest.approx(256 * 256 * 4 / 3, rel=0.01)
+
+
+class TestMemoryAccounting:
+    def test_host_bytes_uses_original_depth(self):
+        t16 = Texture("t", 4, 4, original_depth_bits=16)
+        t32 = Texture("t", 4, 4, original_depth_bits=32)
+        assert t16.host_bytes == 21 * 2
+        assert t32.host_bytes == 21 * 4
+
+    def test_24_bit_rounds_to_3_bytes(self):
+        assert Texture("t", 4, 4, original_depth_bits=24).host_bytes == 21 * 3
+
+    def test_expanded_bytes_always_32bit(self):
+        t = Texture("t", 4, 4, original_depth_bits=16)
+        assert t.expanded_bytes == 21 * 4
+
+
+class TestPyramid:
+    def test_pyramid_requires_image(self):
+        with pytest.raises(ValueError):
+            Texture("t", 8, 8).pyramid()
+
+    def test_pyramid_cached(self):
+        t = Texture("t", 8, 8, image=np.zeros((8, 8, 3), dtype=np.uint8))
+        assert t.pyramid() is t.pyramid()
+
+    def test_pyramid_depth(self):
+        t = Texture("t", 8, 8, image=np.zeros((8, 8, 3), dtype=np.uint8))
+        assert len(t.pyramid()) == t.level_count

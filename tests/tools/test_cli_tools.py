@@ -1,0 +1,88 @@
+"""Tests for the command-line tools (render / trace_info / simulate)."""
+
+import pytest
+
+from repro.tools.render import main as render_main
+from repro.tools.simulate import main as simulate_main
+from repro.tools.trace_info import main as trace_info_main
+from repro.trace.tracefile import load_trace
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "t.npz"
+    rc = render_main(
+        [
+            "city", str(path),
+            "--width", "96", "--height", "72", "--frames", "3",
+            "--detail", "0.25", "--filter", "bilinear",
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestRender:
+    def test_writes_valid_trace(self, trace_file):
+        trace = load_trace(trace_file)
+        assert trace.meta.workload == "city"
+        assert trace.meta.n_frames == 3
+        assert trace.meta.filter_mode == "bilinear"
+
+    def test_variant_flags(self, tmp_path):
+        path = tmp_path / "z.npz"
+        rc = render_main(
+            [
+                "city", str(path),
+                "--width", "64", "--height", "48", "--frames", "2",
+                "--detail", "0.2", "--z-first", "--tiled",
+            ]
+        )
+        assert rc == 0
+        trace = load_trace(path)
+        assert trace.meta.workload == "city+zfirst+tiled"
+
+    def test_unknown_workload_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            render_main(["metropolis", str(tmp_path / "x.npz")])
+
+
+class TestTraceInfo:
+    def test_summary_printed(self, trace_file, capsys):
+        assert trace_info_main([str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "depth complexity" in out
+        assert "workload=city" in out
+        assert "reuse distances" in out
+
+    def test_l2_tile_option(self, trace_file, capsys):
+        assert trace_info_main([str(trace_file), "--l2-tile", "32"]) == 0
+        assert "32x32 blocks" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_pull_configuration(self, trace_file, capsys):
+        assert simulate_main([str(trace_file), "--l1-kb", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "L1 hit rate" in out
+        assert "L2 full-hit rate" not in out
+
+    def test_l2_configuration(self, trace_file, capsys):
+        rc = simulate_main(
+            [
+                str(trace_file), "--l1-kb", "2", "--l2-kb", "64",
+                "--tlb", "4", "--fps", "30",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "L2 full-hit rate" in out
+        assert "TLB hit rate" in out
+        assert "AGP MB/s @ 30 Hz" in out
+
+    def test_policy_option(self, trace_file, capsys):
+        rc = simulate_main(
+            [str(trace_file), "--l1-kb", "2", "--l2-kb", "64",
+             "--policy", "lru"]
+        )
+        assert rc == 0

@@ -1,0 +1,50 @@
+"""Unit and property tests for reference-stream compression."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.events import collapse_runs
+
+
+class TestCollapseRuns:
+    def test_empty(self):
+        values, weights = collapse_runs(np.empty(0, dtype=np.int64))
+        assert len(values) == 0
+        assert len(weights) == 0
+
+    def test_single_run(self):
+        values, weights = collapse_runs(np.array([7, 7, 7]))
+        assert values.tolist() == [7]
+        assert weights.tolist() == [3]
+
+    def test_alternating_not_collapsed(self):
+        values, weights = collapse_runs(np.array([1, 2, 1, 2]))
+        assert values.tolist() == [1, 2, 1, 2]
+        assert weights.tolist() == [1, 1, 1, 1]
+
+    def test_mixed(self):
+        values, weights = collapse_runs(np.array([5, 5, 9, 9, 9, 5]))
+        assert values.tolist() == [5, 9, 5]
+        assert weights.tolist() == [2, 3, 1]
+
+    @given(st.lists(st.integers(0, 5), max_size=300))
+    @settings(max_examples=200)
+    def test_property_reconstruction(self, xs):
+        refs = np.array(xs, dtype=np.int64)
+        values, weights = collapse_runs(refs)
+        rebuilt = np.repeat(values, weights)
+        assert rebuilt.tolist() == xs
+
+    @given(st.lists(st.integers(0, 5), max_size=300))
+    @settings(max_examples=200)
+    def test_property_no_adjacent_duplicates(self, xs):
+        values, _ = collapse_runs(np.array(xs, dtype=np.int64))
+        assert not np.any(values[1:] == values[:-1])
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=300))
+    @settings(max_examples=100)
+    def test_property_weights_sum(self, xs):
+        _, weights = collapse_runs(np.array(xs, dtype=np.int64))
+        assert int(weights.sum()) == len(xs)
+        assert np.all(weights >= 1)

@@ -1,0 +1,51 @@
+"""Unit tests for FrameTrace.object_offsets / object_ids."""
+
+import numpy as np
+import pytest
+
+from repro.trace.trace import FrameTrace
+
+
+def frame(refs, offsets):
+    refs = np.asarray(refs, dtype=np.int64)
+    return FrameTrace(
+        refs=refs,
+        weights=np.ones(len(refs), dtype=np.int64),
+        n_fragments=len(refs),
+        object_offsets=np.asarray(offsets, dtype=np.int64),
+    )
+
+
+class TestObjectOffsets:
+    def test_single_object(self):
+        f = frame([1, 2, 3], [0])
+        assert f.object_ids().tolist() == [0, 0, 0]
+
+    def test_multiple_objects(self):
+        f = frame([1, 2, 3, 4, 5], [0, 2, 4])
+        assert f.object_ids().tolist() == [0, 0, 1, 1, 2]
+
+    def test_empty_stream(self):
+        f = frame([], [])
+        assert f.object_ids().tolist() == []
+
+    def test_object_with_empty_tail(self):
+        # A final offset equal to the stream length marks an empty object.
+        f = frame([1, 2], [0, 2])
+        assert f.object_ids().tolist() == [0, 0]
+
+    def test_none_offsets_gives_none(self):
+        f = FrameTrace(
+            refs=np.array([1], dtype=np.int64),
+            weights=np.ones(1, dtype=np.int64),
+            n_fragments=1,
+        )
+        assert f.object_ids() is None
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            frame([1, 2], [1])  # must start at 0
+        with pytest.raises(ValueError):
+            frame([1, 2], [0, 5])  # beyond the stream
+        with pytest.raises(ValueError):
+            frame([1, 2, 3], [0, 2, 1])  # decreasing

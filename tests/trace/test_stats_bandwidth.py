@@ -1,0 +1,84 @@
+"""Tests for workload statistics (Table 1) and minimum bandwidth (Fig 6)."""
+
+import numpy as np
+import pytest
+
+from repro.texture.texture import Texture
+from repro.texture.tiling import pack_tile_refs
+from repro.trace.bandwidth import min_l1_bandwidth_curves
+from repro.trace.stats import frame_depth_complexity, workload_stats
+from repro.trace.trace import FrameTrace, Trace, TraceMeta
+
+
+def simple_trace(n_fragments, tiles_per_frame, n_frames=2, pixels=(16, 16)):
+    textures = [Texture("a", 256, 256)]
+    frames = []
+    for _ in range(n_frames):
+        xs = np.arange(tiles_per_frame, dtype=np.int64)
+        refs = pack_tile_refs(0, 0, xs // 8, xs % 8)
+        frames.append(
+            FrameTrace(refs, np.ones(len(refs), dtype=np.int64), n_fragments)
+        )
+    meta = TraceMeta("t", pixels[0], pixels[1], "point", n_frames)
+    return Trace(meta=meta, frames=frames, textures=textures)
+
+
+class TestDepthComplexity:
+    def test_fragments_over_pixels(self):
+        t = simple_trace(n_fragments=512, tiles_per_frame=4)
+        assert frame_depth_complexity(t).tolist() == [2.0, 2.0]
+
+
+class TestWorkloadStats:
+    def test_utilization_definition(self):
+        # 256 fragments over one 16x16 block: B_min = 1, B = 1 -> util 1.
+        t = simple_trace(n_fragments=256, tiles_per_frame=1)
+        s = workload_stats(t, 16)
+        assert s.block_utilization == pytest.approx(1.0)
+
+    def test_reuse_raises_utilization(self):
+        # Twice the fragments on the same single block: util = 2.
+        t = simple_trace(n_fragments=512, tiles_per_frame=1)
+        s = workload_stats(t, 16)
+        assert s.block_utilization == pytest.approx(2.0)
+
+    def test_expected_w_formula(self):
+        t = simple_trace(n_fragments=512, tiles_per_frame=1, pixels=(16, 16))
+        s = workload_stats(t, 16)
+        expected = (256 * s.depth_complexity * 4) / s.block_utilization
+        assert s.expected_working_set_bytes == pytest.approx(expected)
+
+    def test_empty_frames_do_not_crash(self):
+        textures = [Texture("a", 64, 64)]
+        frames = [FrameTrace(np.empty(0, dtype=np.int64),
+                             np.empty(0, dtype=np.int64), 0)]
+        t = Trace(TraceMeta("t", 8, 8, "point", 1), frames, textures)
+        s = workload_stats(t)
+        assert s.block_utilization == 0.0
+        assert s.expected_working_set_bytes == 0.0
+
+
+class TestMinBandwidth:
+    def test_total_counts_each_tile_once(self):
+        t = simple_trace(n_fragments=64, tiles_per_frame=4)
+        total, new = min_l1_bandwidth_curves(t, 4)
+        assert total.tolist() == [4 * 64, 4 * 64]
+        assert new.tolist() == [4 * 64, 0]  # identical frames: nothing new
+
+    def test_8x8_tiles_cost_more_per_tile(self):
+        t = simple_trace(n_fragments=64, tiles_per_frame=1)
+        total8, _ = min_l1_bandwidth_curves(t, 8)
+        total4, _ = min_l1_bandwidth_curves(t, 4)
+        assert total8[0] == 8 * 8 * 4
+        assert total4[0] == 4 * 4 * 4
+
+    def test_8x8_merges_adjacent_4x4(self):
+        # Tiles (0,0) and (1,0) in 4x4 units share one 8x8 tile.
+        textures = [Texture("a", 256, 256)]
+        refs = pack_tile_refs(0, 0, np.array([0, 0]), np.array([0, 1]))
+        frames = [FrameTrace(refs, np.ones(2, dtype=np.int64), 2)]
+        t = Trace(TraceMeta("t", 8, 8, "point", 1), frames, textures)
+        total8, _ = min_l1_bandwidth_curves(t, 8)
+        total4, _ = min_l1_bandwidth_curves(t, 4)
+        assert total8[0] == 256  # one 8x8 tile
+        assert total4[0] == 128  # two 4x4 tiles
