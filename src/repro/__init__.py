@@ -43,7 +43,16 @@ from repro.core import (
     average_access_time_pull,
     average_access_time_l2,
 )
+from repro.errors import (
+    CorruptTraceWarning,
+    ExperimentError,
+    ReproError,
+    TraceCorruptionError,
+    TraceFormatError,
+    TransferError,
+)
 from repro.experiments import Scale, get_trace, run_experiment, EXPERIMENTS
+from repro.reliability import FaultModel, TransferPolicy
 from repro.scenes import Workload, build_city, build_future, build_village
 from repro.texture import FilterMode, Texture, TextureManager, AddressSpace
 from repro.raster import Renderer, RenderOptions
@@ -68,6 +77,14 @@ __all__ = [
     "fractional_advantage",
     "average_access_time_pull",
     "average_access_time_l2",
+    "ReproError",
+    "TraceCorruptionError",
+    "TraceFormatError",
+    "TransferError",
+    "ExperimentError",
+    "CorruptTraceWarning",
+    "FaultModel",
+    "TransferPolicy",
     "Scale",
     "get_trace",
     "run_experiment",

@@ -8,6 +8,13 @@ through the L2; byte counts fall out of the transaction counts.
 
 Without an L2, the same machinery models the pull architecture: every L1
 miss is a 64-byte download over AGP.
+
+When a :class:`~repro.reliability.FaultModel` is configured, every host
+block download additionally passes through a seeded faulty-link simulator
+with a retry/backoff :class:`~repro.reliability.TransferPolicy`; per-frame
+degradation metrics (retried transfers, retry bytes, stale blocks) ride
+along in :class:`FrameCacheStats`. The fault-free accounting is untouched,
+so a zero-rate model reproduces baseline numbers exactly.
 """
 
 from __future__ import annotations
@@ -19,6 +26,12 @@ import numpy as np
 from repro.core.l1_cache import L1CacheConfig, L1CacheSim
 from repro.core.l2_cache import L2CacheConfig, L2FrameResult, L2TextureCache
 from repro.core.tlb import TextureTableTLB, TLBFrameResult
+from repro.reliability.faults import FaultModel
+from repro.reliability.transfer import (
+    AgpTransferLink,
+    FrameTransferStats,
+    TransferPolicy,
+)
 from repro.texture.tiling import AddressSpace, L1_BLOCK_BYTES
 from repro.trace.trace import FrameTrace, Trace
 
@@ -43,10 +56,14 @@ class HierarchyConfig:
     l2: L2CacheConfig | None = None
     tlb_entries: int | None = None
     tlb_policy: str = "round_robin"
+    fault_model: FaultModel | None = None
+    transfer_policy: TransferPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.tlb_entries is not None and self.l2 is None:
             raise ValueError("a TLB models the L2 page table; configure an L2")
+        if self.transfer_policy is not None and self.fault_model is None:
+            raise ValueError("a transfer policy needs a fault model to react to")
 
 
 @dataclass
@@ -58,6 +75,7 @@ class FrameCacheStats:
     l1_misses: int
     l2: L2FrameResult | None = None
     tlb: TLBFrameResult | None = None
+    transfer: FrameTransferStats | None = None
 
     @property
     def l1_hit_rate(self) -> float:
@@ -81,6 +99,21 @@ class FrameCacheStats:
     def local_l2_bytes(self) -> int:
         """Traffic absorbed by local L2 cache memory this frame."""
         return self.l2.local_bytes if self.l2 is not None else 0
+
+    @property
+    def retry_bytes(self) -> int:
+        """Extra AGP bytes spent re-transferring failed blocks this frame."""
+        return self.transfer.retry_bytes if self.transfer is not None else 0
+
+    @property
+    def effective_agp_bytes(self) -> int:
+        """Fault-free download bytes plus retry traffic."""
+        return self.agp_bytes + self.retry_bytes
+
+    @property
+    def stale_blocks(self) -> int:
+        """Blocks never delivered this frame (degraded-mode fallback)."""
+        return self.transfer.stale_blocks if self.transfer is not None else 0
 
 
 @dataclass
@@ -156,6 +189,42 @@ class TraceRunResult:
             return 0.0
         return float(np.mean(self.agp_bytes_per_frame()))
 
+    # ------------------------------------------------------------------
+    # Degradation aggregates (fault-injected runs; all zero otherwise)
+    # ------------------------------------------------------------------
+    @property
+    def total_retried_transfers(self) -> int:
+        """Block re-transfers issued over the whole animation."""
+        return sum(
+            f.transfer.retried_transfers
+            for f in self.frames
+            if f.transfer is not None
+        )
+
+    @property
+    def total_retry_bytes(self) -> int:
+        """AGP bytes spent on re-transfers over the whole animation."""
+        return sum(f.retry_bytes for f in self.frames)
+
+    @property
+    def total_stale_blocks(self) -> int:
+        """Blocks that were never delivered (frames fell back to stale data)."""
+        return sum(f.stale_blocks for f in self.frames)
+
+    @property
+    def degraded_frames(self) -> int:
+        """Frames completed with at least one stale block."""
+        return sum(
+            1 for f in self.frames if f.transfer is not None and f.transfer.degraded
+        )
+
+    @property
+    def mean_effective_agp_bytes_per_frame(self) -> float:
+        """Mean download bytes/frame including retry traffic."""
+        if not self.frames:
+            return 0.0
+        return float(np.mean([f.effective_agp_bytes for f in self.frames]))
+
 
 class MultiLevelTextureCache:
     """Stateful hierarchy simulator over one workload's address space."""
@@ -170,6 +239,11 @@ class MultiLevelTextureCache:
         self.tlb = (
             TextureTableTLB(config.tlb_entries, config.tlb_policy)
             if config.tlb_entries is not None
+            else None
+        )
+        self.link = (
+            AgpTransferLink(config.fault_model, config.transfer_policy)
+            if config.fault_model is not None and config.fault_model.active
             else None
         )
 
@@ -189,6 +263,14 @@ class MultiLevelTextureCache:
                 stats.tlb = self.tlb.access_frame(gids)
             _, _, subs = self.space.translate_l2(l1_res.miss_refs, l2_tile)
             stats.l2 = self.l2.access_blocks(gids, subs)
+        if self.link is not None:
+            # Every host download this frame crosses the faulty AGP link:
+            # with an L2 only partial hits + full misses, otherwise every
+            # L1 miss (the pull architecture).
+            n_blocks = (
+                stats.l2.host_downloads if stats.l2 is not None else stats.l1_misses
+            )
+            stats.transfer = self.link.transfer_frame(n_blocks)
         return stats
 
     def run_trace(self, trace: Trace) -> TraceRunResult:

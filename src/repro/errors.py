@@ -1,0 +1,103 @@
+"""Shared exception taxonomy.
+
+Every failure the reproduction treats as a first-class state derives from
+:class:`ReproError`, so callers can catch the package's own failures
+without swallowing programming errors. The taxonomy mirrors the three
+reliability layers:
+
+* trace persistence — :class:`TraceCorruptionError` (damaged archive) and
+  :class:`TraceFormatError` (well-formed but unsupported version);
+* simulated AGP transfers — :class:`TransferError` (a block transfer
+  exhausted its retry budget under a strict policy);
+* the experiment runner — :class:`ExperimentError` (one experiment failed;
+  carries the id and the captured traceback so a batch can continue).
+
+:class:`CorruptTraceWarning` is emitted when a corrupted disk-cache entry
+is quarantined and transparently re-rendered instead of crashing the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "ReproError",
+    "TraceCorruptionError",
+    "TraceFormatError",
+    "TransferError",
+    "ExperimentError",
+    "CorruptTraceWarning",
+]
+
+
+class ReproError(Exception):
+    """Base class for all failures raised by the reproduction itself."""
+
+
+class TraceCorruptionError(ReproError):
+    """A trace archive is damaged: unreadable, truncated, or checksum-bad.
+
+    Attributes:
+        path: the offending file.
+        detail: human-readable description of what failed.
+        missing_array: archive member that should exist but does not
+            (truncated writes), or None for byte-level corruption.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        detail: str,
+        missing_array: str | None = None,
+    ):
+        self.path = os.fspath(path)
+        self.detail = detail
+        self.missing_array = missing_array
+        super().__init__(f"corrupt trace file {self.path}: {detail}")
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A trace archive is intact but its format version is unsupported.
+
+    Subclasses ValueError for compatibility with callers that predate the
+    taxonomy.
+    """
+
+
+class TransferError(ReproError):
+    """An AGP block transfer failed after exhausting its retry budget.
+
+    Only raised under a strict :class:`~repro.reliability.TransferPolicy`;
+    the default policy degrades (counts stale blocks) instead.
+    """
+
+    def __init__(self, blocks: int, attempts: int):
+        self.blocks = blocks
+        self.attempts = attempts
+        super().__init__(
+            f"{blocks} block transfer(s) still failing after {attempts} attempt(s)"
+        )
+
+
+class ExperimentError(ReproError):
+    """One experiment of a batch failed; wraps the original exception.
+
+    Attributes:
+        experiment_id: registry id of the failed experiment.
+        traceback_text: formatted traceback captured at the failure site
+            (survives journal round-trips, unlike ``__cause__``).
+    """
+
+    def __init__(
+        self, experiment_id: str, cause: BaseException, traceback_text: str = ""
+    ):
+        self.experiment_id = experiment_id
+        self.traceback_text = traceback_text
+        super().__init__(
+            f"experiment {experiment_id!r} failed: {type(cause).__name__}: {cause}"
+        )
+        self.__cause__ = cause
+
+
+class CorruptTraceWarning(UserWarning):
+    """A corrupted cached trace was quarantined and will be re-rendered."""

@@ -1,20 +1,33 @@
-"""CLI: regenerate the paper's tables and figures.
+"""CLI: regenerate the paper's tables and figures, resiliently.
 
 Usage::
 
     python -m repro.experiments table1 fig9
     python -m repro.experiments all
     REPRO_SCALE=full python -m repro.experiments table3
+    python -m repro.experiments all --resume    # skip what already passed
+
+A batch run keeps going past individual experiment failures (``--fail-fast``
+opts out), records every outcome in a JSON run journal (``--journal PATH``,
+default ``$REPRO_RUN_JOURNAL`` or ``.repro_runs/journal.json``), prints an
+end-of-run pass/fail summary, and exits non-zero if anything failed.
+``--resume`` reads the journal back and re-executes only failed or
+never-run experiments at the same scale.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.experiments.config import Scale
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import EXPERIMENTS, run_experiment_isolated
+from repro.reliability.runjournal import (
+    ExperimentRecord,
+    RunJournal,
+    default_journal_path,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,6 +53,24 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also export each experiment's data as CSV files into DIR",
     )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the batch on the first experiment failure "
+        "(default: keep going, report at the end)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments the journal records as completed at this scale",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="run-journal path (default: $REPRO_RUN_JOURNAL or "
+        ".repro_runs/journal.json)",
+    )
     args = parser.parse_args(argv)
 
     scale = None
@@ -50,20 +81,88 @@ def main(argv: list[str] | None = None) -> int:
             "full": Scale.full,
             "paper": Scale.paper,
         }[args.scale]()
+    scale_name = (scale or Scale.from_env()).name
 
     ids = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    for exp_id in ids:
-        start = time.time()
-        result = run_experiment(exp_id, scale)
-        elapsed = time.time() - start
-        print(result.render())
-        if args.csv:
-            from repro.experiments.export import export_csv
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(
+            f"unknown experiment {unknown[0]!r}; choose from {sorted(EXPERIMENTS)}"
+        )
 
-            for path in export_csv(result, args.csv):
-                print(f"  wrote {path}")
-        print(f"({elapsed:.1f}s)\n")
-    return 0
+    journal_path = args.journal or default_journal_path()
+    journal = (
+        RunJournal.load(journal_path) if args.resume else RunJournal(path=journal_path)
+    )
+    already_done = journal.completed_ids(scale_name) if args.resume else set()
+
+    statuses: list[tuple[str, str, float]] = []  # (id, status, elapsed)
+    aborted = False
+    for exp_id in ids:
+        if exp_id in already_done:
+            print(f"=== {exp_id}: skipped (completed in journal) ===\n")
+            statuses.append((exp_id, "skipped", 0.0))
+            continue
+        outcome = run_experiment_isolated(exp_id, scale)
+        if outcome.ok:
+            print(outcome.result.render())
+            if args.csv:
+                from repro.experiments.export import export_csv
+
+                for path in export_csv(outcome.result, args.csv):
+                    print(f"  wrote {path}")
+            print(f"({outcome.elapsed_s:.1f}s)\n")
+            statuses.append((exp_id, "ok", outcome.elapsed_s))
+            journal.record(
+                ExperimentRecord(
+                    experiment_id=exp_id,
+                    status="ok",
+                    scale=scale_name,
+                    elapsed_s=outcome.elapsed_s,
+                )
+            )
+        else:
+            err = outcome.error
+            print(f"=== {exp_id}: FAILED ===", file=sys.stderr)
+            print(err.traceback_text, file=sys.stderr, end="")
+            statuses.append((exp_id, "FAILED", outcome.elapsed_s))
+            journal.record(
+                ExperimentRecord(
+                    experiment_id=exp_id,
+                    status="failed",
+                    scale=scale_name,
+                    elapsed_s=outcome.elapsed_s,
+                    error={
+                        "type": type(err.__cause__).__name__,
+                        "message": str(err.__cause__),
+                        "traceback": err.traceback_text,
+                    },
+                )
+            )
+            if args.fail_fast:
+                aborted = True
+                break
+
+    failed = [s for s in statuses if s[1] == "FAILED"]
+    if len(statuses) > 1 or failed:
+        print(
+            format_table(
+                ["experiment", "status", "time"],
+                [[i, st, f"{el:.1f}s"] for i, st, el in statuses],
+            )
+        )
+        run = [s for s in statuses if s[1] != "skipped"]
+        summary = (
+            f"{len(run) - len(failed)}/{len(run)} experiments passed"
+            f" ({len(statuses) - len(run)} skipped)"
+        )
+        if failed:
+            summary += f"; FAILED: {', '.join(i for i, _, _ in failed)}"
+        if aborted:
+            summary += " (aborted by --fail-fast)"
+        print(summary)
+        print(f"journal: {journal_path}")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

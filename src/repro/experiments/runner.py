@@ -3,11 +3,21 @@
 ``python -m repro.experiments <id> [<id> ...]`` regenerates any table or
 figure; ``all`` runs everything. ``$REPRO_SCALE`` selects the scale preset
 (small / bench / full / paper).
+
+:func:`run_experiment_isolated` is the fault boundary the batch CLI runs
+behind: one experiment blowing up is captured as an
+:class:`~repro.errors.ExperimentError` (with its traceback) instead of
+aborting the rest of the batch.
 """
 
 from __future__ import annotations
 
+import time
+import traceback
+from dataclasses import dataclass
 from typing import Callable
+
+from repro.errors import ExperimentError
 
 from repro.experiments import (
     exp_ablations,
@@ -32,7 +42,7 @@ from repro.experiments import (
 from repro.experiments.config import Scale
 from repro.experiments.reporting import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = ["EXPERIMENTS", "run_experiment", "run_experiment_isolated", "ExperimentOutcome"]
 
 #: Registry: experiment id -> (title, run function).
 EXPERIMENTS: dict[str, tuple[str, Callable[[Scale | None], ExperimentResult]]] = {
@@ -63,6 +73,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[Scale | None], ExperimentResult]]] =
     "abl-line-size": ("Ablation: L1 line size", exp_ablations.run_line_size),
     "abl-l1-assoc": ("Ablation: L1 associativity", exp_ablations.run_l1_associativity),
     "abl-streaming": ("Ablation: texture streaming (§5.2)", exp_ablations.run_streaming),
+    "abl-faults": ("Ablation: AGP transfer faults + retry/backoff", exp_ablations.run_faults),
     "abl-future": ("Ablation: future workload", exp_ablations.run_future_workload),
 }
 
@@ -76,3 +87,44 @@ def run_experiment(experiment_id: str, scale: Scale | None = None) -> Experiment
             f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
     return fn(scale)
+
+
+@dataclass
+class ExperimentOutcome:
+    """One experiment's result *or* captured failure, plus wall time."""
+
+    experiment_id: str
+    elapsed_s: float
+    result: ExperimentResult | None = None
+    error: ExperimentError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_experiment_isolated(
+    experiment_id: str, scale: Scale | None = None
+) -> ExperimentOutcome:
+    """Run one experiment, capturing any failure instead of raising.
+
+    An unknown experiment id still raises ``ValueError`` — that is a usage
+    error the caller should validate up front, not a runtime fault to
+    journal. ``KeyboardInterrupt``/``SystemExit`` propagate.
+    """
+    if experiment_id not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    start = time.time()
+    try:
+        result = run_experiment(experiment_id, scale)
+    except Exception as exc:
+        return ExperimentOutcome(
+            experiment_id=experiment_id,
+            elapsed_s=time.time() - start,
+            error=ExperimentError(experiment_id, exc, traceback.format_exc()),
+        )
+    return ExperimentOutcome(
+        experiment_id=experiment_id, elapsed_s=time.time() - start, result=result
+    )

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from pathlib import Path
 
+from repro.errors import CorruptTraceWarning, TraceCorruptionError
 from repro.raster.pipeline import Renderer, RenderOptions
 from repro.raster.rasterizer import RasterOrder
 from repro.scenes import WORKLOAD_BUILDERS
@@ -167,6 +169,24 @@ def render_trace(
     )
 
 
+def quarantine_trace(path: Path) -> Path:
+    """Move a damaged cache entry under ``<cache>/quarantine/`` for autopsy.
+
+    Keeps the evidence (instead of deleting it) while guaranteeing the
+    poisoned file can never be read as a cache hit again. Returns the
+    quarantine destination.
+    """
+    qdir = path.parent / "quarantine"
+    qdir.mkdir(parents=True, exist_ok=True)
+    dest = qdir / path.name
+    n = 1
+    while dest.exists():
+        dest = qdir / f"{path.stem}.{n}{path.suffix}"
+        n += 1
+    os.replace(path, dest)
+    return dest
+
+
 def get_trace(
     workload: str,
     scale: Scale,
@@ -174,7 +194,13 @@ def get_trace(
     z_first: bool = False,
     tiled: bool = False,
 ) -> Trace:
-    """Fetch a trace through the memory and disk caches."""
+    """Fetch a trace through the memory and disk caches.
+
+    A corrupted or truncated disk-cache entry is quarantined (moved under
+    ``.trace_cache/quarantine/``) with a :class:`CorruptTraceWarning`, and
+    the trace is transparently re-rendered — a damaged cache never fails
+    or skews an experiment run.
+    """
     key = (workload, scale, mode, z_first, tiled)
     if key in _memory_cache:
         return _memory_cache[key]
@@ -184,15 +210,22 @@ def get_trace(
     if cache_dir is not None:
         path = cache_dir / f"{_cache_key(workload, scale, mode, z_first, tiled)}.npz"
         if path.exists():
-            trace = load_trace(path)
-            _memory_cache[key] = trace
-            return trace
+            try:
+                trace = load_trace(path)
+            except TraceCorruptionError as exc:
+                dest = quarantine_trace(path)
+                warnings.warn(
+                    f"cached trace {path.name} is corrupted ({exc.detail}); "
+                    f"quarantined to {dest} and re-rendering",
+                    CorruptTraceWarning,
+                    stacklevel=2,
+                )
+            else:
+                _memory_cache[key] = trace
+                return trace
 
     trace = render_trace(workload, scale, mode, z_first=z_first, tiled=tiled)
     _memory_cache[key] = trace
     if path is not None:
-        cache_dir.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp.npz")
-        save_trace(trace, tmp)
-        os.replace(tmp, path)
+        save_trace(trace, path)  # atomic: tmp file + os.replace
     return trace

@@ -1,0 +1,58 @@
+"""Reliability layer: integrity, fault injection, and resilient batch runs.
+
+Three concerns, one package:
+
+* **Safe persistence** — :mod:`~repro.reliability.atomic` (tmp-file +
+  ``os.replace`` writers) and :mod:`~repro.reliability.integrity`
+  (per-array CRC32 manifests and streaming archive verification) protect
+  the trace files the whole methodology replays.
+* **Faulty transfers** — :mod:`~repro.reliability.faults` (seeded,
+  deterministic drop/corrupt/latency-spike model per 64-byte block) and
+  :mod:`~repro.reliability.transfer` (retry/backoff policy with
+  stale-block degraded mode) bolt onto the hierarchy's download path.
+* **Resilient batches** — :mod:`~repro.reliability.runjournal` records
+  per-experiment outcomes so ``python -m repro.experiments all`` survives
+  individual failures and ``--resume`` skips completed work.
+"""
+
+from repro.reliability.atomic import (
+    atomic_savez_compressed,
+    atomic_write,
+    atomic_write_text,
+)
+from repro.reliability.faults import FaultModel
+from repro.reliability.integrity import (
+    ArrayCheck,
+    VerifyReport,
+    array_checksum,
+    checksum_manifest,
+    verify_npz,
+)
+from repro.reliability.runjournal import (
+    ExperimentRecord,
+    RunJournal,
+    default_journal_path,
+)
+from repro.reliability.transfer import (
+    AgpTransferLink,
+    FrameTransferStats,
+    TransferPolicy,
+)
+
+__all__ = [
+    "atomic_write",
+    "atomic_write_text",
+    "atomic_savez_compressed",
+    "array_checksum",
+    "checksum_manifest",
+    "ArrayCheck",
+    "VerifyReport",
+    "verify_npz",
+    "FaultModel",
+    "TransferPolicy",
+    "FrameTransferStats",
+    "AgpTransferLink",
+    "ExperimentRecord",
+    "RunJournal",
+    "default_journal_path",
+]

@@ -1,0 +1,60 @@
+"""Atomic file persistence.
+
+Every durable artifact the reproduction writes (trace-cache entries, run
+journals) goes through these helpers: write to a temporary file in the
+destination directory, fsync, then ``os.replace`` — so a concurrent reader
+either sees the old complete file or the new complete file, never a
+half-written one, even across crashes mid-write.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, IO
+
+import numpy as np
+
+__all__ = ["atomic_write", "atomic_write_text", "atomic_savez_compressed"]
+
+
+def atomic_write(path: str | os.PathLike, write_fn: Callable[[IO[bytes]], None]) -> None:
+    """Write a file atomically via tmp-file + ``os.replace``.
+
+    ``write_fn`` receives a binary file object opened on a temporary file
+    in ``path``'s directory (same filesystem, so the final rename is
+    atomic). On any failure the temporary file is removed and the
+    destination is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            write_fn(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+    """Atomically write a UTF-8 text file."""
+    atomic_write(path, lambda fh: fh.write(text.encode("utf-8")))
+
+
+def atomic_savez_compressed(path: str | os.PathLike, **arrays: np.ndarray) -> None:
+    """Atomically write a compressed ``.npz`` archive.
+
+    Passing a file object to :func:`numpy.savez_compressed` (rather than a
+    path) stops numpy appending its own ``.npz`` suffix to the temp name.
+    """
+    atomic_write(path, lambda fh: np.savez_compressed(fh, **arrays))

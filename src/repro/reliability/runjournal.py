@@ -1,0 +1,96 @@
+"""JSON run journal for the experiment batch runner.
+
+Each experiment's outcome (ok/failed, wall time, captured error) is
+persisted atomically after it finishes, so a crashed or interrupted batch
+leaves a complete record of everything that did run. ``--resume`` reads
+the journal back and skips experiments already completed at the same
+scale; failed and missing ones re-execute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.reliability.atomic import atomic_write_text
+
+__all__ = ["ExperimentRecord", "RunJournal", "default_journal_path"]
+
+_JOURNAL_VERSION = 1
+
+
+def default_journal_path() -> Path:
+    """Journal location: ``$REPRO_RUN_JOURNAL`` or ``.repro_runs/journal.json``."""
+    env = os.environ.get("REPRO_RUN_JOURNAL", "").strip()
+    if env:
+        return Path(env)
+    return Path(".repro_runs") / "journal.json"
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's outcome within a batch run."""
+
+    experiment_id: str
+    status: str  # "ok" | "failed"
+    scale: str = ""
+    elapsed_s: float = 0.0
+    finished_at: float = 0.0
+    error: dict | None = None  # {"type", "message", "traceback"}
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class RunJournal:
+    """Persistent record of a batch run, one entry per experiment id."""
+
+    path: Path
+    records: dict[str, ExperimentRecord] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "RunJournal":
+        """Read a journal back; a missing or damaged file yields an empty one."""
+        path = Path(path)
+        journal = cls(path=path)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return journal
+        for rec in raw.get("records", []):
+            try:
+                record = ExperimentRecord(**rec)
+            except TypeError:
+                continue  # journal from a future/older layout: skip the row
+            journal.records[record.experiment_id] = record
+        return journal
+
+    def record(self, record: ExperimentRecord) -> None:
+        """Add/overwrite one record and persist the journal atomically."""
+        record.finished_at = time.time()
+        self.records[record.experiment_id] = record
+        self._flush()
+
+    def completed_ids(self, scale: str | None = None) -> set[str]:
+        """Experiment ids that finished ok (at ``scale``, when given)."""
+        return {
+            rid
+            for rid, rec in self.records.items()
+            if rec.ok and (scale is None or rec.scale == scale)
+        }
+
+    def failed_ids(self) -> set[str]:
+        """Experiment ids whose last outcome was a failure."""
+        return {rid for rid, rec in self.records.items() if not rec.ok}
+
+    def _flush(self) -> None:
+        payload = {
+            "version": _JOURNAL_VERSION,
+            "records": [asdict(r) for r in self.records.values()],
+        }
+        atomic_write_text(self.path, json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,122 @@
+"""Retry/backoff transfer policy over a faulty AGP link.
+
+Mirrors how real texture-streaming systems treat transfer failure as a
+first-class state: failed block transfers are retried with exponential
+backoff up to a budget, and blocks still missing afterwards are accounted
+as *stale* — the frame completes in degraded mode with last-resident data
+(the virtual-texturing fallback posture) rather than stalling the
+pipeline. A strict policy raises
+:class:`~repro.errors.TransferError` instead.
+
+All downloads the hierarchy issues in a frame pass through
+:meth:`AgpTransferLink.transfer_frame`, which returns the frame's
+degradation metrics; retry traffic is accounted separately from the
+fault-free baseline so a zero-rate fault model reproduces baseline
+bandwidth numbers exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TransferError
+from repro.reliability.faults import FaultModel
+from repro.texture.tiling import L1_BLOCK_BYTES
+
+__all__ = ["TransferPolicy", "FrameTransferStats", "AgpTransferLink"]
+
+
+@dataclass(frozen=True)
+class TransferPolicy:
+    """How the download engine reacts to failed block transfers.
+
+    Attributes:
+        max_retries: re-transfer attempts per block beyond the first try.
+        backoff_base_us: wait before the first retry round, microseconds.
+        backoff_factor: multiplier per subsequent retry round.
+        strict: raise :class:`TransferError` when a block exhausts its
+            retries instead of degrading to stale data.
+    """
+
+    max_retries: int = 3
+    backoff_base_us: float = 10.0
+    backoff_factor: float = 2.0
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def backoff_us(self, retry_round: int) -> float:
+        """Backoff before retry round ``retry_round`` (0-based)."""
+        return self.backoff_base_us * self.backoff_factor**retry_round
+
+
+@dataclass
+class FrameTransferStats:
+    """One frame's transfer-reliability outcome."""
+
+    requested_blocks: int
+    retried_transfers: int = 0
+    retry_bytes: int = 0
+    stale_blocks: int = 0
+    latency_spikes: int = 0
+    backoff_us: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the frame completed with stale (undelivered) blocks."""
+        return self.stale_blocks > 0
+
+
+class AgpTransferLink:
+    """Stateful faulty-link simulator shared by all frames of a run.
+
+    One seeded generator per run: frame N's draws depend on frames
+    0..N-1's transfer counts, which are themselves deterministic, so the
+    whole run is reproducible from (fault model, trace, config).
+    """
+
+    def __init__(self, fault_model: FaultModel, policy: TransferPolicy | None = None):
+        self.fault_model = fault_model
+        self.policy = policy or TransferPolicy()
+        self._rng = fault_model.rng()
+
+    def transfer_frame(self, n_blocks: int) -> FrameTransferStats:
+        """Transfer a frame's block downloads; returns degradation metrics."""
+        stats = FrameTransferStats(requested_blocks=int(n_blocks))
+        model = self.fault_model
+        policy = self.policy
+        if n_blocks <= 0 or not model.active:
+            return stats
+
+        rng = self._rng
+        if model.spike_rate > 0.0:
+            stats.latency_spikes = int(rng.binomial(n_blocks, model.spike_rate))
+
+        fail_p = model.failure_rate
+        if fail_p <= 0.0:
+            return stats
+
+        outstanding = int(rng.binomial(n_blocks, fail_p))
+        retry_round = 0
+        while outstanding and retry_round < policy.max_retries:
+            stats.retried_transfers += outstanding
+            stats.retry_bytes += outstanding * L1_BLOCK_BYTES
+            stats.backoff_us += policy.backoff_us(retry_round)
+            if model.spike_rate > 0.0:
+                stats.latency_spikes += int(
+                    rng.binomial(outstanding, model.spike_rate)
+                )
+            outstanding = int(rng.binomial(outstanding, fail_p))
+            retry_round += 1
+
+        if outstanding:
+            if policy.strict:
+                raise TransferError(outstanding, policy.max_retries + 1)
+            stats.stale_blocks = outstanding
+        return stats

@@ -5,6 +5,8 @@ Usage::
     python -m repro.tools.simulate trace.npz --l1-kb 2            # pull
     python -m repro.tools.simulate trace.npz --l1-kb 2 --l2-kb 2048 \\
         --l2-tile 16 --tlb 8 --policy clock                        # L2 arch
+    python -m repro.tools.simulate trace.npz --l1-kb 2 \\
+        --fault-rate 0.01 --max-retries 3                          # faulty AGP
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from repro.core.l1_cache import L1CacheConfig
 from repro.core.l2_cache import L2CacheConfig
 from repro.core.timing import TimingModel, bus_bound_fraction, estimate_frame_timings, mean_fps
 from repro.experiments.reporting import format_table
+from repro.reliability import FaultModel, TransferPolicy
 from repro.trace.tracefile import load_trace
 
 __all__ = ["main"]
@@ -44,9 +47,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="TLB entries (requires --l2-kb)")
     parser.add_argument("--fps", type=float, default=None,
                         help="also report MB/s at this frame rate")
+    parser.add_argument("--fault-rate", type=float, default=0.0,
+                        help="P(drop/corrupt) per 64-byte block transfer "
+                             "(default 0: fault-free)")
+    parser.add_argument("--max-retries", type=int, default=3,
+                        help="re-transfer attempts per failed block (default 3)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="fault-model seed (default 0; same seed, same run)")
     args = parser.parse_args(argv)
+    if not 0.0 <= args.fault_rate <= 1.0:
+        parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
+    if args.max_retries < 0:
+        parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
 
     trace = load_trace(args.trace)
+    fault_model = (
+        FaultModel(drop_rate=args.fault_rate, seed=args.fault_seed)
+        if args.fault_rate > 0
+        else None
+    )
     l2 = (
         L2CacheConfig(
             size_bytes=int(args.l2_kb * 1024),
@@ -60,6 +79,10 @@ def main(argv: list[str] | None = None) -> int:
         l1=L1CacheConfig(size_bytes=int(args.l1_kb * 1024), ways=args.ways),
         l2=l2,
         tlb_entries=args.tlb,
+        fault_model=fault_model,
+        transfer_policy=(
+            TransferPolicy(max_retries=args.max_retries) if fault_model else None
+        ),
     )
     start = time.time()
     result = MultiLevelTextureCache(config, trace.address_space).run_trace(trace)
@@ -79,6 +102,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.fps is not None:
         mbps = result.mean_agp_bytes_per_frame * args.fps / 1e6
         rows.append([f"AGP MB/s @ {args.fps:g} Hz", f"{mbps:.1f}"])
+    if fault_model is not None:
+        rows.append(["retried transfers", f"{result.total_retried_transfers:,}"])
+        rows.append(
+            ["retry MB total", f"{result.total_retry_bytes / (1 << 20):.3f}"]
+        )
+        rows.append(
+            [
+                "effective AGP MB/frame",
+                f"{result.mean_effective_agp_bytes_per_frame / (1 << 20):.3f}",
+            ]
+        )
+        rows.append(["stale blocks", f"{result.total_stale_blocks:,}"])
+        rows.append(
+            ["degraded frames", f"{result.degraded_frames}/{len(result.frames)}"]
+        )
     timings = estimate_frame_timings(result, TimingModel())
     rows.append(["est. texturing fps (timing model)", f"{mean_fps(timings):.1f}"])
     rows.append(["bus-bound frames", f"{bus_bound_fraction(timings):.0%}"])

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.tools.trace_info trace.npz [--l2-tile 16]
+    python -m repro.tools.trace_info trace.npz --verify   # integrity check
 """
 
 from __future__ import annotations
@@ -12,7 +13,9 @@ import sys
 
 import numpy as np
 
+from repro.errors import TraceCorruptionError
 from repro.experiments.reporting import format_table, kb, mb
+from repro.reliability.integrity import verify_npz
 from repro.trace.locality import frame_reuse_distance_histogram
 from repro.trace.stats import workload_stats
 from repro.trace.tracefile import load_trace
@@ -26,6 +29,34 @@ from repro.trace.workingset import (
 __all__ = ["main"]
 
 
+def _verify(path: str) -> int:
+    """Streaming integrity check (``--verify``); returns the exit code."""
+    try:
+        report = verify_npz(path)
+    except TraceCorruptionError as exc:
+        print(f"trace: {path}")
+        print(f"  CORRUPT: {exc.detail}")
+        return 1
+
+    print(f"trace: {path}")
+    print(
+        f"  format v{report.version}, {report.n_frames} frames, "
+        f"{len(report.checks)} arrays checked"
+    )
+    if report.version < 3:
+        print("  (v2 archive: no checksum manifest; structural checks only)")
+    rows = [
+        [str(i), report.frame_status(i)] for i in range(report.n_frames)
+    ]
+    print(format_table(["frame", "integrity"], rows))
+    if report.ok:
+        print("OK: all arrays verified")
+        return 0
+    for check in report.problems:
+        print(f"DAMAGED: {check.name}: {check.status}")
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -35,7 +66,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("trace", help="trace file (.npz)")
     parser.add_argument("--l2-tile", type=int, default=16,
                         help="L2 block edge in texels (default 16)")
+    parser.add_argument("--verify", action="store_true",
+                        help="check manifest checksums and per-frame integrity "
+                             "without loading the whole trace; exit 1 if damaged")
     args = parser.parse_args(argv)
+
+    if args.verify:
+        return _verify(args.trace)
 
     trace = load_trace(args.trace)
     m = trace.meta

@@ -4,26 +4,54 @@ Rendering is the expensive step of the study; traces are stored as
 compressed ``.npz`` archives so experiments re-run cache simulations without
 re-rendering. The archive holds per-frame ``refs``/``weights`` arrays, the
 fragment counts, the texture-set geometry, and the trace metadata.
+
+Format v3 adds a per-array CRC32 manifest (``checksums`` in the JSON meta)
+and writes atomically (tmp file + ``os.replace``), so a half-written or
+bit-flipped archive is detected at load time as
+:class:`~repro.errors.TraceCorruptionError` instead of silently feeding
+damaged reference streams into the simulators. v2 archives (no checksums)
+are still read.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zipfile
+import zlib
 
 import numpy as np
 
+from repro.errors import TraceCorruptionError, TraceFormatError
+from repro.reliability.atomic import atomic_savez_compressed
+from repro.reliability.integrity import array_checksum, checksum_manifest
 from repro.texture.texture import Texture
 from repro.trace.trace import FrameTrace, Trace, TraceMeta
 
-__all__ = ["save_trace", "load_trace"]
+__all__ = ["save_trace", "load_trace", "read_meta"]
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
+
+#: Versions :func:`load_trace` accepts (v2 predates the checksum manifest).
+_SUPPORTED_VERSIONS = (2, 3)
+
+
+def _build_payload(trace: Trace) -> dict[str, np.ndarray]:
+    payload: dict[str, np.ndarray] = {}
+    payload["n_fragments"] = np.array(
+        [f.n_fragments for f in trace.frames], dtype=np.int64
+    )
+    for i, frame in enumerate(trace.frames):
+        payload[f"refs_{i}"] = frame.refs
+        payload[f"weights_{i}"] = frame.weights
+        if frame.object_offsets is not None:
+            payload[f"offsets_{i}"] = frame.object_offsets
+    return payload
 
 
 def save_trace(trace: Trace, path: str | os.PathLike) -> None:
-    """Save a trace as a compressed npz archive."""
-    payload: dict[str, np.ndarray] = {}
+    """Save a trace as a compressed npz archive (atomically, with checksums)."""
+    payload = _build_payload(trace)
     meta = {
         "version": _FORMAT_VERSION,
         "workload": trace.meta.workload,
@@ -40,42 +68,126 @@ def save_trace(trace: Trace, path: str | os.PathLike) -> None:
             }
             for t in trace.textures
         ],
+        "checksums": checksum_manifest(payload),
     }
     payload["meta_json"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     ).copy()
-    payload["n_fragments"] = np.array(
-        [f.n_fragments for f in trace.frames], dtype=np.int64
-    )
-    for i, frame in enumerate(trace.frames):
-        payload[f"refs_{i}"] = frame.refs
-        payload[f"weights_{i}"] = frame.weights
-        if frame.object_offsets is not None:
-            payload[f"offsets_{i}"] = frame.object_offsets
-    np.savez_compressed(path, **payload)
+    atomic_savez_compressed(path, **payload)
 
 
-def load_trace(path: str | os.PathLike) -> Trace:
-    """Load a trace saved by :func:`save_trace`."""
-    with np.load(path) as data:
-        meta_raw = json.loads(bytes(data["meta_json"]).decode("utf-8"))
-        if meta_raw.get("version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"trace file {path} has format version {meta_raw.get('version')}, "
-                f"expected {_FORMAT_VERSION}"
+def _open_archive(path: str | os.PathLike) -> np.lib.npyio.NpzFile:
+    try:
+        return np.load(path)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise TraceCorruptionError(path, f"unreadable archive: {exc}") from exc
+
+
+def _read_array(
+    data: np.lib.npyio.NpzFile, name: str, path: str | os.PathLike
+) -> np.ndarray:
+    """One archive member; missing or damaged members raise corruption."""
+    if name not in data.files:
+        raise TraceCorruptionError(
+            path, f"missing array {name!r} (truncated archive?)", missing_array=name
+        )
+    try:
+        return data[name]
+    except (zipfile.BadZipFile, zlib.error, OSError, ValueError, EOFError) as exc:
+        raise TraceCorruptionError(path, f"array {name!r} unreadable: {exc}") from exc
+
+
+def _read_meta(data: np.lib.npyio.NpzFile, path: str | os.PathLike) -> dict:
+    raw = _read_array(data, "meta_json", path)
+    try:
+        meta = json.loads(bytes(raw).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceCorruptionError(path, f"manifest undecodable: {exc}") from exc
+    version = meta.get("version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise TraceFormatError(
+            f"trace file {path} has format version {version}, "
+            f"expected one of {_SUPPORTED_VERSIONS}"
+        )
+    return meta
+
+
+def read_meta(path: str | os.PathLike) -> dict:
+    """Read just the JSON manifest of a trace archive (cheap)."""
+    with _open_archive(path) as data:
+        return _read_meta(data, path)
+
+
+def _checked(
+    arr: np.ndarray, name: str, checksums: dict, path: str | os.PathLike
+) -> np.ndarray:
+    expected = checksums.get(name)
+    if expected is not None and array_checksum(arr) != expected:
+        raise TraceCorruptionError(
+            path, f"array {name!r} fails its checksum (bit flip or content swap)"
+        )
+    return arr
+
+
+def load_trace(path: str | os.PathLike, verify: bool = True) -> Trace:
+    """Load a trace saved by :func:`save_trace`.
+
+    v3 archives are checksum-verified per array while loading (disable
+    with ``verify=False``); v2 archives load without checksums. Any
+    structural damage — unreadable zip, missing per-frame arrays, failed
+    checksums — raises :class:`TraceCorruptionError` naming the file and
+    the offending array.
+    """
+    with _open_archive(path) as data:
+        meta_raw = _read_meta(data, path)
+        checksums = meta_raw.get("checksums", {}) if verify else {}
+        n_fragments = _checked(
+            _read_array(data, "n_fragments", path), "n_fragments", checksums, path
+        )
+        n_frames = meta_raw["n_frames"]
+        if len(n_fragments) != n_frames:
+            raise TraceCorruptionError(
+                path,
+                f"n_fragments has {len(n_fragments)} entries for "
+                f"{n_frames} declared frames",
             )
-        n_fragments = data["n_fragments"]
-        frames = [
-            FrameTrace(
-                refs=data[f"refs_{i}"],
-                weights=data[f"weights_{i}"],
-                n_fragments=int(n_fragments[i]),
-                object_offsets=data[f"offsets_{i}"]
-                if f"offsets_{i}" in data
-                else None,
+        frames = []
+        for i in range(n_frames):
+            refs = _checked(
+                _read_array(data, f"refs_{i}", path), f"refs_{i}", checksums, path
             )
-            for i in range(meta_raw["n_frames"])
-        ]
+            weights = _checked(
+                _read_array(data, f"weights_{i}", path),
+                f"weights_{i}",
+                checksums,
+                path,
+            )
+            offsets_name = f"offsets_{i}"
+            offsets = (
+                _checked(
+                    _read_array(data, offsets_name, path),
+                    offsets_name,
+                    checksums,
+                    path,
+                )
+                if offsets_name in data.files
+                else None
+            )
+            try:
+                frames.append(
+                    FrameTrace(
+                        refs=refs,
+                        weights=weights,
+                        n_fragments=int(n_fragments[i]),
+                        object_offsets=offsets,
+                    )
+                )
+            except ValueError as exc:
+                raise TraceCorruptionError(
+                    path, f"frame {i} inconsistent: {exc}"
+                ) from exc
     textures = [
         Texture(
             name=t["name"],
@@ -90,6 +202,6 @@ def load_trace(path: str | os.PathLike) -> Trace:
         width=meta_raw["width"],
         height=meta_raw["height"],
         filter_mode=meta_raw["filter_mode"],
-        n_frames=meta_raw["n_frames"],
+        n_frames=n_frames,
     )
     return Trace(meta=meta, frames=frames, textures=textures)

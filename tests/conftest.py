@@ -28,3 +28,18 @@ def isolated_trace_cache(tmp_path_factory):
         os.environ.pop("REPRO_TRACE_CACHE", None)
     else:
         os.environ["REPRO_TRACE_CACHE"] = old
+
+
+@pytest.fixture(autouse=True, scope="session")
+def isolated_run_journal(tmp_path_factory):
+    """Keep the experiment CLI's run journal out of the working tree."""
+    import os
+
+    path = tmp_path_factory.mktemp("run_journal") / "journal.json"
+    old = os.environ.get("REPRO_RUN_JOURNAL")
+    os.environ["REPRO_RUN_JOURNAL"] = str(path)
+    yield path
+    if old is None:
+        os.environ.pop("REPRO_RUN_JOURNAL", None)
+    else:
+        os.environ["REPRO_RUN_JOURNAL"] = old

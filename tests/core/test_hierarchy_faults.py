@@ -1,0 +1,96 @@
+"""Fault injection through the cache hierarchy's download path."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import HierarchyConfig, MultiLevelTextureCache
+from repro.core.l1_cache import L1CacheConfig
+from repro.core.l2_cache import L2CacheConfig
+from repro.experiments.config import Scale
+from repro.experiments.traces import get_trace
+from repro.reliability import FaultModel, TransferPolicy
+from repro.texture.sampler import FilterMode
+
+MICRO = Scale(width=64, height=48, frames=2, detail=0.2, name="micro")
+
+
+def run(trace, fault_model=None, policy=None, l2_bytes=None):
+    config = HierarchyConfig(
+        l1=L1CacheConfig(size_bytes=2048),
+        l2=L2CacheConfig(size_bytes=l2_bytes) if l2_bytes else None,
+        fault_model=fault_model,
+        transfer_policy=policy,
+    )
+    return MultiLevelTextureCache(config, trace.address_space).run_trace(trace)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_trace("city", MICRO, FilterMode.POINT)
+
+
+class TestFaultInjection:
+    def test_policy_without_model_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(
+                l1=L1CacheConfig(size_bytes=2048),
+                transfer_policy=TransferPolicy(),
+            )
+
+    def test_no_fault_model_means_no_transfer_stats(self, trace):
+        res = run(trace)
+        assert all(f.transfer is None for f in res.frames)
+        assert res.total_retried_transfers == 0
+        assert res.total_retry_bytes == 0
+        assert res.degraded_frames == 0
+
+    def test_zero_rate_matches_baseline_exactly(self, trace):
+        base = run(trace)
+        faulted = run(trace, fault_model=FaultModel(seed=5))
+        assert faulted.mean_agp_bytes_per_frame == base.mean_agp_bytes_per_frame
+        assert faulted.mean_effective_agp_bytes_per_frame == base.mean_agp_bytes_per_frame
+        assert faulted.total_retried_transfers == 0
+
+    def test_baseline_accounting_untouched_under_faults(self, trace):
+        base = run(trace)
+        faulted = run(
+            trace, fault_model=FaultModel(drop_rate=0.2, seed=1)
+        )
+        # Fault-free metrics stay identical; only retry traffic is added.
+        assert faulted.l1_hit_rate == base.l1_hit_rate
+        assert faulted.mean_agp_bytes_per_frame == base.mean_agp_bytes_per_frame
+        assert faulted.total_retried_transfers > 0
+        assert (
+            faulted.mean_effective_agp_bytes_per_frame
+            > base.mean_agp_bytes_per_frame
+        )
+
+    def test_same_seed_reproducible(self, trace):
+        a = run(trace, fault_model=FaultModel(drop_rate=0.1, seed=11))
+        b = run(trace, fault_model=FaultModel(drop_rate=0.1, seed=11))
+        assert a.total_retried_transfers == b.total_retried_transfers
+        assert a.total_stale_blocks == b.total_stale_blocks
+        assert [f.retry_bytes for f in a.frames] == [f.retry_bytes for f in b.frames]
+
+    def test_transfers_follow_l2_host_downloads(self, trace):
+        res = run(
+            trace,
+            fault_model=FaultModel(drop_rate=0.1, seed=2),
+            l2_bytes=128 * 1024,
+        )
+        for f in res.frames:
+            assert f.transfer.requested_blocks == f.l2.host_downloads
+
+    def test_transfers_follow_l1_misses_in_pull(self, trace):
+        res = run(trace, fault_model=FaultModel(drop_rate=0.1, seed=2))
+        for f in res.frames:
+            assert f.transfer.requested_blocks == f.l1_misses
+
+    def test_certain_failure_degrades_frames(self, trace):
+        res = run(
+            trace,
+            fault_model=FaultModel(drop_rate=1.0, seed=0),
+            policy=TransferPolicy(max_retries=1),
+        )
+        assert res.degraded_frames == len(res.frames)
+        assert res.total_stale_blocks == res.total_l1_misses

@@ -1,0 +1,48 @@
+"""The abl-faults ablation: baseline equivalence and monotonic overhead."""
+
+from repro.experiments.config import Scale
+from repro.experiments.exp_ablations import run_faults
+from repro.experiments.simcache import run_hierarchy
+from repro.experiments.traces import get_trace
+from repro.experiments.config import L1_LOW_BYTES
+from repro.texture.sampler import FilterMode
+
+MICRO = Scale(width=96, height=72, frames=3, detail=0.25, name="micro")
+
+
+class TestAblFaults:
+    def test_zero_rate_reproduces_baseline_exactly(self):
+        result = run_faults(MICRO)
+        trace = get_trace("village", MICRO, FilterMode.BILINEAR)
+        baseline = run_hierarchy(trace, l1_bytes=L1_LOW_BYTES)
+        pull0 = result.data[("pull", 0.0)]
+        assert pull0["agp_mb_per_frame"] == (
+            baseline.mean_agp_bytes_per_frame / (1 << 20)
+        )
+        assert pull0["retry_mb_per_frame"] == 0.0
+        assert pull0["retried_transfers"] == 0
+        assert pull0["stale_blocks"] == 0
+
+    def test_overhead_grows_with_fault_rate(self):
+        result = run_faults(MICRO)
+        pull = [result.data[("pull", r)]["retry_mb_per_frame"]
+                for r in (0.0, 0.001, 0.01, 0.05)]
+        assert pull[0] == 0.0
+        assert pull[-1] > pull[0]
+        assert sorted(pull) == pull
+
+    def test_l2_retries_cost_less_than_pull(self):
+        # The L2 issues far fewer host transfers, so the same link fault
+        # rate produces less retry traffic.
+        result = run_faults(MICRO)
+        assert (
+            result.data[("L2", 0.05)]["retry_mb_per_frame"]
+            <= result.data[("pull", 0.05)]["retry_mb_per_frame"]
+        )
+
+    def test_baseline_column_unperturbed_by_faults(self):
+        result = run_faults(MICRO)
+        for arch in ("pull", "L2"):
+            base = {result.data[(arch, r)]["agp_mb_per_frame"]
+                    for r in (0.0, 0.001, 0.01, 0.05)}
+            assert len(base) == 1  # fault injection never changes it

@@ -1,0 +1,109 @@
+"""Tests for the resilient batch runner (isolation, journal, resume)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.__main__ import main
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    run_experiment_isolated,
+)
+from repro.reliability.runjournal import RunJournal
+
+
+@pytest.fixture
+def boom(monkeypatch):
+    """Register a 'boom' experiment that fails until told otherwise."""
+    state = {"fail": True, "calls": 0}
+
+    def run(scale=None):
+        state["calls"] += 1
+        if state["fail"]:
+            raise RuntimeError("injected failure")
+        from repro.experiments.reporting import ExperimentResult
+
+        return ExperimentResult("boom", "Boom", "recovered fine", scale_name="x")
+
+    monkeypatch.setitem(EXPERIMENTS, "boom", ("Forced failure", run))
+    return state
+
+
+class TestIsolation:
+    def test_outcome_captures_failure(self, boom):
+        outcome = run_experiment_isolated("boom")
+        assert not outcome.ok
+        assert isinstance(outcome.error, ExperimentError)
+        assert outcome.error.experiment_id == "boom"
+        assert "injected failure" in outcome.error.traceback_text
+
+    def test_unknown_id_still_raises(self):
+        with pytest.raises(ValueError):
+            run_experiment_isolated("fig99")
+
+    def test_success_passes_through(self):
+        outcome = run_experiment_isolated("fig3")
+        assert outcome.ok
+        assert outcome.result.experiment_id == "fig3"
+
+
+class TestResilientMain:
+    def test_batch_continues_past_failure(self, boom, tmp_path, capsys):
+        journal = tmp_path / "j.json"
+        rc = main(["fig3", "boom", "table4", "--journal", str(journal)])
+        assert rc == 1
+        captured = capsys.readouterr()
+        # Both healthy experiments ran to completion around the failure.
+        assert "=== fig3" in captured.out
+        assert "=== table4" in captured.out
+        assert "injected failure" in captured.err
+        assert "FAILED: boom" in captured.out
+        loaded = RunJournal.load(journal)
+        assert loaded.completed_ids() == {"fig3", "table4"}
+        assert loaded.failed_ids() == {"boom"}
+
+    def test_fail_fast_aborts(self, boom, tmp_path, capsys):
+        rc = main(
+            ["boom", "fig3", "--fail-fast", "--journal", str(tmp_path / "j.json")]
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "=== fig3" not in captured.out
+        assert "aborted by --fail-fast" in captured.out
+
+    def test_resume_reruns_only_failures(self, boom, tmp_path, capsys):
+        journal = tmp_path / "j.json"
+        assert main(["fig3", "boom", "table4", "--journal", str(journal)]) == 1
+        boom["fail"] = False
+        calls_before = boom["calls"]
+        capsys.readouterr()
+
+        rc = main(
+            ["fig3", "boom", "table4", "--resume", "--journal", str(journal)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("skipped (completed in journal)") == 2
+        assert "recovered fine" in out
+        assert boom["calls"] == calls_before + 1
+        assert RunJournal.load(journal).completed_ids() == {
+            "fig3", "boom", "table4",
+        }
+
+    def test_resume_ignores_other_scale(self, tmp_path, capsys):
+        journal = tmp_path / "j.json"
+        assert main(["fig3", "--scale", "small", "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        # A bench-scale resume must not trust the small-scale record.
+        rc = main(["fig3", "--resume", "--scale", "bench", "--journal", str(journal)])
+        assert rc == 0
+        assert "skipped" not in capsys.readouterr().out
+
+    def test_successful_batch_exits_zero(self, tmp_path, capsys):
+        rc = main(["fig3", "table4", "--journal", str(tmp_path / "j.json")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2/2 experiments passed" in out
+
+    def test_unknown_experiment_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["fig99", "--journal", str(tmp_path / "j.json")])

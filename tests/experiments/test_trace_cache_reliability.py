@@ -1,0 +1,74 @@
+"""Disk trace-cache reliability: corrupted entries are quarantined and
+transparently re-rendered."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptTraceWarning
+from repro.experiments.config import Scale
+from repro.experiments.traces import (
+    _cache_key,
+    clear_memory_cache,
+    get_trace,
+    quarantine_trace,
+)
+from repro.texture.sampler import FilterMode
+
+MICRO = Scale(width=64, height=48, frames=2, detail=0.2, name="micro")
+
+
+def cache_path(isolated_trace_cache):
+    return (
+        isolated_trace_cache
+        / f"{_cache_key('city', MICRO, FilterMode.POINT, False, False)}.npz"
+    )
+
+
+class TestQuarantine:
+    def test_corrupt_cache_entry_recovered(self, isolated_trace_cache):
+        clear_memory_cache()
+        original = get_trace("city", MICRO, FilterMode.POINT)
+        path = cache_path(isolated_trace_cache)
+        assert path.exists()
+
+        # Bit-flip the cached archive, then force a cold read.
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        clear_memory_cache()
+
+        with pytest.warns(CorruptTraceWarning, match="quarantined"):
+            recovered = get_trace("city", MICRO, FilterMode.POINT)
+
+        # The run still succeeds, with an identical re-render...
+        for fa, fb in zip(original.frames, recovered.frames):
+            assert np.array_equal(fa.refs, fb.refs)
+        # ...the poisoned file moved to quarantine...
+        qnames = [p.name for p in (isolated_trace_cache / "quarantine").iterdir()]
+        assert path.name in qnames
+        # ...and the cache slot was rewritten with a good copy.
+        assert path.exists()
+        clear_memory_cache()
+        assert get_trace("city", MICRO, FilterMode.POINT) is not None
+
+    def test_truncated_cache_entry_recovered(self, isolated_trace_cache):
+        clear_memory_cache()
+        get_trace("city", MICRO, FilterMode.POINT)
+        path = cache_path(isolated_trace_cache)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        clear_memory_cache()
+        with pytest.warns(CorruptTraceWarning):
+            trace = get_trace("city", MICRO, FilterMode.POINT)
+        assert trace.meta.n_frames == MICRO.frames
+
+    def test_quarantine_names_do_not_collide(self, tmp_path):
+        a = tmp_path / "x.npz"
+        a.write_bytes(b"bad-1")
+        first = quarantine_trace(a)
+        b = tmp_path / "x.npz"
+        b.write_bytes(b"bad-2")
+        second = quarantine_trace(b)
+        assert first != second
+        assert first.read_bytes() == b"bad-1"
+        assert second.read_bytes() == b"bad-2"

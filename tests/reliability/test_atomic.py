@@ -1,0 +1,64 @@
+"""Tests for atomic file persistence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.reliability.atomic import (
+    atomic_savez_compressed,
+    atomic_write,
+    atomic_write_text,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write(path, lambda fh: fh.write(b"payload"))
+        assert path.read_bytes() == b"payload"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failure_leaves_destination_untouched(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "original")
+
+        def boom(fh):
+            fh.write(b"partial")
+            raise RuntimeError("disk on fire")
+
+        with pytest.raises(RuntimeError):
+            atomic_write(path, boom)
+        assert path.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "v1")
+        atomic_write_text(path, "v2")
+        assert path.read_text() == "v2"
+
+
+class TestAtomicSavez:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        a = np.arange(10, dtype=np.int64)
+        atomic_savez_compressed(path, a=a)
+        with np.load(path) as data:
+            assert np.array_equal(data["a"], a)
+
+    def test_no_npz_suffix_duplication(self, tmp_path):
+        # numpy appends .npz to *paths*; the atomic writer hands it a file
+        # object so the final name is exactly what was asked for.
+        path = tmp_path / "arrays.npz"
+        atomic_savez_compressed(path, a=np.zeros(1))
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["arrays.npz"]

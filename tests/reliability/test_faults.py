@@ -1,0 +1,123 @@
+"""Tests for the fault model and retry/backoff transfer link."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import TransferError
+from repro.reliability.faults import FaultModel
+from repro.reliability.transfer import AgpTransferLink, TransferPolicy
+from repro.texture.tiling import L1_BLOCK_BYTES
+
+
+def run_link(model, policy=None, frames=(500, 300, 700)):
+    link = AgpTransferLink(model, policy)
+    return [link.transfer_frame(n) for n in frames]
+
+
+class TestFaultModel:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            FaultModel(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(drop_rate=0.7, corrupt_rate=0.7)
+
+    def test_active(self):
+        assert not FaultModel().active
+        assert FaultModel(drop_rate=0.1).active
+        assert FaultModel(corrupt_rate=0.1).active
+        assert FaultModel(spike_rate=0.1).active
+
+    def test_hashable_for_config_keys(self):
+        # HierarchyConfig (a frozen dataclass used as a memoization key)
+        # embeds the model, so it must hash.
+        assert hash(FaultModel(drop_rate=0.1, seed=7)) == hash(
+            FaultModel(drop_rate=0.1, seed=7)
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_identical_retry_counts(self):
+        model = FaultModel(drop_rate=0.05, corrupt_rate=0.05, seed=42)
+        a = run_link(model)
+        b = run_link(model)
+        assert [s.retried_transfers for s in a] == [s.retried_transfers for s in b]
+        assert [s.stale_blocks for s in a] == [s.stale_blocks for s in b]
+        assert [s.retry_bytes for s in a] == [s.retry_bytes for s in b]
+
+    def test_different_seeds_diverge(self):
+        a = run_link(FaultModel(drop_rate=0.2, seed=1), frames=(10_000,))
+        b = run_link(FaultModel(drop_rate=0.2, seed=2), frames=(10_000,))
+        assert a[0].retried_transfers != b[0].retried_transfers
+
+
+class TestTransferOutcomes:
+    def test_zero_rate_is_free(self):
+        stats = run_link(FaultModel(seed=0))[0]
+        assert stats.retried_transfers == 0
+        assert stats.retry_bytes == 0
+        assert stats.stale_blocks == 0
+        assert not stats.degraded
+
+    def test_zero_blocks(self):
+        link = AgpTransferLink(FaultModel(drop_rate=0.5, seed=0))
+        stats = link.transfer_frame(0)
+        assert stats.requested_blocks == 0
+        assert stats.retried_transfers == 0
+
+    def test_certain_failure_goes_stale(self):
+        policy = TransferPolicy(max_retries=2)
+        link = AgpTransferLink(FaultModel(drop_rate=1.0, seed=0), policy)
+        stats = link.transfer_frame(100)
+        # Every block fails the first try and both retries.
+        assert stats.retried_transfers == 200
+        assert stats.stale_blocks == 100
+        assert stats.degraded
+
+    def test_retry_bytes_are_block_sized(self):
+        model = FaultModel(drop_rate=0.3, seed=9)
+        stats = run_link(model, frames=(1000,))[0]
+        assert stats.retry_bytes == stats.retried_transfers * L1_BLOCK_BYTES
+
+    def test_max_retries_zero_never_retries(self):
+        link = AgpTransferLink(
+            FaultModel(drop_rate=0.5, seed=3), TransferPolicy(max_retries=0)
+        )
+        stats = link.transfer_frame(1000)
+        assert stats.retried_transfers == 0
+        assert stats.stale_blocks > 0
+
+    def test_strict_policy_raises(self):
+        link = AgpTransferLink(
+            FaultModel(drop_rate=1.0, seed=0),
+            TransferPolicy(max_retries=1, strict=True),
+        )
+        with pytest.raises(TransferError):
+            link.transfer_frame(10)
+
+    def test_backoff_grows_exponentially(self):
+        policy = TransferPolicy(backoff_base_us=10.0, backoff_factor=2.0)
+        assert policy.backoff_us(0) == 10.0
+        assert policy.backoff_us(3) == 80.0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            TransferPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            TransferPolicy(backoff_factor=0.5)
+
+    def test_spikes_counted(self):
+        link = AgpTransferLink(FaultModel(spike_rate=1.0, seed=0))
+        stats = link.transfer_frame(50)
+        assert stats.latency_spikes == 50
+        assert stats.retried_transfers == 0
+
+
+class TestImmutability:
+    def test_model_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FaultModel().drop_rate = 0.5
+
+    def test_policy_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            TransferPolicy().max_retries = 5

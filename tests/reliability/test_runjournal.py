@@ -1,0 +1,75 @@
+"""Tests for the JSON run journal."""
+
+import json
+
+from repro.reliability.runjournal import ExperimentRecord, RunJournal
+
+
+def make_journal(tmp_path):
+    return RunJournal(path=tmp_path / "journal.json")
+
+
+class TestRunJournal:
+    def test_record_and_reload(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record(
+            ExperimentRecord("fig3", "ok", scale="small", elapsed_s=1.2)
+        )
+        journal.record(
+            ExperimentRecord(
+                "table1",
+                "failed",
+                scale="small",
+                error={"type": "RuntimeError", "message": "boom", "traceback": "tb"},
+            )
+        )
+        loaded = RunJournal.load(journal.path)
+        assert loaded.completed_ids() == {"fig3"}
+        assert loaded.failed_ids() == {"table1"}
+        assert loaded.records["table1"].error["type"] == "RuntimeError"
+
+    def test_completed_ids_scale_filter(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record(ExperimentRecord("fig3", "ok", scale="small"))
+        journal.record(ExperimentRecord("fig4", "ok", scale="bench"))
+        assert journal.completed_ids("small") == {"fig3"}
+        assert journal.completed_ids() == {"fig3", "fig4"}
+
+    def test_rerecord_overwrites(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record(ExperimentRecord("fig3", "failed", scale="small"))
+        journal.record(ExperimentRecord("fig3", "ok", scale="small"))
+        assert RunJournal.load(journal.path).completed_ids() == {"fig3"}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        journal = RunJournal.load(tmp_path / "nope.json")
+        assert journal.records == {}
+
+    def test_damaged_file_loads_empty(self, tmp_path):
+        path = tmp_path / "journal.json"
+        path.write_text("{ not json")
+        assert RunJournal.load(path).records == {}
+
+    def test_journal_is_valid_json_after_each_record(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record(ExperimentRecord("fig3", "ok"))
+        raw = json.loads(journal.path.read_text())
+        assert raw["version"] == 1
+        assert raw["records"][0]["experiment_id"] == "fig3"
+
+    def test_unknown_fields_tolerated(self, tmp_path):
+        path = tmp_path / "journal.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 99,
+                    "records": [
+                        {"experiment_id": "fig3", "status": "ok", "scale": ""},
+                        {"experiment_id": "x", "status": "ok", "who": "dis"},
+                    ],
+                }
+            )
+        )
+        loaded = RunJournal.load(path)
+        # The future-layout row is skipped, the compatible one kept.
+        assert loaded.completed_ids() == {"fig3"}
