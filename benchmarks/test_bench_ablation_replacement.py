@@ -16,3 +16,9 @@ def test_ablation_replacement(benchmark, run_bench_experiment):
     search = result.data["clock_search"]
     assert search["mean"] < 16
     assert search["max"] >= 1
+    # The offline Belady optimum bounds every online policy's block hit
+    # rate, on both workloads.
+    for data in (result.data, result.data["city"]):
+        opt = data["belady"]["block_hit"]
+        for p in policies:
+            assert opt >= data[p]["block_hit"] - 1e-12

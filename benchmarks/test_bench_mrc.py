@@ -1,0 +1,22 @@
+"""Bench target for the analytic miss-ratio-curve subsystem.
+
+Asserts the two headline claims of ``exp_mrc``: the single-pass sweep
+agrees with the transaction simulator within 1 pp at every Fig 9 size, and
+producing all five sizes analytically costs less wall-clock than simulating
+just two of them.
+"""
+
+
+def test_mrc_analytic_vs_simulation(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "mrc")
+    for mode in ("bilinear", "trilinear"):
+        d = result.data[mode]
+        assert d["max_abs_err_pp"] <= 1.0, (mode, d["max_abs_err_pp"])
+        timing = d["timing"]
+        # One analytic pass (5 sizes) beats simulating two sizes.
+        assert timing["faster_than_two_sims"], (mode, timing)
+        assert timing["analytic_s"] < timing["two_sims_s"]
+        # Throughput floor: the profiler is vectorized, not a Python loop.
+        assert timing["refs_per_s"] > 500_000, (mode, timing["refs_per_s"])
+    # The offline optimum bounds the simulated clock at every L2 size.
+    assert result.data["l2"]["opt_ge_clock"]

@@ -28,6 +28,7 @@ __all__ = [
     "LRUPolicy",
     "FIFOPolicy",
     "RandomPolicy",
+    "BeladyPolicy",
     "make_policy",
 ]
 
@@ -160,11 +161,35 @@ class RandomPolicy(ReplacementPolicy):
         self._rng = np.random.default_rng(self._seed)
 
 
+class BeladyPolicy(ReplacementPolicy):
+    """Offline-optimal (Belady MIN) replacement, registered for sweeps.
+
+    Optimal replacement evicts the block whose next use is farthest in the
+    future — which the online ``touch``/``victim`` interface cannot know.
+    The name exists so policy sweeps can request "belady" uniformly;
+    actually evicting through it raises with a pointer to the offline
+    two-pass simulator (:func:`repro.analytic.belady.belady_l2`), which the
+    replacement ablation uses to report the OPT bound.
+    """
+
+    def touch(self, block: int) -> None:
+        """No-op: the offline optimum keeps no online state."""
+
+    def victim(self) -> int:
+        """Always raises: eviction needs the future reference stream."""
+        raise RuntimeError(
+            "Belady OPT is offline-only: victim() cannot see future "
+            "references; use repro.analytic.belady (belady_l2 / "
+            "opt_l2_result) to compute the optimal bound"
+        )
+
+
 _POLICIES = {
     "clock": ClockPolicy,
     "lru": LRUPolicy,
     "fifo": FIFOPolicy,
     "random": RandomPolicy,
+    "belady": BeladyPolicy,
 }
 
 

@@ -21,6 +21,30 @@ L1_SIZE_SWEEP = tuple(k * 1024 for k in (2, 4, 8, 16, 32))
 L1_LOW_BYTES = 2 * 1024
 L1_HIGH_BYTES = 16 * 1024
 
+#: Set-sampling rate of the analytic L1 sweep fast path (``exp_mrc``):
+#: profile a quarter of the coarsest geometry's sets. Exact per-set
+#: profiling is ``1.0``.
+MRC_SET_SAMPLE = 0.25
+
+#: Stream length (collapsed refs) the sweep's set-sampling aims at: for
+#: longer traces the rate halves (down to ``MRC_SET_SAMPLE_FLOOR``) so
+#: profiling cost stays roughly flat while the error stays far inside
+#: :data:`MRC_TOLERANCE_PP` (measured <= ~0.3 pp at the floor rate).
+MRC_SWEEP_TARGET_REFS = 1_500_000
+
+#: Smallest set-sampling rate the sweep will pick on its own (1/16 of the
+#: coarsest geometry's sets).
+MRC_SET_SAMPLE_FLOOR = 1.0 / 16.0
+
+#: Agreement tolerance (percentage points of miss rate) between analytic
+#: and transaction-accurate Fig 9 points; exceeding it makes ``exp_mrc``
+#: fall back to exact profiling.
+MRC_TOLERANCE_PP = 1.0
+
+#: Target stream length for hash-sampled fully-associative L2 curves; the
+#: sampling rate adapts so roughly this many L1 misses are profiled.
+MRC_HASH_SAMPLE_TARGET = 250_000
+
 
 @dataclass(frozen=True)
 class Scale:

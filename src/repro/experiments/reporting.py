@@ -19,12 +19,18 @@ __all__ = [
     "format_series",
     "mb",
     "kb",
+    "pct",
 ]
 
 
 def mb(n_bytes: float) -> str:
     """Format bytes as MB with two decimals."""
     return f"{n_bytes / (1024 * 1024):.2f} MB"
+
+
+def pct(fraction: float, decimals: int = 2) -> str:
+    """Format a fraction as a percentage."""
+    return f"{100.0 * fraction:.{decimals}f}%"
 
 
 def kb(n_bytes: float) -> str:

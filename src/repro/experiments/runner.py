@@ -31,6 +31,7 @@ from repro.experiments import (
     exp_fig9,
     exp_fig10,
     exp_fig11,
+    exp_mrc,
     exp_table1,
     exp_table2,
     exp_table3,
@@ -62,6 +63,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[Scale | None], ExperimentResult]]] =
     "fig12": ("Animation snapshots (PPM)", exp_fig12.run),
     "table8": ("Average TLB hit rates", exp_table8.run),
     "locality": ("Locality-class decomposition (§4)", exp_locality.run),
+    "mrc": ("Analytic miss-ratio curves vs simulation", exp_mrc.run),
     "perf": ("Estimated frame rates (timing model)", exp_performance.run),
     "abl-zfirst": ("Ablation: z before texture", exp_ablations.run_zfirst),
     "abl-replacement": ("Ablation: L2 replacement policies", exp_ablations.run_replacement),

@@ -156,6 +156,12 @@ def morton2(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     )
 
 
+#: Pre-spread low bytes: ``_SPREAD8[v] == _part1by1(v)`` for v < 256. Lets
+#: the set-index fast path replace the five-step interleave with one small
+#: table gather when only a few Morton bits survive the set mask.
+_SPREAD8 = _part1by1(np.arange(256, dtype=np.int64))
+
+
 @dataclass(frozen=True)
 class TextureLayout:
     """Block layout of one texture at a given L2 tile size.
@@ -369,20 +375,44 @@ class AddressSpace:
             self.layout(tid, l2_tile_texels).total_blocks,
         )
 
+    def l1_tile_codes(self, packed: np.ndarray) -> np.ndarray:
+        """Global Morton tile code per packed reference (pre-masking).
+
+        Mixes the tile coordinates with a Morton code and adds the per-level
+        global tile base; the L1 set index is this code masked to the set
+        count. Exposed separately so the analytic layer can compute the code
+        once and reuse it across a whole cache-size sweep.
+        """
+        f = unpack_tile_refs(packed)
+        key = f.tid * MAX_MIP_LEVELS + f.mip
+        return morton2(f.tile_x, f.tile_y) + self.l1_tile_base[key]
+
     def l1_set_indices(self, packed: np.ndarray, n_sets: int) -> np.ndarray:
         """L1 cache set index for each packed reference.
 
-        Mixes the tile coordinates with a Morton code and adds the per-level
-        global tile base, realizing the collision-avoiding "6D blocked
-        representation" tag calculation of §3.3 (which the paper fixes,
-        independent of the L2 tile size).
+        Realizes the collision-avoiding "6D blocked representation" tag
+        calculation of §3.3 (which the paper fixes, independent of the L2
+        tile size).
         """
         if n_sets < 1 or (n_sets & (n_sets - 1)):
             raise ValueError(f"n_sets must be a positive power of two, got {n_sets}")
-        f = unpack_tile_refs(packed)
-        key = f.tid * MAX_MIP_LEVELS + f.mip
-        code = morton2(f.tile_x, f.tile_y) + self.l1_tile_base[key]
-        return (code & np.int64(n_sets - 1)).astype(np.int64)
+        if n_sets > (1 << 16):
+            return (self.l1_tile_codes(packed) & np.int64(n_sets - 1)).astype(np.int64)
+        # Fast path: only the low log2(n_sets) Morton bits survive the mask,
+        # and addition commutes with low-bit masking, so spread just those
+        # coordinate bits through a 256-entry table instead of unpacking and
+        # interleaving the full 22-bit coordinates.
+        k = int(n_sets).bit_length() - 1
+        xbits = (k + 1) // 2
+        ybits = k // 2
+        p = np.asarray(packed, dtype=np.int64)
+        tx = p & np.int64((1 << xbits) - 1)
+        ty = (p >> np.int64(_TY_SHIFT)) & np.int64((1 << ybits) - 1)
+        code_low = _SPREAD8[tx] | (_SPREAD8[ty] << 1)
+        key = ((p >> np.int64(_TID_SHIFT)) & np.int64(_TID_MASK)) * MAX_MIP_LEVELS + (
+            (p >> np.int64(_MIP_SHIFT)) & np.int64(_MIP_MASK)
+        )
+        return (code_low + self.l1_tile_base[key]) & np.int64(n_sets - 1)
 
     def wrap_texels(
         self, tid_or_key: np.ndarray, mip: np.ndarray, x: np.ndarray, y: np.ndarray

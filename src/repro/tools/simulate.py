@@ -7,6 +7,8 @@ Usage::
         --l2-tile 16 --tlb 8 --policy clock                        # L2 arch
     python -m repro.tools.simulate trace.npz --l1-kb 2 \\
         --fault-rate 0.01 --max-retries 3                          # faulty AGP
+    python -m repro.tools.simulate trace.npz --l1-kb 2 --l2-kb 2048 \\
+        --analytic                                # stack-distance fast path
 """
 
 from __future__ import annotations
@@ -26,6 +28,51 @@ from repro.trace.tracefile import load_trace
 __all__ = ["main"]
 
 
+def _run_analytic(args, trace) -> int:
+    """Stack-distance fast path: no transaction simulation."""
+    import numpy as np
+
+    from repro.analytic import l1_mrc_sweep, l2_block_mrc, opt_l2_result
+
+    l1_bytes = int(args.l1_kb * 1024)
+    start = time.time()
+    point = l1_mrc_sweep(trace, [l1_bytes], ways=args.ways)[l1_bytes]
+    rows = [
+        ["texel reads", f"{point.texel_reads:,}"],
+        ["L1 misses (analytic)", f"{point.misses:,}"],
+        ["L1 hit rate (analytic)", f"{point.hit_rate:.4f}"],
+    ]
+    if args.l2_kb is not None:
+        cfg = L2CacheConfig(
+            size_bytes=int(args.l2_kb * 1024), l2_tile_texels=args.l2_tile
+        )
+        curve = l2_block_mrc(
+            trace, l1_bytes, [cfg.n_blocks], l2_tile_texels=args.l2_tile,
+            l1_ways=args.ways,
+        )
+        idx = int(np.searchsorted(curve.capacities, cfg.n_blocks))
+        rows.append(
+            ["L2 block-residency rate (analytic LRU)",
+             f"{float(curve.hit_ratios[idx]):.3f}"]
+        )
+        opt = opt_l2_result(trace, l1_bytes, cfg, l1_ways=args.ways)
+        full, partial = opt.hit_rates()
+        rows.append(["L2 full-hit rate (OPT bound)", f"{full:.3f}"])
+        rows.append(["L2 partial-hit rate (OPT bound)", f"{partial:.3f}"])
+        agp_frame = opt.agp_bytes / max(len(trace.frames), 1)
+        rows.append(
+            ["mean AGP MB/frame (OPT bound)", f"{agp_frame / (1 << 20):.3f}"]
+        )
+        if args.fps is not None:
+            rows.append(
+                [f"AGP MB/s @ {args.fps:g} Hz (OPT bound)",
+                 f"{agp_frame * args.fps / 1e6:.1f}"]
+            )
+    rows.append(["analytic time", f"{time.time() - start:.2f}s"])
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -42,7 +89,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--l2-tile", type=int, default=16,
                         help="L2 block edge in texels (default 16)")
     parser.add_argument("--policy", default="clock",
-                        choices=["clock", "lru", "fifo", "random"])
+                        choices=["clock", "lru", "fifo", "random", "belady"])
+    parser.add_argument("--analytic", action="store_true",
+                        help="stack-distance model instead of the "
+                             "transaction sim (L1 exact; L2 reported as "
+                             "analytic LRU + offline Belady OPT bound)")
     parser.add_argument("--tlb", type=int, default=None,
                         help="TLB entries (requires --l2-kb)")
     parser.add_argument("--fps", type=float, default=None,
@@ -59,8 +110,16 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
     if args.max_retries < 0:
         parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
+    if args.policy == "belady" and not args.analytic:
+        parser.error("--policy belady is offline-only; add --analytic")
+    if args.analytic and args.tlb is not None:
+        parser.error("--analytic models caches only; drop --tlb")
+    if args.analytic and args.fault_rate > 0:
+        parser.error("--analytic is fault-free; drop --fault-rate")
 
     trace = load_trace(args.trace)
+    if args.analytic:
+        return _run_analytic(args, trace)
     fault_model = (
         FaultModel(drop_rate=args.fault_rate, seed=args.fault_seed)
         if args.fault_rate > 0

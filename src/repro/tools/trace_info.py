@@ -4,11 +4,15 @@ Usage::
 
     python -m repro.tools.trace_info trace.npz [--l2-tile 16]
     python -m repro.tools.trace_info trace.npz --verify   # integrity check
+    python -m repro.tools.trace_info trace.npz --json     # machine-readable
+    python -m repro.tools.trace_info mrc trace.npz \\
+        [--l1-sizes 2,4,8,16,32] [--ways 2] [--sample 1] [--json]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -57,11 +61,118 @@ def _verify(path: str) -> int:
     return 1
 
 
+def _mrc_main(argv: list[str]) -> int:
+    """``trace_info mrc``: analytic L1 miss-ratio curve for one trace."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.trace_info mrc",
+        description="Single-pass analytic L1 miss-ratio curve of a trace.",
+    )
+    parser.add_argument("trace", help="trace file (.npz)")
+    parser.add_argument("--l1-sizes", default="2,4,8,16,32",
+                        help="comma-separated L1 sizes in KB "
+                             "(default 2,4,8,16,32 - the Fig 9 sweep)")
+    parser.add_argument("--ways", type=int, default=2,
+                        help="L1 associativity (default 2)")
+    parser.add_argument("--sample", type=float, default=1.0,
+                        help="fraction of cache sets to profile (default 1: "
+                             "exact; 0.25 matches the sim within ~0.05 pp)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the curve as JSON")
+    args = parser.parse_args(argv)
+    try:
+        sizes = sorted(
+            int(float(s) * 1024) for s in args.l1_sizes.split(",") if s.strip()
+        )
+    except ValueError:
+        parser.error(f"--l1-sizes must be comma-separated KB, got {args.l1_sizes!r}")
+    if not sizes:
+        parser.error("--l1-sizes selected no sizes")
+    if not 0.0 < args.sample <= 1.0:
+        parser.error(f"--sample must be in (0, 1], got {args.sample}")
+
+    from repro.analytic import l1_mrc_sweep
+
+    trace = load_trace(args.trace)
+    sweep = l1_mrc_sweep(trace, sizes, ways=args.ways, sample=args.sample)
+    if args.json:
+        payload = {
+            "trace": args.trace,
+            "ways": args.ways,
+            "sample": args.sample,
+            "points": [
+                {
+                    "size_bytes": p.size_bytes,
+                    "n_sets": p.n_sets,
+                    "accesses": p.accesses,
+                    "texel_reads": p.texel_reads,
+                    "misses": p.misses,
+                    "miss_rate": p.miss_rate,
+                }
+                for p in (sweep[s] for s in sizes)
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [
+        [
+            kb(p.size_bytes),
+            str(p.n_sets),
+            f"{p.misses:,}",
+            f"{p.miss_rate:.5f}",
+            f"{p.hit_rate:.5f}",
+        ]
+        for p in (sweep[s] for s in sizes)
+    ]
+    print(f"trace: {args.trace}  (ways={args.ways}, set-sample={args.sample:g})")
+    print(format_table(
+        ["L1 size", "sets", "misses", "miss rate", "hit rate"], rows
+    ))
+    return 0
+
+
+def _json_summary(trace, path: str, l2_tile: int) -> dict:
+    """Machine-readable summary payload (``--json``)."""
+    from repro.analytic import reuse_distance_histograms
+
+    m = trace.meta
+    stats = workload_stats(trace, l2_tile)
+    frame_hist = frame_reuse_distance_histogram(trace, l2_tile)
+    hists = reuse_distance_histograms(trace, l2_tile)
+    return {
+        "trace": path,
+        "workload": m.workload,
+        "resolution": [m.width, m.height],
+        "frames": m.n_frames,
+        "filter": str(m.filter_mode),
+        "texel_reads": trace.total_texel_reads(),
+        "stats": {
+            "depth_complexity": stats.depth_complexity,
+            "block_utilization": stats.block_utilization,
+            "expected_working_set_bytes": stats.expected_working_set_bytes,
+            "mean_fragments": stats.mean_fragments,
+            "mean_unique_blocks": stats.mean_unique_blocks,
+        },
+        "frame_reuse_distances": dict(frame_hist),
+        "locality": {
+            "tile_texels": hists.tile_texels,
+            "bin_labels": hists.bin_labels,
+            "class_totals": hists.class_totals(),
+            "per_class": {k: v.tolist() for k, v in hists.per_class.items()},
+            "per_frame": hists.per_frame.tolist(),
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "mrc":
+        return _mrc_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.trace_info",
-        description="Summarize a rendered texture-access trace.",
+        description="Summarize a rendered texture-access trace "
+                    "(or 'mrc <trace>' for its analytic miss-ratio curve).",
     )
     parser.add_argument("trace", help="trace file (.npz)")
     parser.add_argument("--l2-tile", type=int, default=16,
@@ -69,12 +180,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--verify", action="store_true",
                         help="check manifest checksums and per-frame integrity "
                              "without loading the whole trace; exit 1 if damaged")
+    parser.add_argument("--json", action="store_true",
+                        help="emit stats, locality-class totals, and "
+                             "reuse-distance histograms as JSON")
     args = parser.parse_args(argv)
 
     if args.verify:
         return _verify(args.trace)
 
     trace = load_trace(args.trace)
+    if args.json:
+        print(json.dumps(_json_summary(trace, args.trace, args.l2_tile), indent=2))
+        return 0
     m = trace.meta
     stats = workload_stats(trace, args.l2_tile)
     uniques = per_frame_unique_blocks(trace, args.l2_tile)

@@ -1,0 +1,21 @@
+"""Shared fixtures for the analytic-model tests."""
+
+import pytest
+
+from repro.experiments.config import Scale
+from repro.experiments.traces import get_trace
+from repro.texture.sampler import FilterMode
+
+MICRO = Scale(width=96, height=72, frames=3, detail=0.25, name="micro")
+
+
+@pytest.fixture(scope="package")
+def micro_trace():
+    """A small rendered village animation (shared across the package)."""
+    return get_trace("village", MICRO, FilterMode.BILINEAR)
+
+
+@pytest.fixture(scope="package")
+def micro_trace_tri():
+    """Trilinear variant (two mip levels interleave in the stream)."""
+    return get_trace("village", MICRO, FilterMode.TRILINEAR)

@@ -1,0 +1,115 @@
+"""Offline-optimal (Belady) replacement: hand cases and optimality bounds."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.belady import (
+    belady_hits,
+    belady_l2,
+    next_use_indices,
+    opt_l2_result,
+)
+from repro.analytic.stack_distance import stack_distances
+from repro.core.l2_cache import L2CacheConfig, L2TextureCache
+from repro.core.l1_cache import L1CacheConfig, L1CacheSim
+
+
+def lru_hits(stream, capacity):
+    """Fully-associative LRU hits, straight from stack distances."""
+    d = stack_distances(np.asarray(stream))
+    return int(((d >= 0) & (d < capacity)).sum())
+
+
+class TestNextUse:
+    def test_hand_stream(self):
+        stream = np.array([7, 3, 7, 7, 5, 3])
+        assert next_use_indices(stream).tolist() == [2, 5, 3, 6, 6, 6]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_naive(self, seed):
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, 20, size=150).tolist()
+        nxt = next_use_indices(np.array(stream))
+        for i, b in enumerate(stream):
+            expect = next(
+                (j for j in range(i + 1, len(stream)) if stream[j] == b),
+                len(stream),
+            )
+            assert nxt[i] == expect
+
+
+class TestBeladyHits:
+    def test_textbook_example(self):
+        # The classic OPT example: 5 hits at capacity 3.
+        stream = np.array([1, 2, 3, 1, 2, 4, 1, 2, 3, 4])
+        assert belady_hits(stream, 3) == 5
+
+    def test_capacity_one_only_consecutive_repeats(self):
+        stream = np.array([1, 1, 2, 1, 1])
+        assert belady_hits(stream, 1) == 2
+
+    def test_large_capacity_all_reuses_hit(self):
+        stream = np.array([1, 2, 3, 1, 2, 3])
+        assert belady_hits(stream, 10) == 3
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_below_lru(self, seed):
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, 30, size=400)
+        for cap in (2, 8, 16):
+            assert belady_hits(stream, cap) >= lru_hits(stream, cap)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            belady_hits(np.array([1]), 0)
+
+
+class TestBeladyL2:
+    def test_sector_accounting(self):
+        # Same block: sub 0 (full miss), sub 1 (partial), sub 0 (full hit).
+        gids = np.array([5, 5, 5])
+        subs = np.array([0, 1, 0])
+        res = belady_l2(gids, subs, n_blocks=4)
+        assert (res.full_misses, res.partial_hits, res.full_hits) == (1, 1, 1)
+        assert res.host_downloads == 2
+
+    def test_eviction_drops_sectors(self):
+        # Capacity 1: the second block evicts the first; its return is a
+        # fresh full miss, not a partial hit.
+        gids = np.array([1, 2, 1])
+        subs = np.array([0, 0, 0])
+        res = belady_l2(gids, subs, n_blocks=1)
+        assert res.full_misses == 3
+        assert res.evictions == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            belady_l2(np.array([1, 2]), np.array([0]), 4)
+
+
+class TestOptBound:
+    def test_opt_block_hits_at_least_online_policies(self, micro_trace_tri):
+        trace = micro_trace_tri
+        l1_bytes = 2 * 1024
+        cfg = L2CacheConfig(size_bytes=64 * 1024)
+        opt = opt_l2_result(trace, l1_bytes, cfg)
+        opt_block_hit = 1.0 - opt.full_misses / opt.accesses
+
+        space = trace.address_space
+        for policy in ("clock", "lru", "fifo", "random"):
+            l1 = L1CacheSim(L1CacheConfig(size_bytes=l1_bytes))
+            l2 = L2TextureCache(
+                L2CacheConfig(size_bytes=cfg.size_bytes, policy=policy), space
+            )
+            accesses = full_misses = 0
+            for frame in trace.frames:
+                sets = space.l1_set_indices(frame.refs, l1.config.n_sets)
+                miss_refs = l1.access_frame(
+                    frame.refs, frame.weights, sets
+                ).miss_refs
+                res = l2.access_frame(miss_refs)
+                accesses += res.accesses
+                full_misses += res.full_misses
+            assert accesses == opt.accesses
+            online_block_hit = 1.0 - full_misses / accesses
+            assert opt_block_hit >= online_block_hit - 1e-12

@@ -1,0 +1,69 @@
+"""Reuse-distance histograms vs the §4 locality decomposition."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analytic.histograms import (
+    distance_bin_labels,
+    reuse_distance_histograms,
+)
+from repro.trace.locality import classify_locality
+from repro.trace.trace import Trace
+
+
+class TestBins:
+    def test_labels_cover_overflow_and_cold(self):
+        labels = distance_bin_labels(np.array([0, 1, 2, 4]))
+        assert labels == ["0", "1", "2", "3-4", ">4", "cold"]
+
+
+class TestAgainstLocality:
+    def test_class_totals_match_classify_locality(self, micro_trace):
+        hists = reuse_distance_histograms(micro_trace, 16)
+        expect = classify_locality(micro_trace, 16).totals()
+        assert hists.class_totals() == expect
+
+    def test_run_mass_all_at_distance_zero(self, micro_trace):
+        hists = reuse_distance_histograms(micro_trace, 16)
+        run = hists.per_class["run"]
+        assert run[0] == run.sum()
+
+    def test_compulsory_all_cold(self, micro_trace):
+        hists = reuse_distance_histograms(micro_trace, 16)
+        comp = hists.per_class["compulsory"]
+        assert comp[-1] == comp.sum()
+
+    def test_per_frame_totals_cover_entries(self, micro_trace):
+        hists = reuse_distance_histograms(micro_trace, 16)
+        assert int(hists.per_frame.sum()) == hists.entries
+        assert hists.per_frame.shape[0] == len(micro_trace.frames)
+
+
+class TestNoObjectOffsets:
+    def test_intra_object_folds_into_intra_frame(self, micro_trace):
+        stripped = Trace(
+            meta=micro_trace.meta,
+            frames=[
+                dataclasses.replace(f, object_offsets=None)
+                for f in micro_trace.frames
+            ],
+            textures=micro_trace.textures,
+        )
+        plain = reuse_distance_histograms(stripped, 16)
+        full = reuse_distance_histograms(micro_trace, 16)
+        assert plain.class_totals()["intra_object"] == 0
+        assert (
+            plain.class_totals()["intra_frame"]
+            == full.class_totals()["intra_object"] + full.class_totals()["intra_frame"]
+        )
+        # First-touch classes are unaffected by the object split.
+        for name in ("inter_frame", "distant", "compulsory", "run"):
+            assert plain.class_totals()[name] == full.class_totals()[name]
+
+
+class TestValidation:
+    def test_rejects_non_multiple_tile(self, micro_trace):
+        with pytest.raises(ValueError):
+            reuse_distance_histograms(micro_trace, 10)

@@ -1,0 +1,61 @@
+"""Property tests: the analytic models vs brute-force online simulation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic.belady import belady_hits
+from repro.analytic.mrc import full_mrc
+from repro.core.l1_cache import L1CacheConfig, L1CacheSim
+from repro.core.policies import make_policy
+
+streams = st.lists(st.integers(min_value=0, max_value=24), min_size=1, max_size=300)
+capacities = st.integers(min_value=1, max_value=16)
+
+
+def online_policy_hits(stream, capacity, policy_name):
+    """Fully-associative online cache driven through ``make_policy``."""
+    policy = make_policy(policy_name, capacity)
+    slot_of = {}
+    block_of = {}
+    free = list(range(capacity - 1, -1, -1))
+    hits = 0
+    for b in stream:
+        slot = slot_of.get(b)
+        if slot is None:
+            if free:
+                slot = free.pop()
+            else:
+                slot = policy.victim()
+                del slot_of[block_of[slot]]
+            slot_of[b] = slot
+            block_of[slot] = b
+        else:
+            hits += 1
+        policy.touch(slot)
+    return hits
+
+
+@settings(max_examples=60)
+@given(stream=streams, capacity=capacities)
+def test_fully_associative_mrc_matches_l1_sim(stream, capacity):
+    """The MRC miss count at capacity W equals a W-way single-set sim's."""
+    refs = np.asarray(stream, dtype=np.int64)
+    config = L1CacheConfig(size_bytes=capacity * 64, ways=capacity)
+    assert config.n_sets == 1
+    sim = L1CacheSim(config)
+    result = sim.access_frame(
+        refs, np.ones(len(refs), dtype=np.int64), np.zeros(len(refs), dtype=np.int64)
+    )
+    curve = full_mrc(refs, [capacity])
+    assert int(curve.misses[0]) == result.misses
+
+
+@settings(max_examples=40)
+@given(stream=streams, capacity=capacities)
+def test_belady_at_least_every_online_policy(stream, capacity):
+    """OPT hits bound clock, LRU, FIFO, and random from above."""
+    refs = np.asarray(stream, dtype=np.int64)
+    opt = belady_hits(refs, capacity)
+    for name in ("clock", "lru", "fifo", "random"):
+        assert opt >= online_policy_hits(stream, capacity, name)

@@ -1,0 +1,108 @@
+"""Differential tests for the stack-distance profilers."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.stack_distance import (
+    FenwickTree,
+    count_leq_before,
+    hash_sample_mask,
+    previous_occurrence,
+    stack_distances,
+    stack_distances_fenwick,
+)
+
+
+def naive_stack_distances(stream):
+    """O(n^2) textbook definition: distinct blocks since the last access."""
+    out = np.full(len(stream), -1, dtype=np.int64)
+    last = {}
+    for i, b in enumerate(stream):
+        if b in last:
+            out[i] = len(set(stream[last[b] + 1 : i]))
+        last[b] = i
+    return out
+
+
+class TestFenwickTree:
+    def test_point_add_prefix_sum(self):
+        t = FenwickTree(8)
+        t.add(0, 3)
+        t.add(5, 2)
+        assert t.prefix_sum(-1) == 0
+        assert t.prefix_sum(0) == 3
+        assert t.prefix_sum(4) == 3
+        assert t.prefix_sum(7) == 5
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+
+class TestPreviousOccurrence:
+    def test_hand_stream(self):
+        stream = np.array([7, 3, 7, 7, 5, 3])
+        assert previous_occurrence(stream).tolist() == [-1, -1, 0, 2, -1, 1]
+
+    def test_all_distinct(self):
+        assert previous_occurrence(np.arange(5)).tolist() == [-1] * 5
+
+    def test_empty_and_single(self):
+        assert previous_occurrence(np.array([], dtype=np.int64)).tolist() == []
+        assert previous_occurrence(np.array([42])).tolist() == [-1]
+
+
+class TestCountLeqBefore:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_naive(self, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(-10, 10, size=rng.integers(1, 200))
+        expect = [int(np.sum(vals[:i] <= vals[i])) for i in range(len(vals))]
+        assert count_leq_before(vals).tolist() == expect
+
+
+class TestStackDistances:
+    def test_hand_stream(self):
+        # A B A A C B: B's reuse skips over {A, C} = distance 2.
+        stream = np.array([1, 2, 1, 1, 3, 2])
+        assert stack_distances(stream).tolist() == [-1, -1, 1, 0, -1, 2]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_vectorized_matches_fenwick_and_naive(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 300))
+        stream = rng.integers(0, max(2, n // 3), size=n)
+        d_vec = stack_distances(stream)
+        assert d_vec.tolist() == stack_distances_fenwick(stream).tolist()
+        assert d_vec.tolist() == naive_stack_distances(stream.tolist()).tolist()
+
+    def test_precomputed_prev_equivalent(self):
+        stream = np.array([4, 4, 1, 4, 1, 2, 1])
+        prev = previous_occurrence(stream)
+        assert (
+            stack_distances(stream, prev=prev).tolist()
+            == stack_distances(stream).tolist()
+        )
+
+
+class TestHashSampleMask:
+    def test_rate_one_keeps_all(self):
+        assert hash_sample_mask(np.arange(100), 1.0).all()
+
+    def test_deterministic_and_per_block(self):
+        stream = np.array([5, 9, 5, 9, 5], dtype=np.int64)
+        m1 = hash_sample_mask(stream, 0.5)
+        m2 = hash_sample_mask(stream, 0.5)
+        assert (m1 == m2).all()
+        # All occurrences of one block share a verdict.
+        assert m1[0] == m1[2] == m1[4]
+        assert m1[1] == m1[3]
+
+    def test_rate_roughly_honoured(self):
+        kept = hash_sample_mask(np.arange(20000, dtype=np.int64), 0.25).mean()
+        assert 0.2 < kept < 0.3
+
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+    def test_rejects_bad_rate(self, rate):
+        with pytest.raises(ValueError):
+            hash_sample_mask(np.arange(4), rate)

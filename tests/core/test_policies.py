@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.policies import (
+    BeladyPolicy,
     ClockPolicy,
     FIFOPolicy,
     LRUPolicy,
@@ -17,6 +18,7 @@ class TestFactory:
         ("lru", LRUPolicy),
         ("fifo", FIFOPolicy),
         ("random", RandomPolicy),
+        ("belady", BeladyPolicy),
     ])
     def test_builds_by_name(self, name, cls):
         assert isinstance(make_policy(name, 8), cls)
@@ -110,3 +112,12 @@ class TestRandom:
         first = [p.victim() for _ in range(5)]
         p.reset()
         assert [p.victim() for _ in range(5)] == first
+
+
+class TestBelady:
+    def test_touch_is_a_noop(self):
+        BeladyPolicy(4).touch(0)
+
+    def test_victim_raises_with_offline_pointer(self):
+        with pytest.raises(RuntimeError, match="offline-only"):
+            BeladyPolicy(4).victim()

@@ -165,6 +165,24 @@ class TestShapes:
         mbs = [result.data[f]["mb_per_frame"] for f in (0.4, 0.6, 0.8, 1.0, 1.5)]
         assert all(a >= b - 1e-9 for a, b in zip(mbs, mbs[1:]))
 
+    def test_mrc_analytic_agrees_with_simulation(self):
+        result = run_experiment("mrc", MICRO)
+        for mode in ("bilinear", "trilinear"):
+            d = result.data[mode]
+            assert d["max_abs_err_pp"] <= 1.0
+            assert d["within_tolerance"]
+            assert d["timing"]["refs_per_s"] > 0
+        assert result.data["l2"]["opt_ge_clock"]
+        hist = result.data["histograms"]
+        assert sum(hist["per_class"]["compulsory"]) > 0
+
+    def test_abl_replacement_opt_bounds_online(self):
+        result = run_experiment("abl-replacement", MICRO)
+        for data in (result.data, result.data["city"]):
+            opt = data["belady"]["block_hit"]
+            for policy in ("clock", "lru", "fifo", "random"):
+                assert opt >= data[policy]["block_hit"] - 1e-12
+
 
 class TestCLI:
     def test_main_runs_analytic_experiment(self, capsys):

@@ -86,3 +86,97 @@ class TestSimulate:
              "--policy", "lru"]
         )
         assert rc == 0
+
+
+class TestTraceInfoJson:
+    def test_json_summary(self, trace_file, capsys):
+        import json
+
+        assert trace_info_main([str(trace_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "city"
+        assert payload["frames"] == 3
+        assert payload["stats"]["depth_complexity"] > 0
+        totals = payload["locality"]["class_totals"]
+        assert set(totals) == {
+            "run", "intra_object", "intra_frame",
+            "inter_frame", "distant", "compulsory",
+        }
+        assert sum(totals.values()) > 0
+        assert len(payload["locality"]["per_frame"]) == 3
+        assert payload["frame_reuse_distances"]
+
+
+class TestTraceInfoMrc:
+    def test_table_output(self, trace_file, capsys):
+        rc = trace_info_main(["mrc", str(trace_file), "--l1-sizes", "2,8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "miss rate" in out
+        assert "2.0 KB" in out and "8.0 KB" in out
+
+    def test_json_output(self, trace_file, capsys):
+        import json
+
+        rc = trace_info_main(
+            ["mrc", str(trace_file), "--l1-sizes", "2,4", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        sizes = [p["size_bytes"] for p in payload["points"]]
+        assert sizes == [2048, 4096]
+        rates = [p["miss_rate"] for p in payload["points"]]
+        assert rates[0] >= rates[1] >= 0
+
+    def test_bad_sizes_rejected(self, trace_file):
+        with pytest.raises(SystemExit):
+            trace_info_main(["mrc", str(trace_file), "--l1-sizes", "two"])
+
+    def test_bad_sample_rejected(self, trace_file):
+        with pytest.raises(SystemExit):
+            trace_info_main(["mrc", str(trace_file), "--sample", "0"])
+
+
+class TestSimulateAnalytic:
+    def test_l1_matches_transaction_sim(self, trace_file, capsys):
+        assert simulate_main([str(trace_file), "--l1-kb", "2"]) == 0
+        sim_out = capsys.readouterr().out
+        assert simulate_main([str(trace_file), "--l1-kb", "2", "--analytic"]) == 0
+        ana_out = capsys.readouterr().out
+
+        def grab(out, label):
+            for line in out.splitlines():
+                if line.startswith(label):
+                    return line.split()[-1]
+            raise AssertionError(f"{label!r} not in output")
+
+        assert grab(ana_out, "L1 hit rate (analytic)") == grab(sim_out, "L1 hit rate")
+        assert grab(ana_out, "L1 misses (analytic)") == grab(sim_out, "L1 misses")
+
+    def test_l2_reports_opt_bound(self, trace_file, capsys):
+        rc = simulate_main(
+            [str(trace_file), "--l1-kb", "2", "--l2-kb", "64", "--analytic"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "analytic LRU" in out
+        assert "OPT bound" in out
+
+    def test_belady_requires_analytic(self, trace_file):
+        with pytest.raises(SystemExit):
+            simulate_main(
+                [str(trace_file), "--l1-kb", "2", "--l2-kb", "64",
+                 "--policy", "belady"]
+            )
+
+    def test_analytic_rejects_tlb_and_faults(self, trace_file):
+        with pytest.raises(SystemExit):
+            simulate_main(
+                [str(trace_file), "--l1-kb", "2", "--l2-kb", "64",
+                 "--analytic", "--tlb", "4"]
+            )
+        with pytest.raises(SystemExit):
+            simulate_main(
+                [str(trace_file), "--l1-kb", "2", "--analytic",
+                 "--fault-rate", "0.1"]
+            )
