@@ -227,17 +227,31 @@ class TraceRunResult:
 
 
 class MultiLevelTextureCache:
-    """Stateful hierarchy simulator over one workload's address space."""
+    """Stateful hierarchy simulator over one workload's address space.
 
-    def __init__(self, config: HierarchyConfig, space: AddressSpace):
+    ``use_reference=True`` runs every level on its per-access reference
+    loop instead of the batched kernels (differential testing and the
+    kernel benchmark).
+    """
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        space: AddressSpace,
+        use_reference: bool = False,
+    ):
         self.config = config
         self.space = space
-        self.l1 = L1CacheSim(config.l1)
+        self.l1 = L1CacheSim(config.l1, use_reference=use_reference)
         self.l2 = (
-            L2TextureCache(config.l2, space) if config.l2 is not None else None
+            L2TextureCache(config.l2, space, use_reference=use_reference)
+            if config.l2 is not None
+            else None
         )
         self.tlb = (
-            TextureTableTLB(config.tlb_entries, config.tlb_policy)
+            TextureTableTLB(
+                config.tlb_entries, config.tlb_policy, use_reference=use_reference
+            )
             if config.tlb_entries is not None
             else None
         )
@@ -258,10 +272,9 @@ class MultiLevelTextureCache:
         )
         if self.l2 is not None:
             l2_tile = self.config.l2.l2_tile_texels
-            gids = self.space.global_l2_ids(l1_res.miss_refs, l2_tile)
+            gids, subs = self.space.l2_addresses(l1_res.miss_refs, l2_tile)
             if self.tlb is not None:
                 stats.tlb = self.tlb.access_frame(gids)
-            _, _, subs = self.space.translate_l2(l1_res.miss_refs, l2_tile)
             stats.l2 = self.l2.access_blocks(gids, subs)
         if self.link is not None:
             # Every host download this frame crosses the faulty AGP link:

@@ -165,7 +165,13 @@ class L1CacheSim:
     def _access_vectorized(self, refs: np.ndarray, sets: np.ndarray) -> np.ndarray:
         """Exact per-set LRU for 1- and 2-way caches, in numpy passes."""
         n = len(refs)
-        order = np.argsort(sets, kind="stable")
+        # Set indices are tiny (tens to hundreds of sets); sorting them as
+        # uint16 instead of int64 makes the stable sort several times
+        # faster, and the sort dominates the whole frame pass.
+        if self.config.n_sets <= 1 << 16:
+            order = np.argsort(sets.astype(np.uint16), kind="stable")
+        else:
+            order = np.argsort(sets, kind="stable")
         s = sets[order]
         t = refs[order]
 
@@ -180,12 +186,14 @@ class L1CacheSim:
         mru_before[group_start] = self._mru[s[group_start]]
         changed = t != mru_before
 
+        # A group's last access sits right before the next group's start.
+        group_end = np.empty(n, dtype=bool)
+        group_end[-1] = True
+        group_end[:-1] = group_start[1:]
+
         if self.config.ways == 1:
             hit_sorted = ~changed
             # Writeback: the last reference of each group is the new content.
-            group_end = np.empty(n, dtype=bool)
-            group_end[-1] = True
-            np.not_equal(s[1:], s[:-1], out=group_end[:-1])
             self._mru[s[group_end]] = t[group_end]
         else:
             # LRU way content before each access: forward-fill of "the most
@@ -205,9 +213,6 @@ class L1CacheSim:
             lru_before = vals[last_def]
             hit_sorted = (~changed) | (t == lru_before)
 
-            group_end = np.empty(n, dtype=bool)
-            group_end[-1] = True
-            np.not_equal(s[1:], s[:-1], out=group_end[:-1])
             self._mru[s[group_end]] = t[group_end]
             new_lru = np.where(changed, mru_before, lru_before)
             self._lru[s[group_end]] = new_lru[group_end]

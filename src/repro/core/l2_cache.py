@@ -17,6 +17,14 @@ Accounting distinguishes (per §5.4.2's conditional hit rates):
   from host memory (into L2 and, in parallel, L1);
 * **full miss** — no physical block: find a victim, re-map, then download.
 
+Like :class:`~repro.core.l1_cache.L1CacheSim`, the simulator has two
+interchangeable engines: a per-access reference loop (``use_reference=True``)
+and a batched kernel that classifies whole chunks of the miss stream with
+numpy passes, dropping into a tight allocation loop only at first-touch full
+misses. The two are bit-identical — per-frame transaction counts, eviction
+counts, final residency state, and replacement-policy state all match — and
+the differential test suite asserts it.
+
 :class:`SetAssociativeL2Cache` implements the organization §5.1 argues
 *against* (restricted placement causes inter-texture collisions); it exists
 for the associativity ablation.
@@ -24,7 +32,7 @@ for the associativity ablation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -37,6 +45,9 @@ from repro.texture.tiling import (
 )
 
 __all__ = ["L2CacheConfig", "L2FrameResult", "L2TextureCache", "SetAssociativeL2Cache"]
+
+#: Sector bits available per page-table entry (``_t_sectors`` is uint64).
+MAX_SECTOR_BITS = 64
 
 
 @dataclass(frozen=True)
@@ -61,6 +72,17 @@ class L2CacheConfig:
             raise ValueError(
                 f"L2 tile size must be a power of two >= {L1_TILE_TEXELS}, "
                 f"got {self.l2_tile_texels}"
+            )
+        if self.sub_blocks_per_block > MAX_SECTOR_BITS:
+            # The per-entry sector bit-vector is a uint64; a larger tile
+            # would need more sector bits and ``1 << sub`` would silently
+            # wrap, corrupting the sector accounting.
+            max_tile = L1_TILE_TEXELS * int(MAX_SECTOR_BITS**0.5)
+            raise ValueError(
+                f"l2_tile_texels={self.l2_tile_texels} needs "
+                f"{self.sub_blocks_per_block} sector bits per entry, but the "
+                f"sector bit-vector holds {MAX_SECTOR_BITS}; the maximum "
+                f"supported L2 tile is {max_tile} texels"
             )
         if self.size_bytes < self.block_bytes:
             raise ValueError(
@@ -125,14 +147,30 @@ class L2TextureCache:
         space: address space of the workload's textures; sizes the page
             table (one entry per L2 block of every texture, the host
             driver's ``tstart``/``tlen`` allocation).
+        use_reference: run the per-access reference loop instead of the
+            batched kernel (differential testing).
+        chunk_size: accesses per batched pass; state is re-snapshotted at
+            chunk boundaries, so smaller chunks trade throughput for
+            temporary-array footprint without changing results.
     """
 
-    def __init__(self, config: L2CacheConfig, space: AddressSpace):
+    def __init__(
+        self,
+        config: L2CacheConfig,
+        space: AddressSpace,
+        use_reference: bool = False,
+        chunk_size: int = 1 << 15,
+    ):
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.config = config
         self.space = space
+        self._use_reference = use_reference
+        self._chunk_size = chunk_size
         n_entries = space.total_l2_blocks(config.l2_tile_texels)
         # t_table[]: physical block per virtual block (-1 = unallocated) and
         # the per-entry sector bit-vector (bit set = L1 sub-block present).
+        # Invariant: unallocated entries always have an all-zero bit-vector.
         self._t_block = np.full(n_entries, -1, dtype=np.int64)
         self._t_sectors = np.zeros(n_entries, dtype=np.uint64)
         # BRL[]: owning t_table index per physical block (-1 = free).
@@ -163,12 +201,42 @@ class L2TextureCache:
     # ------------------------------------------------------------------
     def access_frame(self, miss_refs: np.ndarray) -> L2FrameResult:
         """Run one frame's L1 miss stream through the L2 (Fig 7 steps C-F)."""
-        gids_arr = self.space.global_l2_ids(miss_refs, self.config.l2_tile_texels)
-        _, _, subs_arr = self.space.translate_l2(miss_refs, self.config.l2_tile_texels)
+        gids_arr, subs_arr = self.space.l2_addresses(
+            miss_refs, self.config.l2_tile_texels
+        )
         return self.access_blocks(gids_arr, subs_arr)
 
     def access_blocks(self, gids: np.ndarray, subs: np.ndarray) -> L2FrameResult:
         """Lower-level entry point taking pre-translated addresses."""
+        gids = np.asarray(gids, dtype=np.int64)
+        subs = np.asarray(subs, dtype=np.int64)
+        if self._use_reference:
+            return self._access_blocks_reference(gids, subs)
+        n = len(gids)
+        full_hits = partial = full_miss = evictions = 0
+        start = 0
+        while start < n:
+            stop = min(start + self._chunk_size, n)
+            done, fh, ph, fm, ev = self._access_chunk(
+                gids[start:stop], subs[start:stop]
+            )
+            full_hits += fh
+            partial += ph
+            full_miss += fm
+            evictions += ev
+            start += done
+        return L2FrameResult(
+            accesses=n,
+            full_hits=full_hits,
+            partial_hits=partial,
+            full_misses=full_miss,
+            evictions=evictions,
+        )
+
+    def _access_blocks_reference(
+        self, gids: np.ndarray, subs: np.ndarray
+    ) -> L2FrameResult:
+        """Per-access loop; the ground truth the batched kernel must match."""
         full_hits = 0
         partial = 0
         full_miss = 0
@@ -219,24 +287,145 @@ class L2TextureCache:
             evictions=evictions,
         )
 
+    def _access_chunk(
+        self, g: np.ndarray, s: np.ndarray
+    ) -> tuple[int, int, int, int, int]:
+        """Run one chunk of the miss stream through the batched kernel.
+
+        Classifies every access optimistically from a snapshot of the page
+        table plus within-chunk first-occurrence masks, then commits policy
+        touches segment-wise between full misses so every ``victim`` call
+        sees exactly the touches that preceded it. The one case the
+        snapshot cannot absorb — an evicted entry re-accessed later in the
+        same chunk — truncates the chunk at the re-access; the caller
+        re-enters with a fresh snapshot. Returns ``(processed, full_hits,
+        partial_hits, full_misses, evictions)`` for the processed prefix.
+        """
+        t_block = self._t_block
+        t_sectors = self._t_sectors
+        brl = self._brl_t_index
+        policy = self.policy
+        n = len(g)
+
+        bits = np.uint64(1) << s.astype(np.uint64)
+        blk = t_block[g]  # physical block per access; filled as misses allocate
+        resident0 = blk >= 0
+        bit_set0 = (t_sectors[g] & bits) != 0
+
+        # First occurrence of each gid / of each (gid, sub) pair in the chunk.
+        order = np.argsort(g, kind="stable")
+        sg = g[order]
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        np.not_equal(sg[1:], sg[:-1], out=boundary[1:])
+        first_gid = np.zeros(n, dtype=bool)
+        first_gid[order[boundary]] = True
+        group_start = np.flatnonzero(boundary)
+        group_end = np.append(group_start[1:], n)
+        group_of = np.cumsum(boundary) - 1
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n)
+
+        pair_key = (g << np.int64(6)) | s  # sub < 64 by config validation
+        pair_order = np.argsort(pair_key, kind="stable")
+        spk = pair_key[pair_order]
+        pair_boundary = np.empty(n, dtype=bool)
+        pair_boundary[0] = True
+        np.not_equal(spk[1:], spk[:-1], out=pair_boundary[1:])
+        first_pair = np.zeros(n, dtype=bool)
+        first_pair[pair_order[pair_boundary]] = True
+
+        # A nonresident entry always has zero sector bits, so the three
+        # classes partition exactly as the sequential loop would see them —
+        # as long as no mid-chunk eviction invalidates the snapshot for a
+        # later access (the truncation below guarantees that).
+        full_miss = first_gid & ~resident0
+        partial = first_pair & ~bit_set0 & ~full_miss
+
+        miss_positions = np.flatnonzero(full_miss)
+        limit = n
+        evictions = 0
+        evicted: list[int] = []
+        if miss_positions.size:
+            free = self._free
+            n_blocks = self.config.n_blocks
+            seg_start = 0
+            for p in miss_positions.tolist():
+                if p >= limit:
+                    break
+                if p > seg_start:
+                    policy.touch_many(blk[seg_start:p])
+                gid = int(g[p])
+                if free:
+                    b = free.pop()
+                elif self._next_unused < n_blocks:
+                    b = self._next_unused
+                    self._next_unused += 1
+                else:
+                    b = policy.victim()
+                    old = int(brl[b])
+                    if old >= 0:
+                        t_block[old] = -1
+                        t_sectors[old] = 0
+                        evictions += 1
+                        evicted.append(old)
+                        # If the evicted entry recurs later in this chunk,
+                        # the optimistic classification is stale from the
+                        # re-access on: truncate there and let the caller
+                        # reprocess the remainder against fresh state.
+                        lo = int(np.searchsorted(sg, old, side="left"))
+                        if lo < n and sg[lo] == old:
+                            occ = order[lo : group_end[group_of[lo]]]
+                            j = int(np.searchsorted(occ, p, side="right"))
+                            if j < len(occ) and occ[j] < limit:
+                                limit = int(occ[j])
+                brl[b] = gid
+                t_block[gid] = b
+                # Later accesses to this gid in the chunk hit block b. The
+                # miss is the gid's first occurrence, so its sorted group
+                # starts at this access.
+                occ = order[rank[p] + 1 : group_end[group_of[rank[p]]]]
+                if len(occ):
+                    blk[occ] = b
+                policy.touch(b)
+                seg_start = p + 1
+            if seg_start < limit:
+                policy.touch_many(blk[seg_start:limit])
+        else:
+            policy.touch_many(blk)
+
+        # Sector updates commute with everything above except the eviction
+        # clears — and a cleared entry is never re-ORed within the processed
+        # prefix (truncation) — so OR once, then re-clear evicted entries.
+        upd = np.flatnonzero((partial | full_miss)[:limit])
+        if len(upd):
+            np.bitwise_or.at(t_sectors, g[upd], bits[upd])
+        if evicted:
+            t_sectors[np.asarray(evicted, dtype=np.int64)] = 0
+
+        fm = int(np.count_nonzero(full_miss[:limit]))
+        ph = int(np.count_nonzero(partial[:limit]))
+        return limit, limit - fm - ph, ph, fm, evictions
+
     # ------------------------------------------------------------------
     def deallocate_texture(self, tid: int) -> int:
         """Release a deleted texture's page-table extent (§5.2).
 
-        Iterates the extent ``tstart .. tstart+tlen``, freeing any physical
-        blocks it owns. Returns the number of blocks released.
+        Frees every physical block the extent ``tstart .. tstart+tlen``
+        owns, in one set of mask operations. Returns the number of blocks
+        released.
         """
         tstart, tlen = self.space.l2_extent(tid, self.config.l2_tile_texels)
-        released = 0
-        for entry in range(tstart, tstart + tlen):
-            blk = self._t_block[entry]
-            if blk >= 0:
-                self._brl_t_index[blk] = -1
-                self._free.append(int(blk))
-                self._t_block[entry] = -1
-                self._t_sectors[entry] = 0
-                released += 1
-        return released
+        extent = slice(tstart, tstart + tlen)
+        blocks = self._t_block[extent]
+        owned = blocks[blocks >= 0]
+        if len(owned):
+            self._brl_t_index[owned] = -1
+            # Ascending page-table order, matching a loop over the extent.
+            self._free.extend(owned.tolist())
+            self._t_block[extent] = -1
+            self._t_sectors[extent] = 0
+        return len(owned)
 
 
 class SetAssociativeL2Cache:
@@ -246,9 +435,22 @@ class SetAssociativeL2Cache:
     ``ways`` lines. §5.1 predicts this suffers collisions between textures
     (and between distant blocks of large textures) that the page-table
     organization avoids; the ablation bench quantifies that.
+
+    The batched engine exploits the Mattson inclusion property: sorting the
+    carried per-set state plus the frame's accesses stably by set index
+    yields per-set substreams on which an access hits iff its LRU stack
+    distance is below ``ways``; residency episodes (spans between refills)
+    then separate full from partial hits. ``use_reference=True`` runs the
+    per-access loop instead.
     """
 
-    def __init__(self, config: L2CacheConfig, space: AddressSpace, ways: int = 4):
+    def __init__(
+        self,
+        config: L2CacheConfig,
+        space: AddressSpace,
+        ways: int = 4,
+        use_reference: bool = False,
+    ):
         if ways < 1 or config.n_blocks % ways:
             raise ValueError(
                 f"ways ({ways}) must divide the block count ({config.n_blocks})"
@@ -257,18 +459,28 @@ class SetAssociativeL2Cache:
         self.space = space
         self.ways = ways
         self.n_sets = config.n_blocks // ways
+        self._use_reference = use_reference
         # Per-set list of resident gids, LRU order (front = oldest).
         self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
         self._sectors: dict[int, int] = {}
 
     def access_frame(self, miss_refs: np.ndarray) -> L2FrameResult:
         """Run one frame's L1 miss stream through the set-associative L2."""
-        gids = self.space.global_l2_ids(miss_refs, self.config.l2_tile_texels)
-        _, _, subs = self.space.translate_l2(miss_refs, self.config.l2_tile_texels)
+        gids, subs = self.space.l2_addresses(miss_refs, self.config.l2_tile_texels)
         return self.access_blocks(gids, subs)
 
     def access_blocks(self, gids: np.ndarray, subs: np.ndarray) -> L2FrameResult:
         """Lower-level entry point taking pre-translated addresses."""
+        gids = np.asarray(gids, dtype=np.int64)
+        subs = np.asarray(subs, dtype=np.int64)
+        if self._use_reference:
+            return self._access_blocks_reference(gids, subs)
+        return self._access_blocks_batched(gids, subs)
+
+    def _access_blocks_reference(
+        self, gids: np.ndarray, subs: np.ndarray
+    ) -> L2FrameResult:
+        """Per-access loop; the ground truth the batched kernel must match."""
         full_hits = 0
         partial = 0
         full_miss = 0
@@ -299,6 +511,154 @@ class SetAssociativeL2Cache:
 
         return L2FrameResult(
             accesses=len(gids),
+            full_hits=full_hits,
+            partial_hits=partial,
+            full_misses=full_miss,
+            evictions=evictions,
+        )
+
+    def _access_blocks_batched(
+        self, gids: np.ndarray, subs: np.ndarray
+    ) -> L2FrameResult:
+        """Stack-distance classification of a whole frame at once."""
+        from repro.analytic.stack_distance import stack_distances
+
+        n = len(gids)
+        if n == 0:
+            return L2FrameResult(0, 0, 0, 0, 0)
+        ways = self.ways
+        n_sets = self.n_sets
+
+        # Carried state becomes a synthetic prefix: each set's residents in
+        # LRU order, so the LRU stack right after the prefix equals the
+        # cache. Synthetic accesses carry sub = -1 (no sector semantics).
+        state_gids = [gid for content in self._sets for gid in content]
+        n_state = len(state_gids)
+        if n_state:
+            all_gids = np.concatenate(
+                [np.asarray(state_gids, dtype=np.int64), gids]
+            )
+            all_subs = np.concatenate(
+                [np.full(n_state, -1, dtype=np.int64), subs]
+            )
+        else:
+            all_gids = gids
+            all_subs = subs
+        all_sets = all_gids % n_sets
+        m = len(all_gids)
+
+        # Stable sort by set: per-set substreams stay in temporal order, so
+        # stack distances computed on the sorted stream are per-set exact
+        # (a gid belongs to exactly one set).
+        order = np.argsort(all_sets, kind="stable")
+        stream = all_gids[order]
+        sub_stream = all_subs[order]
+        is_real = order >= n_state
+
+        d = stack_distances(stream)
+        resident = (d >= 0) & (d < ways)
+
+        # Occupancy before each access = min(distinct gids seen so far in
+        # the set, ways); a miss evicts iff the set is already full.
+        cold = d < 0
+        before = np.cumsum(cold) - cold
+        ss = all_sets[order]
+        set_boundary = np.empty(m, dtype=bool)
+        set_boundary[0] = True
+        np.not_equal(ss[1:], ss[:-1], out=set_boundary[1:])
+        set_group = np.cumsum(set_boundary) - 1
+        distinct_before = before - before[set_boundary][set_group]
+
+        miss = is_real & ~resident
+        evict = miss & (distinct_before >= ways)
+        full_miss = int(np.count_nonzero(miss))
+        evictions = int(np.count_nonzero(evict))
+
+        # Residency episodes: per gid, the episode number is the count of
+        # refills (real misses) at or before the access; episode 0 is the
+        # carried residency.
+        order2 = np.argsort(stream, kind="stable")
+        sg2 = stream[order2]
+        gid_boundary = np.empty(m, dtype=bool)
+        gid_boundary[0] = True
+        np.not_equal(sg2[1:], sg2[:-1], out=gid_boundary[1:])
+        fills = miss[order2].astype(np.int64)
+        ep = np.cumsum(fills)
+        ep_base = (ep - fills)[gid_boundary]
+        episode2 = ep - ep_base[np.cumsum(gid_boundary) - 1]
+        episode = np.empty(m, dtype=np.int64)
+        episode[order2] = episode2
+
+        # First occurrence of each (gid, episode, sub) triple; within an
+        # episode the first touch of a sub-block is the download.
+        order3 = np.lexsort((sub_stream, episode, stream))
+        k_g = stream[order3]
+        k_e = episode[order3]
+        k_s = sub_stream[order3]
+        tb = np.empty(m, dtype=bool)
+        tb[0] = True
+        tb[1:] = (k_g[1:] != k_g[:-1]) | (k_e[1:] != k_e[:-1]) | (k_s[1:] != k_s[:-1])
+        first_pes = np.zeros(m, dtype=bool)
+        first_pes[order3] = tb
+
+        hit = is_real & resident
+        full_hits = int(np.count_nonzero(hit & ~first_pes))
+        partial = int(np.count_nonzero(hit & first_pes & (episode > 0)))
+        # Episode-0 hits on a new sub consult the carried sector bits.
+        sectors = self._sectors
+        for i in np.flatnonzero(hit & first_pes & (episode == 0)).tolist():
+            if sectors.get(int(stream[i]), 0) >> int(sub_stream[i]) & 1:
+                full_hits += 1
+            else:
+                partial += 1
+
+        # ---- end state -------------------------------------------------
+        # Residents = per set, the `ways` most recently used distinct gids.
+        rev = all_gids[::-1]
+        uniq, ridx = np.unique(rev, return_index=True)
+        last_pos = m - 1 - ridx
+        su = uniq % n_sets
+        o = np.lexsort((-last_pos, su))
+        ssu = su[o]
+        sb = np.empty(len(o), dtype=bool)
+        sb[0] = True
+        np.not_equal(ssu[1:], ssu[:-1], out=sb[1:])
+        in_set_rank = np.arange(len(o)) - np.flatnonzero(sb)[np.cumsum(sb) - 1]
+        keep = o[in_set_rank < ways]
+        keep = keep[np.argsort(last_pos[keep])]  # recency order, oldest first
+        new_sets: list[list[int]] = [[] for _ in range(n_sets)]
+        for gid in uniq[keep].tolist():
+            new_sets[gid % n_sets].append(gid)
+
+        # Sector bits of a resident gid = union over its final episode,
+        # plus the carried bits when that episode is the carried one.
+        ge_boundary = np.empty(m, dtype=bool)
+        ge_boundary[0] = True
+        ge_boundary[1:] = (k_g[1:] != k_g[:-1]) | (k_e[1:] != k_e[:-1])
+        seg_starts = np.flatnonzero(ge_boundary)
+        shift = np.where(k_s >= 0, k_s, 0).astype(np.uint64)
+        bits_sorted = np.where(
+            k_s >= 0, np.uint64(1) << shift, np.uint64(0)
+        )
+        seg_bits = np.bitwise_or.reduceat(bits_sorted, seg_starts)
+        seg_gid = k_g[seg_starts]
+        seg_ep = k_e[seg_starts]
+        is_last_seg = np.empty(len(seg_starts), dtype=bool)
+        is_last_seg[-1] = True
+        np.not_equal(seg_gid[1:], seg_gid[:-1], out=is_last_seg[:-1])
+        final_bits = {
+            int(gg): (int(bb) | (sectors.get(int(gg), 0) if ee == 0 else 0))
+            for gg, bb, ee in zip(
+                seg_gid[is_last_seg], seg_bits[is_last_seg], seg_ep[is_last_seg]
+            )
+        }
+        self._sets = new_sets
+        self._sectors = {
+            gid: final_bits[gid] for content in new_sets for gid in content
+        }
+
+        return L2FrameResult(
+            accesses=n,
             full_hits=full_hits,
             partial_hits=partial,
             full_misses=full_miss,

@@ -45,6 +45,18 @@ class ReplacementPolicy(abc.ABC):
     def touch(self, block: int) -> None:
         """Record an access to a resident block."""
 
+    def touch_many(self, blocks: np.ndarray) -> None:
+        """Record accesses to resident blocks, in order.
+
+        Must leave the policy in exactly the state a ``touch`` loop over
+        ``blocks`` would — the batched cache kernels interleave
+        ``touch_many`` segments with ``victim`` calls and rely on that for
+        bit-identical victim choices. The default loops; stateful policies
+        override with amortized updates.
+        """
+        for block in blocks.tolist():
+            self.touch(block)
+
     @abc.abstractmethod
     def victim(self) -> int:
         """Choose a block to evict."""
@@ -67,6 +79,10 @@ class ClockPolicy(ReplacementPolicy):
     def touch(self, block: int) -> None:
         """Set the block's active bit."""
         self.active[block] = True
+
+    def touch_many(self, blocks: np.ndarray) -> None:
+        """Set all the blocks' active bits (order-independent for clock)."""
+        self.active[blocks] = True
 
     def victim(self) -> int:
         """Advance the hand, clearing active bits, to the next victim."""
@@ -110,6 +126,20 @@ class LRUPolicy(ReplacementPolicy):
         self._clock += 1
         self._stamp[block] = self._clock
 
+    def touch_many(self, blocks: np.ndarray) -> None:
+        """Stamp the blocks with consecutive times, last occurrence winning.
+
+        Every new stamp exceeds every existing one, so taking the maximum
+        per block reproduces the sequential loop exactly: a block's final
+        stamp is the time of its last access in ``blocks``.
+        """
+        n = len(blocks)
+        if n == 0:
+            return
+        stamps = self._clock + 1 + np.arange(n, dtype=np.int64)
+        np.maximum.at(self._stamp, blocks, stamps)
+        self._clock += n
+
     def victim(self) -> int:
         """The block with the oldest stamp."""
         return int(np.argmin(self._stamp))
@@ -128,6 +158,9 @@ class FIFOPolicy(ReplacementPolicy):
         self._next = 0
 
     def touch(self, block: int) -> None:
+        """No-op: FIFO ignores recency entirely."""
+
+    def touch_many(self, blocks: np.ndarray) -> None:
         """No-op: FIFO ignores recency entirely."""
 
     def victim(self) -> int:
@@ -152,6 +185,9 @@ class RandomPolicy(ReplacementPolicy):
     def touch(self, block: int) -> None:
         """No-op: random replacement keeps no history."""
 
+    def touch_many(self, blocks: np.ndarray) -> None:
+        """No-op: random replacement keeps no history."""
+
     def victim(self) -> int:
         """A uniformly random block."""
         return int(self._rng.integers(self.n_blocks))
@@ -173,6 +209,9 @@ class BeladyPolicy(ReplacementPolicy):
     """
 
     def touch(self, block: int) -> None:
+        """No-op: the offline optimum keeps no online state."""
+
+    def touch_many(self, blocks: np.ndarray) -> None:
         """No-op: the offline optimum keeps no online state."""
 
     def victim(self) -> int:

@@ -27,6 +27,7 @@ __all__ = [
     "TransferError",
     "ExperimentError",
     "CorruptTraceWarning",
+    "CorruptSimCacheWarning",
 ]
 
 
@@ -101,3 +102,7 @@ class ExperimentError(ReproError):
 
 class CorruptTraceWarning(UserWarning):
     """A corrupted cached trace was quarantined and will be re-rendered."""
+
+
+class CorruptSimCacheWarning(UserWarning):
+    """A corrupted cached simulation result was quarantined; re-simulating."""

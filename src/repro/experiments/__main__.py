@@ -48,6 +48,14 @@ def main(argv: list[str] | None = None) -> int:
         help="scale preset (default: $REPRO_SCALE or 'bench')",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="worker processes for sweep simulations (default: $REPRO_JOBS "
+        "or 1); results are identical to a serial run",
+    )
+    parser.add_argument(
         "--csv",
         metavar="DIR",
         default=None,
@@ -72,6 +80,15 @@ def main(argv: list[str] | None = None) -> int:
         ".repro_runs/journal.json)",
     )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        if args.jobs < 1:
+            raise ValueError(f"--jobs must be at least 1, got {args.jobs}")
+        # Sweeps read the job count through the environment so experiment
+        # run() signatures stay scale-only.
+        import os
+
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     scale = None
     if args.scale:

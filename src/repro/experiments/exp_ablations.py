@@ -26,7 +26,7 @@ from repro.core.l2_cache import L2CacheConfig, L2TextureCache, SetAssociativeL2C
 from repro.core.push_manager import BudgetedPushArchitecture
 from repro.experiments.config import L1_LOW_BYTES, Scale, scaled_l2_sizes
 from repro.experiments.reporting import ExperimentResult, format_table, kb, mb
-from repro.experiments.simcache import run_hierarchy
+from repro.experiments.simcache import build_config, prewarm, run_hierarchy
 from repro.experiments.traces import get_trace
 from repro.texture.sampler import FilterMode
 from repro.trace.stats import workload_stats
@@ -97,6 +97,17 @@ def _replacement_rows(trace, scale: Scale) -> tuple[list[list[str]], dict]:
     """Online policies plus the offline Belady OPT bound for one workload."""
     l2_bytes = scaled_l2_sizes(scale)[0][1]
     n_frames = len(trace.frames)
+    prewarm(
+        [
+            (
+                trace,
+                build_config(
+                    l1_bytes=L1_LOW_BYTES, l2_bytes=l2_bytes, l2_policy=policy
+                ),
+            )
+            for policy in ("clock", "lru", "fifo", "random")
+        ]
+    )
     rows = []
     data = {}
     for policy in ("clock", "lru", "fifo", "random"):
@@ -298,6 +309,21 @@ def run_tlb_policy(scale: Scale | None = None) -> ExperimentResult:
     scale = scale or Scale.from_env()
     trace = get_trace("village", scale, FilterMode.BILINEAR)
     l2_bytes = scaled_l2_sizes(scale)[0][1]
+    prewarm(
+        [
+            (
+                trace,
+                build_config(
+                    l1_bytes=L1_LOW_BYTES,
+                    l2_bytes=l2_bytes,
+                    tlb_entries=entries,
+                    tlb_policy=policy,
+                ),
+            )
+            for entries in (1, 2, 4, 8, 16)
+            for policy in ("round_robin", "lru")
+        ]
+    )
     rows = []
     data = {}
     for entries in (1, 2, 4, 8, 16):

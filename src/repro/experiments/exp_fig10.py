@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.experiments.charts import ascii_chart
 from repro.experiments.config import L1_HIGH_BYTES, L1_LOW_BYTES, Scale, scaled_l2_sizes
 from repro.experiments.reporting import ExperimentResult, format_series
-from repro.experiments.simcache import run_hierarchy
+from repro.experiments.simcache import build_config, prewarm, run_hierarchy
 from repro.experiments.traces import get_trace
 from repro.texture.sampler import FilterMode
 
@@ -25,10 +25,26 @@ def run(scale: Scale | None = None) -> ExperimentResult:
     """Regenerate the Fig 10 download-bandwidth curves."""
     scale = scale or Scale.from_env()
     l2_sizes = scaled_l2_sizes(scale)
+    traces = {
+        workload: get_trace(workload, scale, FilterMode.TRILINEAR)
+        for workload in ("village", "city")
+    }
+    prewarm(
+        [
+            (trace, build_config(l1_bytes=l1))
+            for trace in traces.values()
+            for l1 in (L1_LOW_BYTES, L1_HIGH_BYTES)
+        ]
+        + [
+            (trace, build_config(l1_bytes=L1_LOW_BYTES, l2_bytes=actual))
+            for trace in traces.values()
+            for _, actual in l2_sizes
+        ]
+    )
     sections = []
     data = {}
     for workload in ("village", "city"):
-        trace = get_trace(workload, scale, FilterMode.TRILINEAR)
+        trace = traces[workload]
         lines = [f"-- {workload}, trilinear (download bytes/frame) --"]
         curves = {}
         for label, l1 in (("2 KB (L1) only", L1_LOW_BYTES), ("16 KB (L1) only", L1_HIGH_BYTES)):

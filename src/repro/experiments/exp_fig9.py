@@ -12,7 +12,7 @@ import numpy as np
 from repro.experiments.charts import ascii_chart
 from repro.experiments.config import L1_SIZE_SWEEP, Scale
 from repro.experiments.reporting import ExperimentResult, format_series
-from repro.experiments.simcache import run_hierarchy
+from repro.experiments.simcache import build_config, prewarm, run_hierarchy
 from repro.experiments.traces import get_trace
 from repro.texture.sampler import FilterMode
 
@@ -22,10 +22,21 @@ __all__ = ["run"]
 def run(scale: Scale | None = None) -> ExperimentResult:
     """Regenerate the Fig 9 L1 miss-rate curves."""
     scale = scale or Scale.from_env()
+    traces = {
+        mode: get_trace("village", scale, mode)
+        for mode in (FilterMode.BILINEAR, FilterMode.TRILINEAR)
+    }
+    prewarm(
+        [
+            (trace, build_config(l1_bytes=size))
+            for trace in traces.values()
+            for size in L1_SIZE_SWEEP
+        ]
+    )
     sections = []
     data = {}
     for mode in (FilterMode.BILINEAR, FilterMode.TRILINEAR):
-        trace = get_trace("village", scale, mode)
+        trace = traces[mode]
         lines = [f"-- village, {mode.value} (miss rate/frame) --"]
         per_size = {}
         for size in L1_SIZE_SWEEP:

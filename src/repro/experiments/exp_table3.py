@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.experiments.config import L1_HIGH_BYTES, L1_LOW_BYTES, Scale, scaled_l2_sizes
 from repro.experiments.reporting import ExperimentResult, format_table
-from repro.experiments.simcache import run_hierarchy
+from repro.experiments.simcache import build_config, prewarm, run_hierarchy
 from repro.experiments.traces import get_trace
 from repro.texture.sampler import FilterMode
 
@@ -33,6 +33,18 @@ def run(scale: Scale | None = None) -> ExperimentResult:
     """Regenerate Table 3 (average AGP bandwidth)."""
     scale = scale or Scale.from_env()
     configs = configurations(scale)
+    traces = {
+        (workload, mode): get_trace(workload, scale, mode)
+        for workload in ("village", "city")
+        for mode in (FilterMode.BILINEAR, FilterMode.TRILINEAR)
+    }
+    prewarm(
+        [
+            (trace, build_config(l1_bytes=l1, l2_bytes=l2))
+            for _, l1, l2 in configs
+            for trace in traces.values()
+        ]
+    )
     headers = ["configuration"]
     for workload in ("village", "city"):
         for mode in ("BL", "TL"):

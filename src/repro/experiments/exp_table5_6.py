@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.experiments.config import L1_LOW_BYTES, Scale, scaled_l2_sizes
 from repro.experiments.reporting import ExperimentResult, format_table
-from repro.experiments.simcache import run_hierarchy
+from repro.experiments.simcache import build_config, prewarm, run_hierarchy
 from repro.experiments.traces import get_trace
 from repro.texture.sampler import FilterMode
 
@@ -22,6 +22,18 @@ def run(scale: Scale | None = None) -> ExperimentResult:
     """Regenerate Tables 5 and 6 (L1/L2 hit rates)."""
     scale = scale or Scale.from_env()
     l2_sizes = scaled_l2_sizes(scale)
+    traces = {
+        (workload, mode): get_trace(workload, scale, mode)
+        for workload in ("village", "city")
+        for mode in (FilterMode.BILINEAR, FilterMode.TRILINEAR)
+    }
+    prewarm(
+        [
+            (trace, build_config(l1_bytes=L1_LOW_BYTES, l2_bytes=l2))
+            for trace in traces.values()
+            for l2 in [None] + [actual for _, actual in l2_sizes]
+        ]
+    )
 
     t5_rows = []
     t6_rows = []

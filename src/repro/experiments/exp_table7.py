@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.core.model import fractional_advantage
 from repro.experiments.config import L1_LOW_BYTES, Scale, scaled_l2_sizes
 from repro.experiments.reporting import ExperimentResult, format_table
-from repro.experiments.simcache import run_hierarchy
+from repro.experiments.simcache import build_config, prewarm, run_hierarchy
 from repro.experiments.traces import get_trace
 from repro.texture.sampler import FilterMode
 
@@ -25,6 +25,18 @@ FULL_MISS_COST_RATIO = 8.0
 def run(scale: Scale | None = None) -> ExperimentResult:
     """Regenerate Table 7 (fractional advantage)."""
     scale = scale or Scale.from_env()
+    traces = {
+        (workload, mode): get_trace(workload, scale, mode)
+        for workload in ("village", "city")
+        for mode in (FilterMode.BILINEAR, FilterMode.TRILINEAR)
+    }
+    prewarm(
+        [
+            (trace, build_config(l1_bytes=L1_LOW_BYTES, l2_bytes=actual))
+            for trace in traces.values()
+            for _, actual in scaled_l2_sizes(scale)
+        ]
+    )
     rows = []
     data = {}
     for workload in ("village", "city"):

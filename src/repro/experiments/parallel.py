@@ -1,0 +1,103 @@
+"""Process-parallel simulation of (trace, config) sweep points.
+
+The experiment layer's sweeps (Fig 9/10, Tables 3 and 5-7, the ablations)
+are embarrassingly parallel: every (trace, HierarchyConfig) point is an
+independent, deterministic simulation. :func:`simulate_many` resolves a
+list of points by first consulting the persistent store
+(:mod:`repro.experiments.simstore`), then fanning the remainder across a
+``multiprocessing`` pool (fork context where available, mirroring the
+trace renderer) and persisting what the workers return. Results are
+identical to serial simulation — the pool only changes wall-clock time.
+
+Job count comes from ``--jobs`` on the experiments CLI via ``$REPRO_JOBS``
+(default 1, i.e. serial in-process).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.core.hierarchy import HierarchyConfig, MultiLevelTextureCache, TraceRunResult
+from repro.experiments import simstore
+from repro.trace.trace import Trace
+
+__all__ = ["default_jobs", "simulate_many"]
+
+
+def default_jobs() -> int:
+    """Worker processes for sweep simulation (``$REPRO_JOBS``, default 1)."""
+    try:
+        return max(int(os.environ.get("REPRO_JOBS", "1")), 1)
+    except ValueError:
+        return 1
+
+
+def _simulate_point(trace: Trace, config: HierarchyConfig) -> TraceRunResult:
+    sim = MultiLevelTextureCache(config, trace.address_space)
+    return sim.run_trace(trace)
+
+
+# Traces are shipped to workers once via the pool initializer (inherited by
+# fork; pickled once per worker under spawn), not once per point.
+_worker_traces: list[Trace] = []
+
+
+def _worker_init(traces: list[Trace]) -> None:
+    global _worker_traces
+    _worker_traces = traces
+
+
+def _worker_simulate(args: tuple[int, HierarchyConfig]) -> TraceRunResult:
+    trace_index, config = args
+    return _simulate_point(_worker_traces[trace_index], config)
+
+
+def simulate_many(
+    points: list[tuple[Trace, HierarchyConfig]], jobs: int | None = None
+) -> list[TraceRunResult]:
+    """Simulate every (trace, config) point, store-cached and parallel.
+
+    Returns results in the order of ``points``. Points already in the
+    persistent store are served from disk; the rest are simulated (across
+    ``jobs`` worker processes when ``jobs > 1``) and persisted.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    results: list[TraceRunResult | None] = [None] * len(points)
+    todo: list[int] = []
+    for i, (trace, config) in enumerate(points):
+        cached = simstore.load(trace, config)
+        if cached is not None:
+            results[i] = cached
+        else:
+            todo.append(i)
+
+    if todo:
+        if jobs > 1 and len(todo) > 1:
+            # Ship each distinct trace object once.
+            traces: list[Trace] = []
+            index_of: dict[int, int] = {}
+            work = []
+            for i in todo:
+                trace = points[i][0]
+                if id(trace) not in index_of:
+                    index_of[id(trace)] = len(traces)
+                    traces.append(trace)
+                work.append((index_of[id(trace)], points[i][1]))
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:
+                ctx = multiprocessing.get_context()
+            with ctx.Pool(
+                min(jobs, len(todo)),
+                initializer=_worker_init,
+                initargs=(traces,),
+            ) as pool:
+                fresh = pool.map(_worker_simulate, work)
+        else:
+            fresh = [_simulate_point(*points[i]) for i in todo]
+        for i, result in zip(todo, fresh):
+            results[i] = result
+            simstore.save(points[i][0], points[i][1], result)
+    return results  # type: ignore[return-value]

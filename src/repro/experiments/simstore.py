@@ -1,0 +1,241 @@
+"""On-disk cache of hierarchy simulation results.
+
+Sweep sessions re-simulate the same (trace, config) points across CLI
+invocations; this module persists each
+:class:`~repro.core.hierarchy.TraceRunResult` as a compressed npz next to
+the trace cache, so a second run of any experiment is served from disk.
+
+Entries are keyed by a digest over the store format version, the trace's
+scene version and identity, a CRC fingerprint of the trace's reference
+stream, and the full ``repr`` of the (frozen, deterministic)
+:class:`~repro.core.hierarchy.HierarchyConfig` — so stale scenes, changed
+configs, and even same-shaped traces with different content all miss
+cleanly. Writes are atomic (:mod:`repro.reliability.atomic`) and every
+payload array carries a CRC32 in the manifest
+(:mod:`repro.reliability.integrity`); a damaged entry is quarantined with a
+:class:`~repro.errors.CorruptSimCacheWarning` and the point is
+re-simulated.
+
+Set ``REPRO_SIM_CACHE`` to relocate the store or to ``off`` to disable it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+import zipfile
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hierarchy import FrameCacheStats, HierarchyConfig, TraceRunResult
+from repro.core.l2_cache import L2FrameResult
+from repro.core.tlb import TLBFrameResult
+from repro.errors import CorruptSimCacheWarning
+from repro.reliability.atomic import atomic_savez_compressed
+from repro.reliability.integrity import array_checksum
+from repro.reliability.transfer import FrameTransferStats
+from repro.trace.trace import Trace
+
+__all__ = ["store_dir", "entry_path", "load", "save", "clear"]
+
+#: Bump when the serialized layout or keying scheme changes.
+STORE_VERSION = 1
+
+_INT_COLUMNS = (
+    "texel_reads",
+    "l1_accesses",
+    "l1_misses",
+)
+_L2_COLUMNS = ("accesses", "full_hits", "partial_hits", "full_misses", "evictions")
+_TLB_COLUMNS = ("accesses", "hits")
+_TRANSFER_INT_COLUMNS = (
+    "requested_blocks",
+    "retried_transfers",
+    "retry_bytes",
+    "stale_blocks",
+    "latency_spikes",
+)
+
+
+def store_dir() -> Path | None:
+    """The store directory (``$REPRO_SIM_CACHE``; ``off`` disables)."""
+    env = os.environ.get("REPRO_SIM_CACHE", "").strip()
+    if env.lower() == "off":
+        return None
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".sim_cache"
+
+
+def _trace_fingerprint(trace: Trace) -> int:
+    """CRC32 over the trace's whole reference stream (cached per object)."""
+    cached = getattr(trace, "_sim_fingerprint", None)
+    if cached is not None:
+        return cached
+    crc = 0
+    for frame in trace.frames:
+        crc = zlib.crc32(np.ascontiguousarray(frame.refs).tobytes(), crc)
+        crc = zlib.crc32(np.ascontiguousarray(frame.weights).tobytes(), crc)
+    trace._sim_fingerprint = crc
+    return crc
+
+
+def _entry_digest(trace: Trace, config: HierarchyConfig) -> str:
+    from repro.experiments.traces import SCENE_VERSION
+
+    m = trace.meta
+    key = "|".join(
+        [
+            f"store{STORE_VERSION}",
+            f"scene{SCENE_VERSION}",
+            m.workload,
+            f"{m.width}x{m.height}",
+            m.filter_mode,
+            f"f{m.n_frames}",
+            f"crc{_trace_fingerprint(trace):08x}",
+            repr(config),
+        ]
+    )
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+
+
+def entry_path(trace: Trace, config: HierarchyConfig) -> Path | None:
+    """Where this (trace, config) point lives in the store (None if off)."""
+    root = store_dir()
+    if root is None:
+        return None
+    return root / f"sim_{_entry_digest(trace, config)}.npz"
+
+
+def clear() -> None:
+    """Delete every entry in the store (not the quarantine)."""
+    root = store_dir()
+    if root is None or not root.is_dir():
+        return
+    for path in root.glob("sim_*.npz"):
+        path.unlink(missing_ok=True)
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def _columns(result: TraceRunResult) -> dict[str, np.ndarray]:
+    frames = result.frames
+    payload: dict[str, np.ndarray] = {}
+    for name in _INT_COLUMNS:
+        payload[name] = np.array(
+            [getattr(f, name) for f in frames], dtype=np.int64
+        )
+    if frames and frames[0].l2 is not None:
+        for name in _L2_COLUMNS:
+            payload[f"l2_{name}"] = np.array(
+                [getattr(f.l2, name) for f in frames], dtype=np.int64
+            )
+    if frames and frames[0].tlb is not None:
+        for name in _TLB_COLUMNS:
+            payload[f"tlb_{name}"] = np.array(
+                [getattr(f.tlb, name) for f in frames], dtype=np.int64
+            )
+    if frames and frames[0].transfer is not None:
+        for name in _TRANSFER_INT_COLUMNS:
+            payload[f"transfer_{name}"] = np.array(
+                [getattr(f.transfer, name) for f in frames], dtype=np.int64
+            )
+        payload["transfer_backoff_us"] = np.array(
+            [f.transfer.backoff_us for f in frames], dtype=np.float64
+        )
+    return payload
+
+
+def save(trace: Trace, config: HierarchyConfig, result: TraceRunResult) -> Path | None:
+    """Persist a simulation result; returns the entry path (None if off)."""
+    path = entry_path(trace, config)
+    if path is None:
+        return None
+    payload = _columns(result)
+    meta = {
+        "version": STORE_VERSION,
+        "n_frames": len(result.frames),
+        "config": repr(config),
+        "checksums": {name: array_checksum(arr) for name, arr in payload.items()},
+    }
+    payload["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    atomic_savez_compressed(path, **payload)
+    return path
+
+
+def _quarantine(path: Path, detail: str) -> None:
+    from repro.experiments.traces import quarantine_trace
+
+    try:
+        dest = quarantine_trace(path)
+        where = f"quarantined to {dest}"
+    except OSError:
+        where = "and could not be quarantined"
+    warnings.warn(
+        f"corrupt simulation-cache entry {path} ({detail}); {where}, "
+        "re-simulating",
+        CorruptSimCacheWarning,
+        stacklevel=3,
+    )
+
+
+def load(trace: Trace, config: HierarchyConfig) -> TraceRunResult | None:
+    """Fetch a stored result, or None on miss/disabled/corrupt entry."""
+    path = entry_path(trace, config)
+    if path is None or not path.is_file():
+        return None
+    try:
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+    except (zipfile.BadZipFile, zlib.error, OSError, ValueError, EOFError, KeyError) as exc:
+        _quarantine(path, f"unreadable archive: {exc}")
+        return None
+    try:
+        meta = json.loads(bytes(arrays.pop("meta_json")).decode("utf-8"))
+    except (KeyError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        _quarantine(path, f"manifest undecodable: {exc}")
+        return None
+    if meta.get("version") != STORE_VERSION or meta.get("config") != repr(config):
+        _quarantine(path, "version or config mismatch")
+        return None
+    checksums = meta.get("checksums", {})
+    for name, arr in arrays.items():
+        if name not in checksums or array_checksum(arr) != checksums[name]:
+            _quarantine(path, f"checksum mismatch on {name!r}")
+            return None
+    n_frames = int(meta.get("n_frames", 0))
+    for name in _INT_COLUMNS:
+        if name not in arrays or len(arrays[name]) != n_frames:
+            _quarantine(path, f"missing or truncated column {name!r}")
+            return None
+
+    has_l2 = "l2_accesses" in arrays
+    has_tlb = "tlb_accesses" in arrays
+    has_transfer = "transfer_requested_blocks" in arrays
+    frames: list[FrameCacheStats] = []
+    for i in range(n_frames):
+        stats = FrameCacheStats(
+            *(int(arrays[name][i]) for name in _INT_COLUMNS)
+        )
+        if has_l2:
+            stats.l2 = L2FrameResult(
+                *(int(arrays[f"l2_{name}"][i]) for name in _L2_COLUMNS)
+            )
+        if has_tlb:
+            stats.tlb = TLBFrameResult(
+                *(int(arrays[f"tlb_{name}"][i]) for name in _TLB_COLUMNS)
+            )
+        if has_transfer:
+            stats.transfer = FrameTransferStats(
+                *(int(arrays[f"transfer_{name}"][i]) for name in _TRANSFER_INT_COLUMNS),
+                backoff_us=float(arrays["transfer_backoff_us"][i]),
+            )
+        frames.append(stats)
+    return TraceRunResult(config=config, frames=frames)

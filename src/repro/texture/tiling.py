@@ -363,9 +363,21 @@ class AddressSpace:
 
     def global_l2_ids(self, packed: np.ndarray, l2_tile_texels: int) -> np.ndarray:
         """Globally unique L2 block ids (page-table index: tstart + L2)."""
+        gids, _ = self.l2_addresses(packed, l2_tile_texels)
+        return gids
+
+    def l2_addresses(
+        self, packed: np.ndarray, l2_tile_texels: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Global L2 block ids and sub-block numbers in one translation pass.
+
+        The hierarchy needs both for every L1 miss (the gid for the page
+        table / TLB, the sub-block for sector mapping); computing them
+        together avoids unpacking and translating the same stream twice.
+        """
         table = self._l2_table(l2_tile_texels)
-        tid, l2_index, _ = self.translate_l2(packed, l2_tile_texels)
-        return table["extent_base"][tid] + l2_index
+        tid, l2_index, l1_sub = self.translate_l2(packed, l2_tile_texels)
+        return table["extent_base"][tid] + l2_index, l1_sub
 
     def l2_extent(self, tid: int, l2_tile_texels: int) -> tuple[int, int]:
         """Page-table extent ``(tstart, tlen)`` of a texture (§5.2)."""

@@ -31,6 +31,21 @@ def isolated_trace_cache(tmp_path_factory):
 
 
 @pytest.fixture(autouse=True, scope="session")
+def isolated_sim_cache(tmp_path_factory):
+    """Keep the persistent simulation-result store out of the working tree."""
+    import os
+
+    path = tmp_path_factory.mktemp("sim_cache")
+    old = os.environ.get("REPRO_SIM_CACHE")
+    os.environ["REPRO_SIM_CACHE"] = str(path)
+    yield path
+    if old is None:
+        os.environ.pop("REPRO_SIM_CACHE", None)
+    else:
+        os.environ["REPRO_SIM_CACHE"] = old
+
+
+@pytest.fixture(autouse=True, scope="session")
 def isolated_run_journal(tmp_path_factory):
     """Keep the experiment CLI's run journal out of the working tree."""
     import os

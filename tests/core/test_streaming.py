@@ -102,6 +102,48 @@ class TestStreaming:
         res = StreamingDriver(make_sim(space), idle_frames=100).run_trace(trace)
         assert res.total_deletes == 0
 
+    def test_streaming_differential_batched_vs_reference(self, space):
+        # Deletion/reload churn drives the vectorized deallocate_texture
+        # and the batched kernels through eviction-heavy, non-contiguous
+        # residency states; every frame must match the reference loops.
+        rng = np.random.default_rng(5)
+        patterns = [[0, 1], [0], [0], [0, 1], [1], [1], [1], [0], [0, 1], [1]]
+        frames = []
+        for tids in patterns:
+            refs_parts = []
+            for tid in tids:
+                n = int(rng.integers(4, 30))
+                refs_parts.append(
+                    pack_tile_refs(
+                        np.full(n, tid, dtype=np.int64),
+                        0,
+                        rng.integers(0, 16, n),
+                        rng.integers(0, 16, n),
+                    )
+                )
+            refs = np.concatenate(refs_parts)
+            frames.append(FrameTrace(refs, np.ones(len(refs), dtype=np.int64), len(refs)))
+        trace = Trace(TraceMeta("s", 8, 8, "point", len(frames)), frames, space.textures)
+
+        config = HierarchyConfig(
+            l1=L1CacheConfig(size_bytes=2048),
+            l2=L2CacheConfig(size_bytes=4 * 1024, l2_tile_texels=16),
+            tlb_entries=4,
+        )
+        ref_sim = MultiLevelTextureCache(config, space, use_reference=True)
+        bat_sim = MultiLevelTextureCache(config, space)
+        ref = StreamingDriver(ref_sim, idle_frames=2).run_trace(trace)
+        bat = StreamingDriver(bat_sim, idle_frames=2).run_trace(trace)
+        for rf, bf in zip(ref.frames, bat.frames):
+            assert rf.cache == bf.cache
+            assert rf.deleted_tids == bf.deleted_tids
+            assert rf.blocks_released == bf.blocks_released
+            assert rf.reloaded_tids == bf.reloaded_tids
+        np.testing.assert_array_equal(ref_sim.l2._t_block, bat_sim.l2._t_block)
+        np.testing.assert_array_equal(ref_sim.l2._t_sectors, bat_sim.l2._t_sectors)
+        assert ref_sim.l2._free == bat_sim.l2._free
+        assert ref.total_deletes > 0 and ref.total_reloads > 0
+
     def test_streaming_bandwidth_at_least_baseline(self, space):
         """Deleting and reloading can only add AGP traffic."""
         trace = trace_of(space, [[0, 1], [0], [0], [0, 1], [0, 1]])

@@ -1,0 +1,185 @@
+"""Tests for the persistent simulation store and the parallel sweep engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import MultiLevelTextureCache, TraceRunResult
+from repro.errors import CorruptSimCacheWarning
+from repro.experiments import simstore
+from repro.experiments.config import Scale
+from repro.experiments.parallel import default_jobs, simulate_many
+from repro.experiments.simcache import (
+    build_config,
+    clear_simulation_cache,
+    prewarm,
+    run_hierarchy,
+    simulate,
+)
+from repro.experiments.traces import get_trace
+from repro.reliability.transfer import FrameTransferStats
+from repro.texture.sampler import FilterMode
+
+MICRO = Scale(width=64, height=48, frames=2, detail=0.2, name="micro")
+
+
+@pytest.fixture
+def fresh_store(isolated_sim_cache):
+    clear_simulation_cache()
+    simstore.clear()
+    yield isolated_sim_cache
+    clear_simulation_cache()
+    simstore.clear()
+
+
+def micro_trace():
+    return get_trace("city", MICRO, FilterMode.POINT)
+
+
+def simulate_directly(trace, config):
+    return MultiLevelTextureCache(config, trace.address_space).run_trace(trace)
+
+
+class TestStoreRoundTrip:
+    def test_full_hierarchy_result_round_trips(self, fresh_store):
+        trace = micro_trace()
+        config = build_config(l1_bytes=2048, l2_bytes=128 * 1024, tlb_entries=4)
+        result = simulate_directly(trace, config)
+        path = simstore.save(trace, config, result)
+        assert path is not None and path.is_file()
+        loaded = simstore.load(trace, config)
+        assert loaded is not None
+        assert loaded.config == config
+        assert loaded.frames == result.frames
+
+    def test_transfer_columns_round_trip(self, fresh_store):
+        trace = micro_trace()
+        config = build_config(l1_bytes=2048, l2_bytes=128 * 1024)
+        result = simulate_directly(trace, config)
+        for i, frame in enumerate(result.frames):
+            frame.transfer = FrameTransferStats(
+                requested_blocks=10 + i,
+                retried_transfers=i,
+                retry_bytes=64 * i,
+                stale_blocks=i % 2,
+                latency_spikes=i,
+                backoff_us=1.5 * i,
+            )
+        simstore.save(trace, config, result)
+        loaded = simstore.load(trace, config)
+        assert loaded is not None
+        assert loaded.frames == result.frames
+
+    def test_distinct_configs_get_distinct_entries(self, fresh_store):
+        trace = micro_trace()
+        a = build_config(l1_bytes=2048)
+        b = build_config(l1_bytes=4096)
+        assert simstore.entry_path(trace, a) != simstore.entry_path(trace, b)
+        simstore.save(trace, a, simulate_directly(trace, a))
+        assert simstore.load(trace, b) is None
+
+    def test_store_off(self, fresh_store, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_CACHE", "off")
+        trace = micro_trace()
+        config = build_config(l1_bytes=2048)
+        assert simstore.entry_path(trace, config) is None
+        assert simstore.save(trace, config, simulate_directly(trace, config)) is None
+        assert simstore.load(trace, config) is None
+
+
+class TestCorruptionHandling:
+    def _stored_entry(self, fresh_store):
+        trace = micro_trace()
+        config = build_config(l1_bytes=2048, l2_bytes=128 * 1024, tlb_entries=4)
+        result = simulate_directly(trace, config)
+        path = simstore.save(trace, config, result)
+        return trace, config, result, path
+
+    def test_bitflip_quarantined_and_resimulated(self, fresh_store):
+        import zipfile
+
+        trace, config, result, path = self._stored_entry(fresh_store)
+        # Flip bits inside one member's compressed payload (a flip in zip
+        # padding would go unnoticed by design — it is never read).
+        with zipfile.ZipFile(path) as z:
+            info = z.getinfo("l1_misses.npy")
+            start = info.header_offset + 30 + len(info.filename) + len(info.extra)
+        raw = bytearray(path.read_bytes())
+        for i in range(start, min(start + info.compress_size, len(raw))):
+            raw[i] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.warns(CorruptSimCacheWarning):
+            assert simstore.load(trace, config) is None
+        assert not path.exists()  # moved out of the store
+        assert list((fresh_store / "quarantine").iterdir())
+        # The memoizing layer recovers transparently.
+        fresh = simulate(trace, config)
+        assert fresh.frames == result.frames
+
+    def test_truncated_file_quarantined(self, fresh_store):
+        trace, config, _, path = self._stored_entry(fresh_store)
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.warns(CorruptSimCacheWarning):
+            assert simstore.load(trace, config) is None
+        assert not path.exists()
+
+    def test_config_mismatch_inside_entry_rejected(self, fresh_store):
+        # An entry whose embedded manifest disagrees with the requested
+        # config (e.g. digest collision or tampering) must not be served.
+        trace, config, result, path = self._stored_entry(fresh_store)
+        other = build_config(l1_bytes=4096)
+        path.rename(simstore.entry_path(trace, other))
+        with pytest.warns(CorruptSimCacheWarning):
+            assert simstore.load(trace, other) is None
+
+
+class TestParallelSweep:
+    def _points(self):
+        trace = micro_trace()
+        return [
+            (trace, build_config(l1_bytes=l1, l2_bytes=l2))
+            for l1 in (1024, 2048)
+            for l2 in (None, 64 * 1024, 128 * 1024)
+        ]
+
+    def test_parallel_matches_serial(self, fresh_store):
+        points = self._points()
+        serial = [simulate_directly(t, c) for t, c in points]
+        parallel = simulate_many(points, jobs=4)
+        for s, p in zip(serial, parallel):
+            assert s.frames == p.frames
+
+    def test_results_persisted_and_reused(self, fresh_store):
+        points = self._points()
+        simulate_many(points, jobs=4)
+        entries = list(fresh_store.glob("sim_*.npz"))
+        assert len(entries) == len(points)
+        # Second resolution is served purely from disk: no new entries,
+        # identical payloads.
+        again = simulate_many(points, jobs=1)
+        assert len(list(fresh_store.glob("sim_*.npz"))) == len(points)
+        for s, p in zip(again, simulate_many(points, jobs=4)):
+            assert s.frames == p.frames
+
+    def test_prewarm_fills_memo(self, fresh_store):
+        points = self._points()
+        prewarm(points, jobs=2)
+        for trace, config in points:
+            before = simulate(trace, config)
+            assert simulate(trace, config) is before
+            assert isinstance(before, TraceRunResult)
+
+    def test_run_hierarchy_served_from_store_across_sessions(self, fresh_store):
+        trace = micro_trace()
+        a = run_hierarchy(trace, l1_bytes=2048, l2_bytes=128 * 1024)
+        clear_simulation_cache()  # simulate a fresh CLI invocation
+        b = run_hierarchy(trace, l1_bytes=2048, l2_bytes=128 * 1024)
+        assert a is not b
+        assert a.frames == b.frames
+
+    def test_default_jobs_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+        monkeypatch.setenv("REPRO_JOBS", "bogus")
+        assert default_jobs() == 1
