@@ -40,6 +40,12 @@ __all__ = [
     "FrameCacheStats",
     "TraceRunResult",
     "MultiLevelTextureCache",
+    "FRAME_INT_COLUMNS",
+    "FRAME_L2_COLUMNS",
+    "FRAME_TLB_COLUMNS",
+    "FRAME_TRANSFER_INT_COLUMNS",
+    "frames_to_columns",
+    "frames_from_columns",
 ]
 
 
@@ -226,6 +232,80 @@ class TraceRunResult:
         return float(np.mean([f.effective_agp_bytes for f in self.frames]))
 
 
+# ----------------------------------------------------------------------
+# Columnar frame-stats (de)serialization, shared by the persistent
+# simulation store and the checkpoint format.
+# ----------------------------------------------------------------------
+FRAME_INT_COLUMNS = ("texel_reads", "l1_accesses", "l1_misses")
+FRAME_L2_COLUMNS = ("accesses", "full_hits", "partial_hits", "full_misses", "evictions")
+FRAME_TLB_COLUMNS = ("accesses", "hits")
+FRAME_TRANSFER_INT_COLUMNS = (
+    "requested_blocks",
+    "retried_transfers",
+    "retry_bytes",
+    "stale_blocks",
+    "latency_spikes",
+)
+
+
+def frames_to_columns(frames: list[FrameCacheStats]) -> dict[str, np.ndarray]:
+    """Pack per-frame stats into int64/float64 columns (one array per field)."""
+    payload: dict[str, np.ndarray] = {}
+    for name in FRAME_INT_COLUMNS:
+        payload[name] = np.array([getattr(f, name) for f in frames], dtype=np.int64)
+    if frames and frames[0].l2 is not None:
+        for name in FRAME_L2_COLUMNS:
+            payload[f"l2_{name}"] = np.array(
+                [getattr(f.l2, name) for f in frames], dtype=np.int64
+            )
+    if frames and frames[0].tlb is not None:
+        for name in FRAME_TLB_COLUMNS:
+            payload[f"tlb_{name}"] = np.array(
+                [getattr(f.tlb, name) for f in frames], dtype=np.int64
+            )
+    if frames and frames[0].transfer is not None:
+        for name in FRAME_TRANSFER_INT_COLUMNS:
+            payload[f"transfer_{name}"] = np.array(
+                [getattr(f.transfer, name) for f in frames], dtype=np.int64
+            )
+        payload["transfer_backoff_us"] = np.array(
+            [f.transfer.backoff_us for f in frames], dtype=np.float64
+        )
+    return payload
+
+
+def frames_from_columns(
+    arrays: dict[str, np.ndarray], n_frames: int
+) -> list[FrameCacheStats]:
+    """Rebuild per-frame stats from :func:`frames_to_columns` output."""
+    has_l2 = "l2_accesses" in arrays
+    has_tlb = "tlb_accesses" in arrays
+    has_transfer = "transfer_requested_blocks" in arrays
+    frames: list[FrameCacheStats] = []
+    for i in range(n_frames):
+        stats = FrameCacheStats(
+            *(int(arrays[name][i]) for name in FRAME_INT_COLUMNS)
+        )
+        if has_l2:
+            stats.l2 = L2FrameResult(
+                *(int(arrays[f"l2_{name}"][i]) for name in FRAME_L2_COLUMNS)
+            )
+        if has_tlb:
+            stats.tlb = TLBFrameResult(
+                *(int(arrays[f"tlb_{name}"][i]) for name in FRAME_TLB_COLUMNS)
+            )
+        if has_transfer:
+            stats.transfer = FrameTransferStats(
+                *(
+                    int(arrays[f"transfer_{name}"][i])
+                    for name in FRAME_TRANSFER_INT_COLUMNS
+                ),
+                backoff_us=float(arrays["transfer_backoff_us"][i]),
+            )
+        frames.append(stats)
+    return frames
+
+
 class MultiLevelTextureCache:
     """Stateful hierarchy simulator over one workload's address space.
 
@@ -242,6 +322,7 @@ class MultiLevelTextureCache:
     ):
         self.config = config
         self.space = space
+        self._use_reference = use_reference
         self.l1 = L1CacheSim(config.l1, use_reference=use_reference)
         self.l2 = (
             L2TextureCache(config.l2, space, use_reference=use_reference)
@@ -260,6 +341,55 @@ class MultiLevelTextureCache:
             if config.fault_model is not None and config.fault_model.active
             else None
         )
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> str:
+        """Which simulation engine this instance runs."""
+        return "reference" if self._use_reference else "batched"
+
+    def snapshot_state(self) -> dict:
+        """Capture all inter-frame state for frame-granular checkpointing.
+
+        Covers every component that carries state across frames — L1, L2
+        (page table, BRL, allocator, replacement policy), TLB, and the
+        faulty-link random stream — so restoring at a frame boundary and
+        continuing is bit-identical to never having stopped.
+        """
+        state: dict = {"engine": self.engine, "l1": self.l1.snapshot_state()}
+        if self.l2 is not None:
+            state["l2"] = self.l2.snapshot_state()
+        if self.tlb is not None:
+            state["tlb"] = self.tlb.snapshot_state()
+        if self.link is not None:
+            state["link"] = self.link.snapshot_state()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` tree; inverse of the snapshot."""
+        if state.get("engine") != self.engine:
+            raise ValueError(
+                f"checkpoint was taken on the {state.get('engine')!r} engine "
+                f"but this simulator runs {self.engine!r}"
+            )
+        for name, component in (
+            ("l2", self.l2),
+            ("tlb", self.tlb),
+            ("link", self.link),
+        ):
+            if (component is not None) != (name in state):
+                raise ValueError(
+                    f"checkpoint does not match the configuration: "
+                    f"{name!r} state is "
+                    f"{'missing' if component is not None else 'unexpected'}"
+                )
+        self.l1.restore_state(state["l1"])
+        if self.l2 is not None:
+            self.l2.restore_state(state["l2"])
+        if self.tlb is not None:
+            self.tlb.restore_state(state["tlb"])
+        if self.link is not None:
+            self.link.restore_state(state["link"])
 
     def run_frame(self, frame: FrameTrace) -> FrameCacheStats:
         """Simulate one frame (Fig 7 steps A-F)."""
@@ -286,7 +416,50 @@ class MultiLevelTextureCache:
             stats.transfer = self.link.transfer_frame(n_blocks)
         return stats
 
-    def run_trace(self, trace: Trace) -> TraceRunResult:
-        """Simulate a whole animation, carrying cache state across frames."""
-        frames = [self.run_frame(f) for f in trace.frames]
+    def run_trace(
+        self,
+        trace: Trace,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 0,
+        resume: bool = False,
+    ) -> TraceRunResult:
+        """Simulate a whole animation, carrying cache state across frames.
+
+        With ``checkpoint_path`` and ``checkpoint_every > 0``, the full
+        simulator state plus all completed frame stats are persisted
+        (atomically, CRC-checked) every N frames; ``resume=True`` restores
+        the latest checkpoint first — bound to this exact (trace, config,
+        engine) — and continues from it, bit-identically to an
+        uninterrupted run. A missing checkpoint under ``resume`` simply
+        starts from scratch; a corrupt one is quarantined with a
+        :class:`~repro.errors.CorruptCheckpointWarning`.
+        """
+        if checkpoint_path is None:
+            frames = [self.run_frame(f) for f in trace.frames]
+            return TraceRunResult(config=self.config, frames=frames)
+
+        from repro.reliability import checkpoint as ckpt
+
+        key = ckpt.run_key(trace, self.config, self.engine)
+        frames = []
+        start = 0
+        if resume:
+            loaded = ckpt.load_checkpoint(checkpoint_path, expected_key=key)
+            if loaded is not None:
+                frames = loaded.frames
+                start = loaded.frame_index
+                self.restore_state(loaded.state)
+        total = len(trace.frames)
+        for i in range(start, total):
+            frames.append(self.run_frame(trace.frames[i]))
+            done = i + 1
+            if checkpoint_every > 0 and done % checkpoint_every == 0 and done < total:
+                ckpt.write_checkpoint(
+                    checkpoint_path,
+                    key=key,
+                    frame_index=done,
+                    n_frames=total,
+                    frames=frames,
+                    state=self.snapshot_state(),
+                )
         return TraceRunResult(config=self.config, frames=frames)

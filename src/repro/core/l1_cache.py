@@ -129,6 +129,45 @@ class L1CacheSim:
                 s.clear()
 
     # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture the carried inter-frame state (checkpointing).
+
+        The returned tree contains only numpy arrays and JSON-able scalars
+        /lists, so :mod:`repro.reliability.checkpoint` can persist it.
+        """
+        if self._sets_general is None:
+            return {
+                "engine": "vectorized",
+                "mru": self._mru.copy(),
+                "lru": self._lru.copy(),
+            }
+        return {
+            "engine": "general",
+            "sets": [list(s) for s in self._sets_general],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` tree; inverse of the snapshot."""
+        engine = "general" if self._sets_general is not None else "vectorized"
+        if state.get("engine") != engine:
+            raise ValueError(
+                f"L1 checkpoint was taken on the {state.get('engine')!r} "
+                f"engine but this simulator runs {engine!r}"
+            )
+        if self._sets_general is None:
+            mru = np.asarray(state["mru"], dtype=np.int64)
+            lru = np.asarray(state["lru"], dtype=np.int64)
+            if mru.shape != self._mru.shape or lru.shape != self._lru.shape:
+                raise ValueError("L1 checkpoint does not match the cache geometry")
+            self._mru[:] = mru
+            self._lru[:] = lru
+        else:
+            sets = state["sets"]
+            if len(sets) != len(self._sets_general):
+                raise ValueError("L1 checkpoint does not match the cache geometry")
+            self._sets_general = [[int(t) for t in s] for s in sets]
+
+    # ------------------------------------------------------------------
     def access_frame(
         self, refs: np.ndarray, weights: np.ndarray, sets: np.ndarray
     ) -> L1FrameResult:

@@ -199,6 +199,36 @@ class L2TextureCache:
         return bool(self._t_sectors[gid] & np.uint64(1 << sub))
 
     # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture page table, BRL, allocator, and policy state."""
+        return {
+            "t_block": self._t_block.copy(),
+            "t_sectors": self._t_sectors.copy(),
+            "brl_t_index": self._brl_t_index.copy(),
+            "next_unused": int(self._next_unused),
+            "free": list(self._free),
+            "policy": self.policy.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` tree; inverse of the snapshot."""
+        t_block = np.asarray(state["t_block"], dtype=np.int64)
+        t_sectors = np.asarray(state["t_sectors"], dtype=np.uint64)
+        brl = np.asarray(state["brl_t_index"], dtype=np.int64)
+        if (
+            t_block.shape != self._t_block.shape
+            or t_sectors.shape != self._t_sectors.shape
+            or brl.shape != self._brl_t_index.shape
+        ):
+            raise ValueError("L2 checkpoint does not match the cache geometry")
+        self._t_block[:] = t_block
+        self._t_sectors[:] = t_sectors
+        self._brl_t_index[:] = brl
+        self._next_unused = int(state["next_unused"])
+        self._free = [int(b) for b in state["free"]]
+        self.policy.restore_state(state["policy"])
+
+    # ------------------------------------------------------------------
     def access_frame(self, miss_refs: np.ndarray) -> L2FrameResult:
         """Run one frame's L1 miss stream through the L2 (Fig 7 steps C-F)."""
         gids_arr, subs_arr = self.space.l2_addresses(
@@ -463,6 +493,25 @@ class SetAssociativeL2Cache:
         # Per-set list of resident gids, LRU order (front = oldest).
         self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
         self._sectors: dict[int, int] = {}
+
+    def snapshot_state(self) -> dict:
+        """Capture per-set residency (LRU order) and sector bit-vectors."""
+        return {
+            "sets": [list(content) for content in self._sets],
+            "sector_gids": [int(g) for g in self._sectors],
+            "sector_bits": [int(b) for b in self._sectors.values()],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` tree; inverse of the snapshot."""
+        sets = state["sets"]
+        if len(sets) != self.n_sets:
+            raise ValueError("L2 checkpoint does not match the set count")
+        self._sets = [[int(g) for g in content] for content in sets]
+        self._sectors = {
+            int(g): int(b)
+            for g, b in zip(state["sector_gids"], state["sector_bits"])
+        }
 
     def access_frame(self, miss_refs: np.ndarray) -> L2FrameResult:
         """Run one frame's L1 miss stream through the set-associative L2."""

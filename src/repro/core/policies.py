@@ -64,6 +64,13 @@ class ReplacementPolicy(abc.ABC):
     def reset(self) -> None:
         """Forget all history (cache flush)."""
 
+    def snapshot_state(self) -> dict:
+        """Capture replacement state for checkpointing (default: stateless)."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` tree (default: stateless)."""
+
 
 class ClockPolicy(ReplacementPolicy):
     """The paper's clock approximation of LRU over the BRL active bits."""
@@ -112,6 +119,23 @@ class ClockPolicy(ReplacementPolicy):
         self.hand = 0
         self.search_lengths.clear()
 
+    def snapshot_state(self) -> dict:
+        """Active bits, hand position, and the §5.4.2 search-length log."""
+        return {
+            "active": self.active.copy(),
+            "hand": int(self.hand),
+            "search_lengths": list(self.search_lengths),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore active bits, hand, and search-length log."""
+        active = np.asarray(state["active"], dtype=bool)
+        if active.shape != self.active.shape:
+            raise ValueError("clock checkpoint does not match the block count")
+        self.active[:] = active
+        self.hand = int(state["hand"])
+        self.search_lengths = [int(x) for x in state["search_lengths"]]
+
 
 class LRUPolicy(ReplacementPolicy):
     """Exact least-recently-used, via a monotone timestamp per block."""
@@ -149,6 +173,18 @@ class LRUPolicy(ReplacementPolicy):
         self._stamp[:] = 0
         self._clock = 0
 
+    def snapshot_state(self) -> dict:
+        """Per-block timestamps plus the monotone clock."""
+        return {"stamp": self._stamp.copy(), "clock": int(self._clock)}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore timestamps and clock."""
+        stamp = np.asarray(state["stamp"], dtype=np.int64)
+        if stamp.shape != self._stamp.shape:
+            raise ValueError("LRU checkpoint does not match the block count")
+        self._stamp[:] = stamp
+        self._clock = int(state["clock"])
+
 
 class FIFOPolicy(ReplacementPolicy):
     """Evict in allocation order, ignoring accesses."""
@@ -173,6 +209,14 @@ class FIFOPolicy(ReplacementPolicy):
         """Rewind to block 0."""
         self._next = 0
 
+    def snapshot_state(self) -> dict:
+        """The allocation cursor."""
+        return {"next": int(self._next)}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the allocation cursor."""
+        self._next = int(state["next"])
+
 
 class RandomPolicy(ReplacementPolicy):
     """Evict a uniformly random block (seeded, reproducible)."""
@@ -195,6 +239,22 @@ class RandomPolicy(ReplacementPolicy):
     def reset(self) -> None:
         """Re-seed the random stream."""
         self._rng = np.random.default_rng(self._seed)
+
+    def snapshot_state(self) -> dict:
+        """The generator's bit-level state, so resumed draws continue exactly."""
+        import json
+
+        return {
+            "seed": int(self._seed),
+            "rng_state": json.dumps(self._rng.bit_generator.state),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the generator mid-stream."""
+        import json
+
+        self._rng = np.random.default_rng(int(state["seed"]))
+        self._rng.bit_generator.state = json.loads(state["rng_state"])
 
 
 class BeladyPolicy(ReplacementPolicy):

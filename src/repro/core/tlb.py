@@ -76,6 +76,18 @@ class TextureTableTLB:
         self._entries.clear()
         self._hand = 0
 
+    def snapshot_state(self) -> dict:
+        """Capture the entry list and round-robin hand (checkpointing)."""
+        return {"entries": list(self._entries), "hand": int(self._hand)}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` tree; inverse of the snapshot."""
+        entries = [int(g) for g in state["entries"]]
+        if len(entries) > self.n_entries:
+            raise ValueError("TLB checkpoint does not match the entry count")
+        self._entries = entries
+        self._hand = int(state["hand"])
+
     def access_frame(self, gids: np.ndarray) -> TLBFrameResult:
         """Translate one frame's worth of page-table indices.
 

@@ -10,10 +10,17 @@ reliability layers:
 * simulated AGP transfers — :class:`TransferError` (a block transfer
   exhausted its retry budget under a strict policy);
 * the experiment runner — :class:`ExperimentError` (one experiment failed;
-  carries the id and the captured traceback so a batch can continue).
+  carries the id and the captured traceback so a batch can continue);
+* the sweep supervisor — :class:`WorkerCrashError` (a pool worker died and
+  the point's retry budget ran out) and :class:`WorkerTimeoutError` (a
+  point exceeded its watchdog deadline on every attempt);
+* checkpointed simulation — :class:`CheckpointCorruptError` (a checkpoint
+  file is damaged, truncated, or bound to a different run).
 
 :class:`CorruptTraceWarning` is emitted when a corrupted disk-cache entry
-is quarantined and transparently re-rendered instead of crashing the run.
+is quarantined and transparently re-rendered instead of crashing the run;
+:class:`CorruptSimCacheWarning` and :class:`CorruptCheckpointWarning` are
+the same posture for simulation-store entries and checkpoints.
 """
 
 from __future__ import annotations
@@ -26,8 +33,13 @@ __all__ = [
     "TraceFormatError",
     "TransferError",
     "ExperimentError",
+    "SweepError",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
+    "CheckpointCorruptError",
     "CorruptTraceWarning",
     "CorruptSimCacheWarning",
+    "CorruptCheckpointWarning",
 ]
 
 
@@ -100,9 +112,64 @@ class ExperimentError(ReproError):
         self.__cause__ = cause
 
 
+class SweepError(ReproError):
+    """Base class for sweep-supervisor failures.
+
+    Attributes:
+        task_id: index of the sweep point within the supervised batch.
+        attempts: dispatch attempts consumed before giving up.
+    """
+
+    def __init__(self, task_id: int, attempts: int, detail: str):
+        self.task_id = task_id
+        self.attempts = attempts
+        super().__init__(
+            f"sweep point {task_id} {detail} after {attempts} attempt(s)"
+        )
+
+
+class WorkerCrashError(SweepError):
+    """A pool worker died (signal/exitcode) and the retry budget ran out."""
+
+    def __init__(self, task_id: int, attempts: int, exitcode: int | None = None):
+        self.exitcode = exitcode
+        detail = "kept crashing its worker"
+        if exitcode is not None:
+            detail += f" (last exitcode {exitcode})"
+        super().__init__(task_id, attempts, detail)
+
+
+class WorkerTimeoutError(SweepError):
+    """A sweep point exceeded its watchdog deadline on every attempt."""
+
+    def __init__(self, task_id: int, attempts: int, timeout_s: float):
+        self.timeout_s = timeout_s
+        super().__init__(
+            task_id, attempts, f"exceeded its {timeout_s:g}s watchdog deadline"
+        )
+
+
+class CheckpointCorruptError(ReproError):
+    """A simulation checkpoint is damaged, truncated, or mismatched.
+
+    Attributes:
+        path: the offending checkpoint file.
+        detail: human-readable description of what failed.
+    """
+
+    def __init__(self, path: str | os.PathLike, detail: str):
+        self.path = os.fspath(path)
+        self.detail = detail
+        super().__init__(f"corrupt checkpoint {self.path}: {detail}")
+
+
 class CorruptTraceWarning(UserWarning):
     """A corrupted cached trace was quarantined and will be re-rendered."""
 
 
 class CorruptSimCacheWarning(UserWarning):
     """A corrupted cached simulation result was quarantined; re-simulating."""
+
+
+class CorruptCheckpointWarning(UserWarning):
+    """A corrupted checkpoint was quarantined; the run restarts from scratch."""

@@ -56,6 +56,15 @@ def main(argv: list[str] | None = None) -> int:
         "or 1); results are identical to a serial run",
     )
     parser.add_argument(
+        "--task-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="watchdog deadline per sweep point under --jobs (default: "
+        "$REPRO_TASK_TIMEOUT or 300); hung workers are killed and the "
+        "point is retried",
+    )
+    parser.add_argument(
         "--csv",
         metavar="DIR",
         default=None,
@@ -89,6 +98,14 @@ def main(argv: list[str] | None = None) -> int:
         import os
 
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.task_timeout is not None:
+        if args.task_timeout <= 0:
+            raise ValueError(
+                f"--task-timeout must be positive, got {args.task_timeout}"
+            )
+        import os
+
+        os.environ["REPRO_TASK_TIMEOUT"] = str(args.task_timeout)
 
     scale = None
     if args.scale:

@@ -10,10 +10,14 @@ scene version and identity, a CRC fingerprint of the trace's reference
 stream, and the full ``repr`` of the (frozen, deterministic)
 :class:`~repro.core.hierarchy.HierarchyConfig` — so stale scenes, changed
 configs, and even same-shaped traces with different content all miss
-cleanly. Writes are atomic (:mod:`repro.reliability.atomic`) and every
-payload array carries a CRC32 in the manifest
-(:mod:`repro.reliability.integrity`); a damaged entry is quarantined with a
-:class:`~repro.errors.CorruptSimCacheWarning` and the point is
+cleanly. Writes are atomic and byte-deterministic
+(:func:`~repro.reliability.atomic.atomic_savez_deterministic`): equal
+results produce equal files, so concurrent sweep workers finishing the
+same point dedupe through the final atomic rename — last writer wins with
+identical bytes, and :func:`save` skips the write entirely when the entry
+already exists. Every payload array carries a CRC32 in the manifest
+(:mod:`repro.reliability.integrity`); a damaged entry is quarantined with
+a :class:`~repro.errors.CorruptSimCacheWarning` and the point is
 re-simulated.
 
 Set ``REPRO_SIM_CACHE`` to relocate the store or to ``off`` to disable it.
@@ -31,34 +35,22 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.hierarchy import FrameCacheStats, HierarchyConfig, TraceRunResult
-from repro.core.l2_cache import L2FrameResult
-from repro.core.tlb import TLBFrameResult
+from repro.core.hierarchy import (
+    FRAME_INT_COLUMNS,
+    HierarchyConfig,
+    TraceRunResult,
+    frames_from_columns,
+    frames_to_columns,
+)
 from repro.errors import CorruptSimCacheWarning
-from repro.reliability.atomic import atomic_savez_compressed
+from repro.reliability.atomic import atomic_savez_deterministic
 from repro.reliability.integrity import array_checksum
-from repro.reliability.transfer import FrameTransferStats
 from repro.trace.trace import Trace
 
 __all__ = ["store_dir", "entry_path", "load", "save", "clear"]
 
 #: Bump when the serialized layout or keying scheme changes.
 STORE_VERSION = 1
-
-_INT_COLUMNS = (
-    "texel_reads",
-    "l1_accesses",
-    "l1_misses",
-)
-_L2_COLUMNS = ("accesses", "full_hits", "partial_hits", "full_misses", "evictions")
-_TLB_COLUMNS = ("accesses", "hits")
-_TRANSFER_INT_COLUMNS = (
-    "requested_blocks",
-    "retried_transfers",
-    "retry_bytes",
-    "stale_blocks",
-    "latency_spikes",
-)
 
 
 def store_dir() -> Path | None:
@@ -69,19 +61,6 @@ def store_dir() -> Path | None:
     if env:
         return Path(env)
     return Path(__file__).resolve().parents[3] / ".sim_cache"
-
-
-def _trace_fingerprint(trace: Trace) -> int:
-    """CRC32 over the trace's whole reference stream (cached per object)."""
-    cached = getattr(trace, "_sim_fingerprint", None)
-    if cached is not None:
-        return cached
-    crc = 0
-    for frame in trace.frames:
-        crc = zlib.crc32(np.ascontiguousarray(frame.refs).tobytes(), crc)
-        crc = zlib.crc32(np.ascontiguousarray(frame.weights).tobytes(), crc)
-    trace._sim_fingerprint = crc
-    return crc
 
 
 def _entry_digest(trace: Trace, config: HierarchyConfig) -> str:
@@ -96,7 +75,7 @@ def _entry_digest(trace: Trace, config: HierarchyConfig) -> str:
             f"{m.width}x{m.height}",
             m.filter_mode,
             f"f{m.n_frames}",
-            f"crc{_trace_fingerprint(trace):08x}",
+            f"crc{trace.fingerprint():08x}",
             repr(config),
         ]
     )
@@ -123,40 +102,26 @@ def clear() -> None:
 # ----------------------------------------------------------------------
 # Serialization
 # ----------------------------------------------------------------------
-def _columns(result: TraceRunResult) -> dict[str, np.ndarray]:
-    frames = result.frames
-    payload: dict[str, np.ndarray] = {}
-    for name in _INT_COLUMNS:
-        payload[name] = np.array(
-            [getattr(f, name) for f in frames], dtype=np.int64
-        )
-    if frames and frames[0].l2 is not None:
-        for name in _L2_COLUMNS:
-            payload[f"l2_{name}"] = np.array(
-                [getattr(f.l2, name) for f in frames], dtype=np.int64
-            )
-    if frames and frames[0].tlb is not None:
-        for name in _TLB_COLUMNS:
-            payload[f"tlb_{name}"] = np.array(
-                [getattr(f.tlb, name) for f in frames], dtype=np.int64
-            )
-    if frames and frames[0].transfer is not None:
-        for name in _TRANSFER_INT_COLUMNS:
-            payload[f"transfer_{name}"] = np.array(
-                [getattr(f.transfer, name) for f in frames], dtype=np.int64
-            )
-        payload["transfer_backoff_us"] = np.array(
-            [f.transfer.backoff_us for f in frames], dtype=np.float64
-        )
-    return payload
+def save(
+    trace: Trace,
+    config: HierarchyConfig,
+    result: TraceRunResult,
+    dedupe: bool = True,
+) -> Path | None:
+    """Persist a simulation result; returns the entry path (None if off).
 
-
-def save(trace: Trace, config: HierarchyConfig, result: TraceRunResult) -> Path | None:
-    """Persist a simulation result; returns the entry path (None if off)."""
+    With ``dedupe`` (the default), an already-present entry is left alone:
+    simulations are deterministic and the writer is byte-deterministic, so
+    whichever concurrent worker landed first wrote the same bytes this one
+    would. Two workers racing through the window anyway both finish the
+    atomic tmp-file + rename, which is harmless for the same reason.
+    """
     path = entry_path(trace, config)
     if path is None:
         return None
-    payload = _columns(result)
+    if dedupe and path.is_file():
+        return path
+    payload = frames_to_columns(result.frames)
     meta = {
         "version": STORE_VERSION,
         "n_frames": len(result.frames),
@@ -166,7 +131,7 @@ def save(trace: Trace, config: HierarchyConfig, result: TraceRunResult) -> Path 
     payload["meta_json"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
-    atomic_savez_compressed(path, **payload)
+    atomic_savez_deterministic(path, **payload)
     return path
 
 
@@ -176,6 +141,10 @@ def _quarantine(path: Path, detail: str) -> None:
     try:
         dest = quarantine_trace(path)
         where = f"quarantined to {dest}"
+    except FileNotFoundError:
+        # A concurrent worker already quarantined (or rewrote) the entry;
+        # it is gone from the store, which is all quarantining guarantees.
+        return
     except OSError:
         where = "and could not be quarantined"
     warnings.warn(
@@ -211,31 +180,10 @@ def load(trace: Trace, config: HierarchyConfig) -> TraceRunResult | None:
             _quarantine(path, f"checksum mismatch on {name!r}")
             return None
     n_frames = int(meta.get("n_frames", 0))
-    for name in _INT_COLUMNS:
+    for name in FRAME_INT_COLUMNS:
         if name not in arrays or len(arrays[name]) != n_frames:
             _quarantine(path, f"missing or truncated column {name!r}")
             return None
-
-    has_l2 = "l2_accesses" in arrays
-    has_tlb = "tlb_accesses" in arrays
-    has_transfer = "transfer_requested_blocks" in arrays
-    frames: list[FrameCacheStats] = []
-    for i in range(n_frames):
-        stats = FrameCacheStats(
-            *(int(arrays[name][i]) for name in _INT_COLUMNS)
-        )
-        if has_l2:
-            stats.l2 = L2FrameResult(
-                *(int(arrays[f"l2_{name}"][i]) for name in _L2_COLUMNS)
-            )
-        if has_tlb:
-            stats.tlb = TLBFrameResult(
-                *(int(arrays[f"tlb_{name}"][i]) for name in _TLB_COLUMNS)
-            )
-        if has_transfer:
-            stats.transfer = FrameTransferStats(
-                *(int(arrays[f"transfer_{name}"][i]) for name in _TRANSFER_INT_COLUMNS),
-                backoff_us=float(arrays["transfer_backoff_us"][i]),
-            )
-        frames.append(stats)
-    return TraceRunResult(config=config, frames=frames)
+    return TraceRunResult(
+        config=config, frames=frames_from_columns(arrays, n_frames)
+    )

@@ -12,14 +12,31 @@ Three concerns, one package:
   stale-block degraded mode) bolt onto the hierarchy's download path.
 * **Resilient batches** — :mod:`~repro.reliability.runjournal` records
   per-experiment outcomes so ``python -m repro.experiments all`` survives
-  individual failures and ``--resume`` skips completed work.
+  individual failures and ``--resume`` skips completed work;
+  :mod:`~repro.reliability.heartbeat` journals the sweep supervisor's
+  liveness events beside it.
+* **Crash-safe simulation** — :mod:`~repro.reliability.checkpoint`
+  persists frame-granular hierarchy state so interrupted runs resume
+  bit-identically, and :mod:`~repro.reliability.chaos` injects seeded
+  worker kills, stalls, and artifact corruption to prove the healing
+  paths work.
 """
 
 from repro.reliability.atomic import (
     atomic_savez_compressed,
+    atomic_savez_deterministic,
     atomic_write,
     atomic_write_text,
 )
+from repro.reliability.chaos import ChaosInjector, ChaosPolicy, corrupt_file
+from repro.reliability.checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    read_checkpoint,
+    run_key,
+    write_checkpoint,
+)
+from repro.reliability.heartbeat import HeartbeatJournal, default_heartbeat_path
 from repro.reliability.faults import FaultModel
 from repro.reliability.integrity import (
     ArrayCheck,
@@ -43,6 +60,17 @@ __all__ = [
     "atomic_write",
     "atomic_write_text",
     "atomic_savez_compressed",
+    "atomic_savez_deterministic",
+    "Checkpoint",
+    "run_key",
+    "write_checkpoint",
+    "read_checkpoint",
+    "load_checkpoint",
+    "ChaosPolicy",
+    "ChaosInjector",
+    "corrupt_file",
+    "HeartbeatJournal",
+    "default_heartbeat_path",
     "array_checksum",
     "checksum_manifest",
     "ArrayCheck",

@@ -9,14 +9,21 @@ half-written one, even across crashes mid-write.
 
 from __future__ import annotations
 
+import io
 import os
 import tempfile
+import zipfile
 from pathlib import Path
 from typing import Callable, IO
 
 import numpy as np
 
-__all__ = ["atomic_write", "atomic_write_text", "atomic_savez_compressed"]
+__all__ = [
+    "atomic_write",
+    "atomic_write_text",
+    "atomic_savez_compressed",
+    "atomic_savez_deterministic",
+]
 
 
 def atomic_write(path: str | os.PathLike, write_fn: Callable[[IO[bytes]], None]) -> None:
@@ -58,3 +65,33 @@ def atomic_savez_compressed(path: str | os.PathLike, **arrays: np.ndarray) -> No
     path) stops numpy appending its own ``.npz`` suffix to the temp name.
     """
     atomic_write(path, lambda fh: np.savez_compressed(fh, **arrays))
+
+
+#: Fixed zip member timestamp (the DOS epoch) for deterministic archives.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
+def _write_deterministic_npz(fh: IO[bytes], arrays: dict[str, np.ndarray]) -> None:
+    with zipfile.ZipFile(fh, "w", compression=zipfile.ZIP_DEFLATED) as zipf:
+        for name, arr in arrays.items():
+            buf = io.BytesIO()
+            np.lib.format.write_array(buf, np.asanyarray(arr))
+            info = zipfile.ZipInfo(name + ".npy", date_time=_ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_DEFLATED
+            zipf.writestr(info, buf.getvalue())
+
+
+def atomic_savez_deterministic(path: str | os.PathLike, **arrays: np.ndarray) -> None:
+    """Atomically write a compressed ``.npz`` with reproducible bytes.
+
+    :func:`numpy.savez_compressed` stamps each zip member with the current
+    time, so two writes of identical arrays differ at the byte level. This
+    writer pins member timestamps to the DOS epoch and writes members in
+    the given order, so equal arrays always produce equal files — which is
+    what lets a resumed run regenerate a simulation-store entry or
+    checkpoint byte-identically to an uninterrupted run, and lets
+    concurrent sweep workers racing on one entry dedupe by atomic rename
+    (last writer wins with the same bytes). :func:`numpy.load` reads the
+    result like any other ``.npz``.
+    """
+    atomic_write(path, lambda fh: _write_deterministic_npz(fh, arrays))

@@ -1,0 +1,152 @@
+"""Seeded chaos injection for the sweep supervisor and checkpoint paths.
+
+Virtual-texturing systems are validated by injecting transfer faults; the
+simulator's own *execution* deserves the same treatment. This module
+provides a deterministic injector that can
+
+* SIGKILL a sweep worker right before it computes a point,
+* stall a task past the supervisor's watchdog deadline, and
+* truncate or bit-flip durable artifacts (checkpoints, sim-store entries)
+
+with every decision a pure function of ``(seed, task key, attempt)`` — so a
+chaos run is exactly reproducible, and tests can assert that the healed
+sweep output is byte-identical to a fault-free run.
+
+The policy travels to pool workers either explicitly (supervisor
+initializer) or through ``$REPRO_CHAOS`` (a JSON object of
+:class:`ChaosPolicy` fields), which is how the CI smoke step turns chaos on
+under an unmodified CLI. By default ``max_attempt=1``: only a task's first
+attempt can be killed or stalled, so every point converges under retry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = ["ChaosPolicy", "ChaosInjector", "corrupt_file"]
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """What to break, how often, and with which seed.
+
+    Attributes:
+        seed: decision seed; same seed, same casualties.
+        kill_rate: P(worker SIGKILLs itself before computing a task).
+        stall_rate: P(task sleeps ``stall_s`` before computing).
+        stall_s: stall duration, seconds.
+        max_attempt: attempts that may misbehave; from this attempt on the
+            task always runs clean (guarantees convergence under retry).
+    """
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_s: float = 0.0
+    max_attempt: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("kill_rate", "stall_rate"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.kill_rate + self.stall_rate > 1.0:
+            raise ValueError(
+                "kill_rate + stall_rate exceeds 1 "
+                f"({self.kill_rate} + {self.stall_rate})"
+            )
+        if self.max_attempt < 0:
+            raise ValueError(f"max_attempt must be >= 0, got {self.max_attempt}")
+
+    @property
+    def active(self) -> bool:
+        """Whether the policy can perturb anything at all."""
+        return (self.kill_rate > 0.0 or self.stall_rate > 0.0) and self.max_attempt > 0
+
+    def decide(self, task_key: str, attempt: int) -> str:
+        """Fate of one (task, attempt): ``"ok"``, ``"kill"``, or ``"stall"``.
+
+        The draw hashes (seed, task key, attempt) so it is independent of
+        scheduling order — the same task meets the same fate no matter
+        which worker picks it up or when.
+        """
+        if attempt >= self.max_attempt:
+            return "ok"
+        digest = hashlib.sha256(
+            f"{self.seed}|{task_key}|{attempt}".encode("utf-8")
+        ).digest()
+        u = int.from_bytes(digest[:8], "big") / 2**64
+        if u < self.kill_rate:
+            return "kill"
+        if u < self.kill_rate + self.stall_rate:
+            return "stall"
+        return "ok"
+
+    # ------------------------------------------------------------------
+    def to_env(self) -> str:
+        """Serialize for ``$REPRO_CHAOS``."""
+        return json.dumps(asdict(self))
+
+    @staticmethod
+    def from_env() -> "ChaosPolicy | None":
+        """Policy from ``$REPRO_CHAOS`` (JSON fields), or None when unset."""
+        raw = os.environ.get("REPRO_CHAOS", "").strip()
+        if not raw:
+            return None
+        try:
+            fields = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"$REPRO_CHAOS is not valid JSON: {exc}") from exc
+        return ChaosPolicy(**fields)
+
+
+class ChaosInjector:
+    """Worker-side executor of a :class:`ChaosPolicy`."""
+
+    def __init__(self, policy: ChaosPolicy):
+        self.policy = policy
+
+    def on_task(self, task_key: str, attempt: int) -> None:
+        """Apply the policy's verdict for this (task, attempt) in-process.
+
+        ``kill`` raises SIGKILL against the calling process — the honest
+        crash, no cleanup handlers, exactly what the supervisor must
+        tolerate. ``stall`` sleeps synchronously.
+        """
+        fate = self.policy.decide(task_key, attempt)
+        if fate == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif fate == "stall":
+            time.sleep(self.policy.stall_s)
+
+
+def corrupt_file(
+    path: str | os.PathLike, seed: int = 0, mode: str = "bitflip"
+) -> None:
+    """Deterministically damage a durable artifact in place.
+
+    ``bitflip`` XORs one mid-payload byte (position seeded); ``truncate``
+    cuts the file to half its length. Both reliably trip the CRC32
+    manifests on checkpoints, sim-store entries, and traces.
+    """
+    path = Path(path)
+    raw = bytearray(path.read_bytes())
+    if not raw:
+        return
+    if mode == "bitflip":
+        digest = hashlib.sha256(f"{seed}|{path.name}".encode("utf-8")).digest()
+        # Land inside compressed payload, away from zip headers.
+        lo, hi = len(raw) // 4, max(len(raw) // 4 + 1, 3 * len(raw) // 4)
+        pos = lo + int.from_bytes(digest[:8], "big") % (hi - lo)
+        raw[pos] ^= 0xFF
+        path.write_bytes(bytes(raw))
+    elif mode == "truncate":
+        path.write_bytes(bytes(raw[: len(raw) // 2]))
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")

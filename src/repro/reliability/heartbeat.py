@@ -1,0 +1,73 @@
+"""Append-only heartbeat journal for the sweep supervisor.
+
+The run journal (:mod:`repro.reliability.runjournal`) records experiment
+outcomes; this journal records the *liveness* events underneath a
+supervised sweep — dispatches, completions, worker crashes, watchdog
+timeouts, requeues, and degradation to serial — one JSON object per line,
+flushed as written. A crashed sweep therefore leaves a complete record of
+what was in flight, and tests/operators can replay exactly how a run
+healed itself.
+
+JSON-lines is the right shape here (unlike the run journal's whole-file
+atomic rewrites): events are immutable and ordered, appends are cheap at
+supervisor frequency, and a torn final line after a crash is simply
+ignored by :meth:`HeartbeatJournal.events`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = ["HeartbeatJournal", "default_heartbeat_path"]
+
+
+def default_heartbeat_path() -> Path | None:
+    """Journal location: ``$REPRO_HEARTBEAT`` or ``.repro_runs/heartbeat.jsonl``.
+
+    Returns None (journal disabled) when the variable is set to ``off``.
+    """
+    env = os.environ.get("REPRO_HEARTBEAT", "").strip()
+    if env.lower() == "off":
+        return None
+    if env:
+        return Path(env)
+    return Path(".repro_runs") / "heartbeat.jsonl"
+
+
+class HeartbeatJournal:
+    """One sweep's liveness log, appended event by event.
+
+    Args:
+        path: journal file; parent directories are created on first write.
+            ``None`` disables the journal (every call becomes a no-op).
+    """
+
+    def __init__(self, path: str | os.PathLike | None):
+        self.path = Path(path) if path is not None else None
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event line (no-op when the journal is disabled)."""
+        if self.path is None:
+            return
+        record = {"t": time.time(), "event": event, **fields}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+    def events(self, event: str | None = None) -> list[dict]:
+        """Read events back (all, or one kind); torn/garbled lines skipped."""
+        if self.path is None or not self.path.is_file():
+            return []
+        out: list[dict] = []
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail of a crashed writer
+                if event is None or record.get("event") == event:
+                    out.append(record)
+        return out

@@ -86,6 +86,24 @@ class AgpTransferLink:
         self.policy = policy or TransferPolicy()
         self._rng = fault_model.rng()
 
+    def snapshot_state(self) -> dict:
+        """Capture the generator's bit-level state (checkpointing).
+
+        Frame N's draws depend on frames 0..N-1's transfer counts, so a
+        resumed run must continue the random stream exactly where the
+        interrupted run left it.
+        """
+        import json
+
+        return {"rng_state": json.dumps(self._rng.bit_generator.state)}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the generator mid-stream; inverse of the snapshot."""
+        import json
+
+        self._rng = self.fault_model.rng()
+        self._rng.bit_generator.state = json.loads(state["rng_state"])
+
     def transfer_frame(self, n_blocks: int) -> FrameTransferStats:
         """Transfer a frame's block downloads; returns degradation metrics."""
         stats = FrameTransferStats(requested_blocks=int(n_blocks))

@@ -9,11 +9,16 @@ Usage::
         --fault-rate 0.01 --max-retries 3                          # faulty AGP
     python -m repro.tools.simulate trace.npz --l1-kb 2 --l2-kb 2048 \\
         --analytic                                # stack-distance fast path
+    python -m repro.tools.simulate trace.npz --l1-kb 2 --l2-kb 2048 \\
+        --checkpoint run.ckpt --checkpoint-every 8         # crash-safe run
+    python -m repro.tools.simulate trace.npz --l1-kb 2 --l2-kb 2048 \\
+        --resume-from run.ckpt --checkpoint-every 8        # continue it
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -105,6 +110,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="re-transfer attempts per failed block (default 3)")
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="fault-model seed (default 0; same seed, same run)")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="write crash-safe checkpoints to PATH "
+                             "(with --checkpoint-every)")
+    parser.add_argument("--checkpoint-every", type=int, metavar="N", default=0,
+                        help="checkpoint every N frames (default 0: never)")
+    parser.add_argument("--resume-from", metavar="PATH", default=None,
+                        help="restore PATH and continue the run from it; "
+                             "results are bit-identical to an uninterrupted "
+                             "run")
     args = parser.parse_args(argv)
     if not 0.0 <= args.fault_rate <= 1.0:
         parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
@@ -116,6 +130,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--analytic models caches only; drop --tlb")
     if args.analytic and args.fault_rate > 0:
         parser.error("--analytic is fault-free; drop --fault-rate")
+    ckpt_path = args.resume_from or args.checkpoint
+    if args.resume_from is not None and not os.path.isfile(args.resume_from):
+        parser.error(f"--resume-from {args.resume_from}: no such checkpoint")
+    if args.checkpoint_every < 0:
+        parser.error(f"--checkpoint-every must be >= 0, got {args.checkpoint_every}")
+    if args.checkpoint_every and ckpt_path is None:
+        parser.error("--checkpoint-every needs --checkpoint or --resume-from")
+    if args.analytic and ckpt_path is not None:
+        parser.error("--analytic runs have no simulator state to checkpoint")
 
     trace = load_trace(args.trace)
     if args.analytic:
@@ -143,8 +166,38 @@ def main(argv: list[str] | None = None) -> int:
             TransferPolicy(max_retries=args.max_retries) if fault_model else None
         ),
     )
+    sim = MultiLevelTextureCache(config, trace.address_space)
+    if args.resume_from is not None:
+        from repro.reliability import checkpoint as ckpt
+
+        try:
+            loaded = ckpt.read_checkpoint(
+                args.resume_from,
+                expected_key=ckpt.run_key(trace, config, sim.engine),
+            )
+        except ckpt.CheckpointCorruptError as exc:
+            if getattr(exc, "mismatch", False):
+                parser.error(f"--resume-from {args.resume_from}: {exc.detail}")
+            # Damaged file: run_trace quarantines it (with a warning) and
+            # restarts from scratch.
+            print(
+                f"checkpoint {args.resume_from} is damaged ({exc.detail}); "
+                "restarting from scratch",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"resuming from {args.resume_from} at frame "
+                f"{loaded.frame_index}/{len(trace.frames)}",
+                file=sys.stderr,
+            )
     start = time.time()
-    result = MultiLevelTextureCache(config, trace.address_space).run_trace(trace)
+    result = sim.run_trace(
+        trace,
+        checkpoint_path=ckpt_path,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume_from is not None,
+    )
     elapsed = time.time() - start
 
     rows = [

@@ -97,6 +97,7 @@ class Trace:
     frames: list[FrameTrace]
     textures: list[Texture]
     _space: AddressSpace | None = field(default=None, init=False, repr=False)
+    _fingerprint: int | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.frames) != self.meta.n_frames:
@@ -119,3 +120,22 @@ class Trace:
     def total_texel_reads(self) -> int:
         """Texel reads summed over the whole animation."""
         return sum(f.texel_reads for f in self.frames)
+
+    def fingerprint(self) -> int:
+        """CRC32 over the whole reference stream (cached per object).
+
+        Keys the persistent simulation store and binds checkpoints to the
+        trace they were taken from, so same-shaped traces with different
+        content never alias.
+        """
+        if self._fingerprint is None:
+            import zlib
+
+            crc = 0
+            for frame in self.frames:
+                crc = zlib.crc32(np.ascontiguousarray(frame.refs).tobytes(), crc)
+                crc = zlib.crc32(
+                    np.ascontiguousarray(frame.weights).tobytes(), crc
+                )
+            self._fingerprint = crc
+        return self._fingerprint

@@ -46,6 +46,21 @@ def isolated_sim_cache(tmp_path_factory):
 
 
 @pytest.fixture(autouse=True, scope="session")
+def isolated_heartbeat(tmp_path_factory):
+    """Keep the sweep supervisor's heartbeat journal out of the working tree."""
+    import os
+
+    path = tmp_path_factory.mktemp("heartbeat") / "heartbeat.jsonl"
+    old = os.environ.get("REPRO_HEARTBEAT")
+    os.environ["REPRO_HEARTBEAT"] = str(path)
+    yield path
+    if old is None:
+        os.environ.pop("REPRO_HEARTBEAT", None)
+    else:
+        os.environ["REPRO_HEARTBEAT"] = old
+
+
+@pytest.fixture(autouse=True, scope="session")
 def isolated_run_journal(tmp_path_factory):
     """Keep the experiment CLI's run journal out of the working tree."""
     import os

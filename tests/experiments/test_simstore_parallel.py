@@ -86,6 +86,47 @@ class TestStoreRoundTrip:
         assert simstore.load(trace, config) is None
 
 
+class TestConcurrentWriters:
+    def test_save_dedupes_existing_entry(self, fresh_store):
+        trace = micro_trace()
+        config = build_config(l1_bytes=2048, l2_bytes=128 * 1024)
+        result = simulate_directly(trace, config)
+        path = simstore.save(trace, config, result)
+        before = path.read_bytes()
+        stat = path.stat()
+        # A second (concurrent) writer finds the entry present and skips
+        # the write entirely: same path back, file untouched.
+        again = simstore.save(trace, config, result)
+        assert again == path
+        assert path.stat().st_mtime_ns == stat.st_mtime_ns
+        assert path.read_bytes() == before
+
+    def test_racing_writers_produce_identical_bytes(self, fresh_store):
+        # Two workers racing through the dedupe window both write; the
+        # writer is byte-deterministic, so the atomic rename is harmless
+        # whichever lands last.
+        trace = micro_trace()
+        config = build_config(l1_bytes=2048, l2_bytes=128 * 1024)
+        result = simulate_directly(trace, config)
+        path = simstore.save(trace, config, result)
+        before = path.read_bytes()
+        simstore.save(trace, config, result, dedupe=False)
+        assert path.read_bytes() == before
+        assert simstore.load(trace, config).frames == result.frames
+
+    def test_quarantine_race_is_silent_when_peer_won(self, fresh_store):
+        import warnings
+
+        trace = micro_trace()
+        config = build_config(l1_bytes=2048)
+        simstore.save(trace, config, simulate_directly(trace, config))
+        path = simstore.entry_path(trace, config)
+        path.unlink()  # a concurrent worker already quarantined the entry
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            simstore._quarantine(path, "checksum mismatch")
+
+
 class TestCorruptionHandling:
     def _stored_entry(self, fresh_store):
         trace = micro_trace()

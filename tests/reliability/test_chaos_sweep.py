@@ -1,0 +1,241 @@
+"""Chaos tests for the self-healing sweep supervisor.
+
+Every test injects deterministic faults — worker SIGKILLs, stalls past the
+watchdog, corrupted store entries — and asserts the supervisor converges
+to output *byte-identical* to a fault-free serial run. Determinism is the
+whole point: the same seed kills the same tasks on every run.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import CorruptSimCacheWarning, WorkerCrashError
+from repro.experiments import simstore
+from repro.experiments.config import Scale
+from repro.experiments.parallel import (
+    SupervisorConfig,
+    _WorkerPool,
+    _mp_context,
+    simulate_many,
+)
+from repro.experiments.simcache import build_config, clear_simulation_cache
+from repro.experiments.traces import get_trace
+from repro.reliability.chaos import ChaosPolicy, corrupt_file
+from repro.reliability.heartbeat import HeartbeatJournal
+from repro.reliability.transfer import TransferPolicy
+from repro.texture.sampler import FilterMode
+
+MICRO = Scale(width=64, height=48, frames=2, detail=0.2, name="micro")
+
+#: Short watchdog/backoff so failure paths run in test time.
+FAST = TransferPolicy(max_retries=2, backoff_base_us=5_000.0)
+
+
+@pytest.fixture
+def fresh_store(isolated_sim_cache):
+    clear_simulation_cache()
+    simstore.clear()
+    yield isolated_sim_cache
+    clear_simulation_cache()
+    simstore.clear()
+
+
+def micro_points():
+    trace = get_trace("city", MICRO, FilterMode.POINT)
+    return [
+        (trace, build_config(l1_bytes=l1, l2_bytes=l2))
+        for l1 in (1024, 2048)
+        for l2 in (None, 64 * 1024)
+    ]
+
+
+def store_bytes(store_dir):
+    return {p.name: p.read_bytes() for p in store_dir.glob("sim_*.npz")}
+
+
+class TestChaosPolicy:
+    def test_decisions_are_deterministic_and_seeded(self):
+        policy = ChaosPolicy(seed=1, kill_rate=0.4, stall_rate=0.3)
+        fates = [policy.decide(f"task{i}", 0) for i in range(64)]
+        assert fates == [policy.decide(f"task{i}", 0) for i in range(64)]
+        assert {"kill", "stall", "ok"} == set(fates)  # all outcomes reachable
+        other = ChaosPolicy(seed=2, kill_rate=0.4, stall_rate=0.3)
+        assert fates != [other.decide(f"task{i}", 0) for i in range(64)]
+
+    def test_attempts_past_budget_always_run_clean(self):
+        policy = ChaosPolicy(seed=0, kill_rate=1.0, max_attempt=2)
+        assert policy.decide("t", 0) == "kill"
+        assert policy.decide("t", 1) == "kill"
+        assert policy.decide("t", 2) == "ok"
+
+    def test_env_round_trip(self, monkeypatch):
+        policy = ChaosPolicy(seed=7, kill_rate=0.25, stall_rate=0.1, stall_s=3.0)
+        monkeypatch.setenv("REPRO_CHAOS", policy.to_env())
+        assert ChaosPolicy.from_env() == policy
+        monkeypatch.delenv("REPRO_CHAOS")
+        assert ChaosPolicy.from_env() is None
+        monkeypatch.setenv("REPRO_CHAOS", "{not json")
+        with pytest.raises(ValueError):
+            ChaosPolicy.from_env()
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            ChaosPolicy(kill_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosPolicy(kill_rate=0.6, stall_rate=0.6)
+
+
+class TestSupervisorHealing:
+    def test_worker_kills_converge_to_byte_identical_store(
+        self, fresh_store, tmp_path, monkeypatch
+    ):
+        points = micro_points()
+        serial = simulate_many(points, jobs=1)
+        reference = store_bytes(fresh_store)
+        assert len(reference) == len(points)
+
+        simstore.clear()
+        hb_path = tmp_path / "hb.jsonl"
+        healed = simulate_many(
+            points,
+            jobs=3,
+            supervisor=SupervisorConfig(
+                retry=FAST,
+                heartbeat_path=hb_path,
+                chaos=ChaosPolicy(seed=11, kill_rate=1.0, max_attempt=1),
+            ),
+        )
+        assert all(s.frames == h.frames for s, h in zip(serial, healed))
+        assert store_bytes(fresh_store) == reference
+        hb = HeartbeatJournal(hb_path)
+        assert len(hb.events("crash")) >= len(points)
+        assert len(hb.events("requeue")) >= len(points)
+
+    def test_stalled_workers_hit_watchdog_and_recover(self, fresh_store, tmp_path):
+        points = micro_points()
+        serial = simulate_many(points, jobs=1)
+        simstore.clear()
+        hb_path = tmp_path / "hb.jsonl"
+        healed = simulate_many(
+            points,
+            jobs=2,
+            supervisor=SupervisorConfig(
+                task_timeout_s=0.5,
+                retry=FAST,
+                heartbeat_path=hb_path,
+                chaos=ChaosPolicy(
+                    seed=3, stall_rate=1.0, stall_s=60.0, max_attempt=1
+                ),
+            ),
+        )
+        assert all(s.frames == h.frames for s, h in zip(serial, healed))
+        assert len(HeartbeatJournal(hb_path).events("timeout")) >= len(points)
+
+    def test_sweep_degrades_to_serial_after_repeated_failures(
+        self, fresh_store, tmp_path
+    ):
+        points = micro_points()
+        serial = simulate_many(points, jobs=1)
+        simstore.clear()
+        hb_path = tmp_path / "hb.jsonl"
+        healed = simulate_many(
+            points,
+            jobs=3,
+            supervisor=SupervisorConfig(
+                retry=FAST,
+                max_worker_failures=1,
+                heartbeat_path=hb_path,
+                # Kill every parallel attempt: only degraded-mode serial
+                # execution can finish the sweep.
+                chaos=ChaosPolicy(seed=5, kill_rate=1.0, max_attempt=99),
+            ),
+        )
+        assert all(s.frames == h.frames for s, h in zip(serial, healed))
+        hb = HeartbeatJournal(hb_path)
+        assert any(e.get("scope") == "sweep" for e in hb.events("degrade"))
+        assert hb.events("serial")
+
+    def test_exhausted_budget_raises_without_serial_fallback(
+        self, fresh_store, tmp_path
+    ):
+        points = micro_points()
+        with pytest.raises(WorkerCrashError):
+            simulate_many(
+                points,
+                jobs=2,
+                supervisor=SupervisorConfig(
+                    retry=TransferPolicy(max_retries=0, backoff_base_us=1_000.0),
+                    serial_fallback=False,
+                    heartbeat_path=tmp_path / "hb.jsonl",
+                    chaos=ChaosPolicy(seed=11, kill_rate=1.0, max_attempt=99),
+                ),
+            )
+
+    def test_corrupt_store_entry_is_healed_mid_sweep(self, fresh_store):
+        points = micro_points()
+        serial = simulate_many(points, jobs=1)
+        reference = store_bytes(fresh_store)
+        victim = sorted(fresh_store.glob("sim_*.npz"))[0]
+        corrupt_file(victim, seed=13)
+        with pytest.warns(CorruptSimCacheWarning):
+            healed = simulate_many(points, jobs=1)
+        assert all(s.frames == h.frames for s, h in zip(serial, healed))
+        assert store_bytes(fresh_store) == reference
+
+    def test_restarted_sweep_runs_only_missing_remainder(
+        self, fresh_store, tmp_path
+    ):
+        points = micro_points()
+        # A "crashed" sweep that completed half the points: those entries
+        # are already durable because workers persist before reporting.
+        simulate_many(points[:2], jobs=1)
+        assert len(store_bytes(fresh_store)) == 2
+
+        hb_path = tmp_path / "hb.jsonl"
+        simulate_many(
+            points,
+            jobs=2,
+            supervisor=SupervisorConfig(retry=FAST, heartbeat_path=hb_path),
+        )
+        dispatched = HeartbeatJournal(hb_path).events("dispatch")
+        assert len(dispatched) == len(points) - 2
+        assert len(store_bytes(fresh_store)) == len(points)
+
+
+class TestPoolShutdown:
+    def test_keyboard_interrupt_leaves_no_orphans(self):
+        trace = get_trace("city", MICRO, FilterMode.POINT)
+        pool = _WorkerPool(_mp_context(), [trace], chaos=None)
+        with pytest.raises(KeyboardInterrupt):
+            with pool:
+                workers = [pool.spawn() for _ in range(3)]
+                assert all(w.process.is_alive() for w in workers)
+                raise KeyboardInterrupt
+        assert not pool.workers
+        assert all(not w.process.is_alive() for w in workers)
+
+
+class TestExperimentUnderChaos:
+    def test_table5_6_under_chaos_matches_fault_free_serial(
+        self, fresh_store, monkeypatch
+    ):
+        from repro.experiments.exp_table5_6 import run
+
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        reference = run(MICRO)
+        reference_bytes = store_bytes(fresh_store)
+
+        clear_simulation_cache()
+        simstore.clear()
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "60")
+        monkeypatch.setenv(
+            "REPRO_CHAOS",
+            json.dumps({"seed": 17, "kill_rate": 0.5, "max_attempt": 1}),
+        )
+        chaotic = run(MICRO)
+        assert chaotic.text == reference.text
+        assert chaotic.data == reference.data
+        assert store_bytes(fresh_store) == reference_bytes

@@ -88,6 +88,71 @@ class TestSimulate:
         assert rc == 0
 
 
+class TestSimulateCheckpointing:
+    BASE = ["--l1-kb", "2", "--l2-kb", "64", "--fault-rate", "0.02"]
+
+    def _table(self, out: str) -> str:
+        # Strip the wall-clock row; everything else must be identical.
+        return "\n".join(
+            line for line in out.splitlines() if "simulation time" not in line
+        )
+
+    def test_resume_output_matches_uninterrupted_run(
+        self, trace_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "run.ckpt"
+        assert simulate_main([str(trace_file), *self.BASE]) == 0
+        plain = self._table(capsys.readouterr().out)
+
+        args = [str(trace_file), *self.BASE, "--checkpoint", str(ckpt),
+                "--checkpoint-every", "1"]
+        assert simulate_main(args) == 0
+        assert self._table(capsys.readouterr().out) == plain
+        assert ckpt.is_file()  # frame 2 of 3 is still on disk
+
+        rc = simulate_main(
+            [str(trace_file), *self.BASE, "--resume-from", str(ckpt)]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "resuming from" in captured.err
+        assert self._table(captured.out) == plain
+
+    def test_corrupt_checkpoint_restarts_from_scratch(
+        self, trace_file, tmp_path, capsys
+    ):
+        from repro.errors import CorruptCheckpointWarning
+        from repro.reliability.chaos import corrupt_file
+
+        ckpt = tmp_path / "run.ckpt"
+        args = [str(trace_file), *self.BASE, "--checkpoint", str(ckpt),
+                "--checkpoint-every", "1"]
+        assert simulate_main(args) == 0
+        plain = self._table(capsys.readouterr().out)
+        corrupt_file(ckpt, seed=1)
+        with pytest.warns(CorruptCheckpointWarning):
+            rc = simulate_main(
+                [str(trace_file), *self.BASE, "--resume-from", str(ckpt)]
+            )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "restarting from scratch" in captured.err
+        assert self._table(captured.out) == plain
+
+    def test_flag_validation(self, trace_file, tmp_path):
+        with pytest.raises(SystemExit):
+            simulate_main(
+                [str(trace_file), "--resume-from", str(tmp_path / "absent.ckpt")]
+            )
+        with pytest.raises(SystemExit):
+            simulate_main([str(trace_file), "--checkpoint-every", "2"])
+        with pytest.raises(SystemExit):
+            simulate_main(
+                [str(trace_file), "--analytic", "--checkpoint",
+                 str(tmp_path / "c.ckpt")]
+            )
+
+
 class TestTraceInfoJson:
     def test_json_summary(self, trace_file, capsys):
         import json
