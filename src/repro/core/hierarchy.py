@@ -34,6 +34,13 @@ from repro.reliability.transfer import (
 )
 from repro.texture.tiling import AddressSpace, L1_BLOCK_BYTES
 from repro.trace.trace import FrameTrace, Trace
+from repro.vt.system import (
+    FRAME_VT_FLOAT_COLUMNS,
+    FRAME_VT_INT_COLUMNS,
+    FrameVtStats,
+    VirtualTextureSystem,
+    VtConfig,
+)
 
 __all__ = [
     "HierarchyConfig",
@@ -64,6 +71,7 @@ class HierarchyConfig:
     tlb_policy: str = "round_robin"
     fault_model: FaultModel | None = None
     transfer_policy: TransferPolicy | None = None
+    vt: VtConfig | None = None
 
     def __post_init__(self) -> None:
         if self.tlb_entries is not None and self.l2 is None:
@@ -82,6 +90,7 @@ class FrameCacheStats:
     l2: L2FrameResult | None = None
     tlb: TLBFrameResult | None = None
     transfer: FrameTransferStats | None = None
+    vt: FrameVtStats | None = None
 
     @property
     def l1_hit_rate(self) -> float:
@@ -120,6 +129,11 @@ class FrameCacheStats:
     def stale_blocks(self) -> int:
         """Blocks never delivered this frame (degraded-mode fallback)."""
         return self.transfer.stale_blocks if self.transfer is not None else 0
+
+    @property
+    def vt_stream_bytes(self) -> int:
+        """Virtual-texture page bytes streamed over the link this frame."""
+        return self.vt.fetched_bytes if self.vt is not None else 0
 
 
 @dataclass
@@ -231,6 +245,71 @@ class TraceRunResult:
             return 0.0
         return float(np.mean([f.effective_agp_bytes for f in self.frames]))
 
+    # ------------------------------------------------------------------
+    # Virtual-texturing aggregates (paged runs; all zero/ideal otherwise)
+    # ------------------------------------------------------------------
+    @property
+    def total_page_fetches(self) -> int:
+        """VT pages streamed in over the whole animation."""
+        return sum(f.vt.completed_fetches for f in self.frames if f.vt is not None)
+
+    @property
+    def total_vt_fetched_bytes(self) -> int:
+        """VT page bytes streamed over the whole animation."""
+        return sum(f.vt_stream_bytes for f in self.frames)
+
+    @property
+    def total_pages_degraded(self) -> int:
+        """Visible pages served by a coarser ancestor over the animation."""
+        return sum(f.vt.degraded_pages for f in self.frames if f.vt is not None)
+
+    @property
+    def total_vt_timeouts(self) -> int:
+        """VT fetches dropped past their deadline over the animation."""
+        return sum(f.vt.timed_out for f in self.frames if f.vt is not None)
+
+    @property
+    def total_vt_deferred(self) -> int:
+        """VT requests deferred by in-flight backpressure over the animation."""
+        return sum(f.vt.deferred for f in self.frames if f.vt is not None)
+
+    @property
+    def total_vt_failed_fetches(self) -> int:
+        """VT fetches that exhausted their retry budget over the animation."""
+        return sum(f.vt.failed_fetches for f in self.frames if f.vt is not None)
+
+    @property
+    def total_page_quarantines(self) -> int:
+        """Resident pages quarantined after page-store damage."""
+        return sum(f.vt.quarantined for f in self.frames if f.vt is not None)
+
+    @property
+    def vt_degraded_frames(self) -> int:
+        """Frames that sampled at least one fallback (coarser) page."""
+        return sum(1 for f in self.frames if f.vt is not None and f.vt.degraded)
+
+    @property
+    def vt_mean_mip_bias(self) -> float:
+        """Mean MIP bias over all degraded page samples (0 when none)."""
+        degraded = self.total_pages_degraded
+        if degraded == 0:
+            return 0.0
+        bias = sum(f.vt.mip_bias_sum for f in self.frames if f.vt is not None)
+        return bias / degraded
+
+    @property
+    def stall_free_rate(self) -> float:
+        """Fraction of frames completed without a texturing stall.
+
+        The VT engine never blocks by construction, so this is 1.0 unless
+        a future change introduces a genuinely blocking path — the metric
+        exists so the experiments can *assert* grace rather than assume it.
+        """
+        if not self.frames:
+            return 1.0
+        stalled = sum(1 for f in self.frames if f.vt is not None and f.vt.stalls > 0)
+        return 1.0 - stalled / len(self.frames)
+
 
 # ----------------------------------------------------------------------
 # Columnar frame-stats (de)serialization, shared by the persistent
@@ -271,6 +350,15 @@ def frames_to_columns(frames: list[FrameCacheStats]) -> dict[str, np.ndarray]:
         payload["transfer_backoff_us"] = np.array(
             [f.transfer.backoff_us for f in frames], dtype=np.float64
         )
+    if frames and frames[0].vt is not None:
+        for name in FRAME_VT_INT_COLUMNS:
+            payload[f"vt_{name}"] = np.array(
+                [getattr(f.vt, name) for f in frames], dtype=np.int64
+            )
+        for name in FRAME_VT_FLOAT_COLUMNS:
+            payload[f"vt_{name}"] = np.array(
+                [getattr(f.vt, name) for f in frames], dtype=np.float64
+            )
     return payload
 
 
@@ -281,6 +369,7 @@ def frames_from_columns(
     has_l2 = "l2_accesses" in arrays
     has_tlb = "tlb_accesses" in arrays
     has_transfer = "transfer_requested_blocks" in arrays
+    has_vt = "vt_visible_pages" in arrays
     frames: list[FrameCacheStats] = []
     for i in range(n_frames):
         stats = FrameCacheStats(
@@ -301,6 +390,17 @@ def frames_from_columns(
                     for name in FRAME_TRANSFER_INT_COLUMNS
                 ),
                 backoff_us=float(arrays["transfer_backoff_us"][i]),
+            )
+        if has_vt:
+            stats.vt = FrameVtStats(
+                **{
+                    name: int(arrays[f"vt_{name}"][i])
+                    for name in FRAME_VT_INT_COLUMNS
+                },
+                **{
+                    name: float(arrays[f"vt_{name}"][i])
+                    for name in FRAME_VT_FLOAT_COLUMNS
+                },
             )
         frames.append(stats)
     return frames
@@ -341,6 +441,11 @@ class MultiLevelTextureCache:
             if config.fault_model is not None and config.fault_model.active
             else None
         )
+        self.vt = (
+            VirtualTextureSystem(config.vt, space)
+            if config.vt is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -363,6 +468,8 @@ class MultiLevelTextureCache:
             state["tlb"] = self.tlb.snapshot_state()
         if self.link is not None:
             state["link"] = self.link.snapshot_state()
+        if self.vt is not None:
+            state["vt"] = self.vt.snapshot_state()
         return state
 
     def restore_state(self, state: dict) -> None:
@@ -376,6 +483,7 @@ class MultiLevelTextureCache:
             ("l2", self.l2),
             ("tlb", self.tlb),
             ("link", self.link),
+            ("vt", self.vt),
         ):
             if (component is not None) != (name in state):
                 raise ValueError(
@@ -390,6 +498,8 @@ class MultiLevelTextureCache:
             self.tlb.restore_state(state["tlb"])
         if self.link is not None:
             self.link.restore_state(state["link"])
+        if self.vt is not None:
+            self.vt.restore_state(state["vt"])
 
     def run_frame(self, frame: FrameTrace) -> FrameCacheStats:
         """Simulate one frame (Fig 7 steps A-F)."""
@@ -414,6 +524,10 @@ class MultiLevelTextureCache:
                 stats.l2.host_downloads if stats.l2 is not None else stats.l1_misses
             )
             stats.transfer = self.link.transfer_frame(n_blocks)
+        if self.vt is not None:
+            # The raw per-fragment refs are the feedback pass's footprint
+            # stream; the VT engine pages against them and never blocks.
+            stats.vt = self.vt.run_frame(frame.refs)
         return stats
 
     def run_trace(

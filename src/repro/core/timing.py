@@ -118,7 +118,8 @@ def estimate_frame_timings(
     timings = []
     for stats in result.frames:
         cycles = _frame_cycles(stats, model)
-        agp = stats.agp_bytes
+        # VT page streaming shares the AGP bus with demand-miss traffic.
+        agp = stats.agp_bytes + stats.vt_stream_bytes
         timings.append(
             FrameTiming(
                 compute_cycles=cycles,

@@ -15,7 +15,10 @@ reliability layers:
   the point's retry budget ran out) and :class:`WorkerTimeoutError` (a
   point exceeded its watchdog deadline on every attempt);
 * checkpointed simulation — :class:`CheckpointCorruptError` (a checkpoint
-  file is damaged, truncated, or bound to a different run).
+  file is damaged, truncated, or bound to a different run);
+* environment configuration — :class:`ConfigError` (a ``$REPRO_*``
+  variable holds an unparsable or out-of-range value; raised up front with
+  the offending value instead of a raw ``ValueError`` deep in the pool).
 
 :class:`CorruptTraceWarning` is emitted when a corrupted disk-cache entry
 is quarantined and transparently re-rendered instead of crashing the run;
@@ -37,6 +40,7 @@ __all__ = [
     "WorkerCrashError",
     "WorkerTimeoutError",
     "CheckpointCorruptError",
+    "ConfigError",
     "CorruptTraceWarning",
     "CorruptSimCacheWarning",
     "CorruptCheckpointWarning",
@@ -161,6 +165,25 @@ class CheckpointCorruptError(ReproError):
         self.path = os.fspath(path)
         self.detail = detail
         super().__init__(f"corrupt checkpoint {self.path}: {detail}")
+
+
+class ConfigError(ReproError, ValueError):
+    """An environment variable holds an invalid value.
+
+    Subclasses ValueError for compatibility with callers that predate the
+    taxonomy.
+
+    Attributes:
+        variable: the environment variable name (e.g. ``REPRO_JOBS``).
+        value: the offending raw string value.
+        detail: human-readable description of what is wrong with it.
+    """
+
+    def __init__(self, variable: str, value: str, detail: str):
+        self.variable = variable
+        self.value = value
+        self.detail = detail
+        super().__init__(f"${variable}={value!r}: {detail}")
 
 
 class CorruptTraceWarning(UserWarning):

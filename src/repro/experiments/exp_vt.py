@@ -1,0 +1,180 @@
+"""Virtual texturing under fault injection: graceful degradation, measured.
+
+The paper's L2 architecture already treats texture memory as a cache over
+a larger address space; ``vt`` pushes that to demand-paged virtual
+texturing on the Terrain workload (per-patch unique textures, paraglider
+descent) and measures *robustness*, not just bandwidth:
+
+* a fault-rate ablation — clean link, a probabilistically lossy link, a
+  chaos link that kills every first fetch attempt, and a chaos link that
+  additionally injects stalls into every fetch and flips bits in the
+  resident page store (quarantine + refetch);
+* a frame-budget ablation — how the streaming deadline trades fetch
+  throughput against MIP-fallback quality.
+
+Every row *asserts* the fault-tolerance contract rather than reporting
+it: the stall-free frame rate must be exactly 1.0 (no frame ever blocks
+on texture streaming), and the headline faulty run is re-simulated from
+scratch, bypassing the memo, to prove the degradation counters are
+seeded-deterministic. ``$REPRO_CHAOS`` overrides the chaos scenarios'
+policy so CI can drive the same experiment under its own seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.hierarchy import HierarchyConfig, MultiLevelTextureCache
+from repro.core.l1_cache import L1CacheConfig
+from repro.experiments.config import L1_LOW_BYTES, Scale
+from repro.experiments.reporting import ExperimentResult, format_table, kb
+from repro.experiments.simcache import prewarm, simulate
+from repro.experiments.traces import get_trace
+from repro.reliability.chaos import ChaosPolicy
+from repro.reliability.faults import FaultModel
+from repro.reliability.transfer import TransferPolicy
+from repro.texture.sampler import FilterMode
+from repro.vt.megatexture import MegaTexture
+from repro.vt.system import VtConfig
+
+__all__ = ["run_vt"]
+
+
+def _vt_config(
+    trace,
+    frame_budget_us: float = 2000.0,
+    fault_model: FaultModel | None = None,
+    chaos: ChaosPolicy | None = None,
+) -> HierarchyConfig:
+    """A paged hierarchy config sized so the Terrain cannot fully reside."""
+    mega = MegaTexture(trace.address_space, 32)
+    pinned = trace.address_space.texture_count
+    resident = max(pinned + 32, mega.total_pages() // 8)
+    return HierarchyConfig(
+        l1=L1CacheConfig(size_bytes=L1_LOW_BYTES),
+        vt=VtConfig(
+            page_texels=32,
+            max_resident_pages=resident,
+            max_in_flight=32,
+            frame_budget_us=frame_budget_us,
+            fetch_latency_us=20.0,
+            timeout_frames=4,
+            fault_model=fault_model,
+            policy=TransferPolicy(max_retries=3),
+            chaos=chaos,
+        ),
+    )
+
+
+def _row(label: str, res) -> list[str]:
+    n = len(res.frames)
+    return [
+        label,
+        str(res.total_page_fetches),
+        f"{res.total_vt_fetched_bytes / max(n, 1) / 1024:.0f} KB",
+        str(res.total_pages_degraded),
+        f"{res.vt_mean_mip_bias:.2f}",
+        str(res.total_vt_timeouts),
+        str(res.total_vt_failed_fetches),
+        str(res.total_page_quarantines),
+        f"{res.stall_free_rate:.2f}",
+    ]
+
+
+def run_vt(scale: Scale | None = None) -> ExperimentResult:
+    """Fault-tolerant virtual texturing on the Terrain paraglider descent."""
+    scale = scale or Scale.from_env()
+    trace = get_trace("terrain", scale, FilterMode.BILINEAR)
+
+    # CI hook: a $REPRO_CHAOS policy replaces the built-in chaos scenarios.
+    env_chaos = ChaosPolicy.from_env() if os.environ.get("REPRO_CHAOS") else None
+    kill_first = env_chaos or ChaosPolicy(seed=1998, kill_rate=1.0, max_attempt=1)
+    mayhem = env_chaos or ChaosPolicy(
+        seed=1998, kill_rate=1.0, stall_rate=0.0, max_attempt=1, bitflip_rate=0.02
+    )
+    # "Injected stalls every frame": every fetch attempt draws a latency
+    # spike near the whole frame budget, so transfers routinely outlive
+    # their frame and must bank cost across boundaries.
+    stall_model = FaultModel(spike_rate=1.0, spike_us=1800.0, seed=1998)
+
+    scenarios: list[tuple[str, HierarchyConfig]] = [
+        ("clean", _vt_config(trace)),
+        (
+            "lossy link (10% drops)",
+            _vt_config(trace, fault_model=FaultModel(drop_rate=0.1, seed=1998)),
+        ),
+        ("chaos: kill 1st attempt", _vt_config(trace, chaos=kill_first)),
+        (
+            "chaos: kill+stalls+bitflips",
+            _vt_config(trace, fault_model=stall_model, chaos=mayhem),
+        ),
+    ]
+    budgets = (500.0, 2000.0, 8000.0)
+    budget_points = [
+        (f"budget {int(b)} us (chaos kill 1st)", _vt_config(trace, b, chaos=kill_first))
+        for b in budgets
+    ]
+    prewarm([(trace, c) for _, c in scenarios + budget_points])
+
+    rows = []
+    data: dict = {"resident_pages": scenarios[0][1].vt.max_resident_pages}
+    for label, config in scenarios + budget_points:
+        res = simulate(trace, config)
+        if res.stall_free_rate != 1.0:
+            raise AssertionError(
+                f"VT contract broken: {label!r} stalled "
+                f"({res.stall_free_rate:.3f} stall-free)"
+            )
+        data[label] = {
+            "page_fetches": res.total_page_fetches,
+            "stream_bytes": res.total_vt_fetched_bytes,
+            "pages_degraded": res.total_pages_degraded,
+            "degraded_frames": res.vt_degraded_frames,
+            "mean_mip_bias": res.vt_mean_mip_bias,
+            "timeouts": res.total_vt_timeouts,
+            "deferred": res.total_vt_deferred,
+            "failed_fetches": res.total_vt_failed_fetches,
+            "quarantined": res.total_page_quarantines,
+            "stall_free_rate": res.stall_free_rate,
+        }
+        rows.append(_row(label, res))
+
+    # Determinism proof: re-run the nastiest scenario from scratch
+    # (bypassing the memo and the on-disk store) and require every
+    # per-frame counter to match the memoized run exactly.
+    label, config = scenarios[-1]
+    fresh = MultiLevelTextureCache(config, trace.address_space).run_trace(trace)
+    if fresh.frames != simulate(trace, config).frames:
+        raise AssertionError(
+            "VT degradation counters are not deterministic under reruns"
+        )
+    data["determinism"] = {"scenario": label, "frames": len(fresh.frames)}
+
+    note = (
+        "\nEvery scenario completes all frames with stall-free rate 1.00 "
+        "(asserted, not just reported): late, killed, stalled, or "
+        "bit-flipped pages degrade to the coarsest resident ancestor MIP "
+        "page instead of blocking, and the chaos run's counters are "
+        "byte-identical on a from-scratch rerun."
+    )
+    return ExperimentResult(
+        experiment_id="vt",
+        title="Fault-tolerant virtual texturing (terrain, bilinear)",
+        text=format_table(
+            [
+                "scenario",
+                "fetches",
+                "stream/frame",
+                "degraded pages",
+                "mip bias",
+                "timeouts",
+                "failed",
+                "quarantined",
+                "stall-free",
+            ],
+            rows,
+        )
+        + note,
+        data=data,
+        scale_name=scale.name,
+    )

@@ -38,6 +38,7 @@ writing to ``.sim_cache/``) after ^C.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import multiprocessing.connection
 import os
@@ -45,7 +46,7 @@ import time
 from dataclasses import dataclass
 
 from repro.core.hierarchy import HierarchyConfig, MultiLevelTextureCache, TraceRunResult
-from repro.errors import WorkerCrashError, WorkerTimeoutError
+from repro.errors import ConfigError, WorkerCrashError, WorkerTimeoutError
 from repro.experiments import simstore
 from repro.reliability.chaos import ChaosInjector, ChaosPolicy
 from repro.reliability.heartbeat import HeartbeatJournal, default_heartbeat_path
@@ -61,19 +62,44 @@ __all__ = [
 
 
 def default_jobs() -> int:
-    """Worker processes for sweep simulation (``$REPRO_JOBS``, default 1)."""
-    try:
-        return max(int(os.environ.get("REPRO_JOBS", "1")), 1)
-    except ValueError:
+    """Worker processes for sweep simulation (``$REPRO_JOBS``, default 1).
+
+    Raises :class:`~repro.errors.ConfigError` on an unparsable or
+    non-positive value, so a typo fails the run up front instead of
+    silently running serial (or blowing up inside the pool).
+    """
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
         return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ConfigError("REPRO_JOBS", raw, "must be an integer") from None
+    if jobs < 1:
+        raise ConfigError("REPRO_JOBS", raw, "must be >= 1")
+    return jobs
 
 
 def default_task_timeout() -> float:
-    """Watchdog deadline per point (``$REPRO_TASK_TIMEOUT``, default 300s)."""
-    try:
-        return max(float(os.environ.get("REPRO_TASK_TIMEOUT", "300")), 0.1)
-    except ValueError:
+    """Watchdog deadline per point (``$REPRO_TASK_TIMEOUT``, default 300s).
+
+    Raises :class:`~repro.errors.ConfigError` on an unparsable,
+    non-finite, or non-positive value.
+    """
+    raw = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
+    if not raw:
         return 300.0
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise ConfigError(
+            "REPRO_TASK_TIMEOUT", raw, "must be a number of seconds"
+        ) from None
+    if not math.isfinite(timeout) or timeout <= 0.0:
+        raise ConfigError(
+            "REPRO_TASK_TIMEOUT", raw, "must be a finite positive number"
+        )
+    return timeout
 
 
 @dataclass(frozen=True)

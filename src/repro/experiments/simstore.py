@@ -163,7 +163,10 @@ def load(trace: Trace, config: HierarchyConfig) -> TraceRunResult | None:
     try:
         with np.load(path) as data:
             arrays = {name: data[name] for name in data.files}
-    except (zipfile.BadZipFile, zlib.error, OSError, ValueError, EOFError, KeyError) as exc:
+    except (
+        zipfile.BadZipFile, zlib.error, OSError, ValueError, EOFError,
+        KeyError, NotImplementedError,
+    ) as exc:
         _quarantine(path, f"unreadable archive: {exc}")
         return None
     try:

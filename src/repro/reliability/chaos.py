@@ -26,8 +26,10 @@ import json
 import os
 import signal
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from pathlib import Path
+
+from repro.errors import ConfigError
 
 __all__ = ["ChaosPolicy", "ChaosInjector", "corrupt_file"]
 
@@ -43,6 +45,10 @@ class ChaosPolicy:
         stall_s: stall duration, seconds.
         max_attempt: attempts that may misbehave; from this attempt on the
             task always runs clean (guarantees convergence under retry).
+        bitflip_rate: P(a resident virtual-texture page is bit-flipped in
+            the page store on a given frame); the VT residency layer
+            quarantines and refetches damaged pages. Independent of the
+            kill/stall budget and of ``max_attempt``.
     """
 
     seed: int = 0
@@ -50,9 +56,12 @@ class ChaosPolicy:
     stall_rate: float = 0.0
     stall_s: float = 0.0
     max_attempt: int = 1
+    bitflip_rate: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("kill_rate", "stall_rate"):
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        for name in ("kill_rate", "stall_rate", "bitflip_rate"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {p}")
@@ -88,6 +97,19 @@ class ChaosPolicy:
             return "stall"
         return "ok"
 
+    def decide_bitflip(self, key: str) -> bool:
+        """Whether a durable item identified by ``key`` is damaged.
+
+        A separate hash domain from :meth:`decide`, so page-store damage is
+        independent of fetch-attempt fates under the same seed.
+        """
+        if self.bitflip_rate <= 0.0:
+            return False
+        digest = hashlib.sha256(
+            f"{self.seed}|bitflip|{key}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64 < self.bitflip_rate
+
     # ------------------------------------------------------------------
     def to_env(self) -> str:
         """Serialize for ``$REPRO_CHAOS``."""
@@ -95,15 +117,39 @@ class ChaosPolicy:
 
     @staticmethod
     def from_env() -> "ChaosPolicy | None":
-        """Policy from ``$REPRO_CHAOS`` (JSON fields), or None when unset."""
+        """Policy from ``$REPRO_CHAOS`` (JSON fields), or None when unset.
+
+        Raises :class:`~repro.errors.ConfigError` when the variable is set
+        but unparsable — bad JSON, a non-object, an unknown field, or an
+        out-of-range value — so a typo fails the run up front instead of
+        surfacing as a raw ``ValueError`` deep in the worker pool.
+        """
         raw = os.environ.get("REPRO_CHAOS", "").strip()
         if not raw:
             return None
         try:
-            fields = json.loads(raw)
+            decoded = json.loads(raw)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"$REPRO_CHAOS is not valid JSON: {exc}") from exc
-        return ChaosPolicy(**fields)
+            raise ConfigError(
+                "REPRO_CHAOS", raw, f"not valid JSON: {exc}"
+            ) from None
+        if not isinstance(decoded, dict):
+            raise ConfigError(
+                "REPRO_CHAOS", raw,
+                f"must be a JSON object of ChaosPolicy fields, "
+                f"got {type(decoded).__name__}",
+            )
+        known = {f.name for f in fields(ChaosPolicy)}
+        unknown = sorted(set(decoded) - known)
+        if unknown:
+            raise ConfigError(
+                "REPRO_CHAOS", raw,
+                f"unknown field(s) {unknown}; choose from {sorted(known)}",
+            )
+        try:
+            return ChaosPolicy(**decoded)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError("REPRO_CHAOS", raw, str(exc)) from None
 
 
 class ChaosInjector:
@@ -131,20 +177,26 @@ def corrupt_file(
 ) -> None:
     """Deterministically damage a durable artifact in place.
 
-    ``bitflip`` XORs one mid-payload byte (position seeded); ``truncate``
-    cuts the file to half its length. Both reliably trip the CRC32
-    manifests on checkpoints, sim-store entries, and traces.
+    ``bitflip`` XORs one seeded byte per 512-byte stripe of the file's
+    middle half — a single flip can land in zip header fields the reader
+    never validates, but a flip per stripe reliably trips the CRC32
+    manifests on checkpoints, sim-store entries, and traces regardless of
+    member layout. ``truncate`` cuts the file to half its length.
     """
     path = Path(path)
     raw = bytearray(path.read_bytes())
     if not raw:
         return
     if mode == "bitflip":
-        digest = hashlib.sha256(f"{seed}|{path.name}".encode("utf-8")).digest()
         # Land inside compressed payload, away from zip headers.
         lo, hi = len(raw) // 4, max(len(raw) // 4 + 1, 3 * len(raw) // 4)
-        pos = lo + int.from_bytes(digest[:8], "big") % (hi - lo)
-        raw[pos] ^= 0xFF
+        for stripe, start in enumerate(range(lo, hi, 512)):
+            digest = hashlib.sha256(
+                f"{seed}|{stripe}|{path.name}".encode("utf-8")
+            ).digest()
+            end = min(start + 512, hi)
+            pos = start + int.from_bytes(digest[:8], "big") % (end - start)
+            raw[pos] ^= 0xFF
         path.write_bytes(bytes(raw))
     elif mode == "truncate":
         path.write_bytes(bytes(raw[: len(raw) // 2]))

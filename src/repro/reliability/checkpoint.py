@@ -55,7 +55,7 @@ __all__ = [
 ]
 
 #: Bump when the serialized layout changes.
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
 def run_key(trace: Trace, config: HierarchyConfig, engine: str) -> str:
@@ -179,6 +179,7 @@ def read_checkpoint(
         ValueError,
         EOFError,
         KeyError,
+        NotImplementedError,  # zipfile: damaged version/compression fields
     ) as exc:
         raise CheckpointCorruptError(path, f"unreadable archive: {exc}") from exc
     try:

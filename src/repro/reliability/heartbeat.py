@@ -12,6 +12,12 @@ JSON-lines is the right shape here (unlike the run journal's whole-file
 atomic rewrites): events are immutable and ordered, appends are cheap at
 supervisor frequency, and a torn final line after a crash is simply
 ignored by :meth:`HeartbeatJournal.events`.
+
+Long chaos sweeps emit events for every dispatch/kill/requeue, so the
+journal is size-capped: once the live file reaches ``max_bytes`` it is
+rotated to ``<name>.1`` (older archives shift to ``.2``, ``.3``, ...) and
+at most ``keep`` archives are retained — the newest ``keep`` rotations
+plus the live file bound the total footprint.
 """
 
 from __future__ import annotations
@@ -22,6 +28,12 @@ import time
 from pathlib import Path
 
 __all__ = ["HeartbeatJournal", "default_heartbeat_path"]
+
+#: Rotate the live journal once it reaches this size (4 MiB).
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+
+#: Rotated archives retained (``.1`` newest ... ``.keep`` oldest).
+DEFAULT_KEEP = 3
 
 
 def default_heartbeat_path() -> Path | None:
@@ -43,10 +55,55 @@ class HeartbeatJournal:
     Args:
         path: journal file; parent directories are created on first write.
             ``None`` disables the journal (every call becomes a no-op).
+        max_bytes: rotate the live file once it reaches this size; ``None``
+            disables rotation (the pre-cap unbounded behaviour).
+        keep: rotated archives retained; older ones are deleted.
     """
 
-    def __init__(self, path: str | os.PathLike | None):
+    def __init__(
+        self,
+        path: str | os.PathLike | None,
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
+        keep: int = DEFAULT_KEEP,
+    ):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
         self.path = Path(path) if path is not None else None
+        self.max_bytes = max_bytes
+        self.keep = keep
+
+    def _archive_path(self, index: int) -> Path:
+        return self.path.with_name(f"{self.path.name}.{index}")
+
+    def rotated_paths(self) -> list[Path]:
+        """Existing rotated archives, newest (``.1``) first."""
+        if self.path is None:
+            return []
+        return [
+            p
+            for p in (self._archive_path(i) for i in range(1, self.keep + 1))
+            if p.is_file()
+        ]
+
+    def _maybe_rotate(self) -> None:
+        if self.max_bytes is None:
+            return
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return  # nothing written yet
+        if size < self.max_bytes:
+            return
+        oldest = self._archive_path(self.keep)
+        if oldest.exists():
+            oldest.unlink()
+        for i in range(self.keep - 1, 0, -1):
+            src = self._archive_path(i)
+            if src.exists():
+                os.replace(src, self._archive_path(i + 1))
+        os.replace(self.path, self._archive_path(1))
 
     def emit(self, event: str, **fields) -> None:
         """Append one event line (no-op when the journal is disabled)."""
@@ -54,15 +111,12 @@ class HeartbeatJournal:
             return
         record = {"t": time.time(), "event": event, **fields}
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._maybe_rotate()
         with open(self.path, "a", encoding="utf-8") as fh:
             fh.write(json.dumps(record) + "\n")
 
-    def events(self, event: str | None = None) -> list[dict]:
-        """Read events back (all, or one kind); torn/garbled lines skipped."""
-        if self.path is None or not self.path.is_file():
-            return []
-        out: list[dict] = []
-        with open(self.path, encoding="utf-8") as fh:
+    def _read(self, path: Path, event: str | None, out: list[dict]) -> None:
+        with open(path, encoding="utf-8") as fh:
             for line in fh:
                 try:
                     record = json.loads(line)
@@ -70,4 +124,21 @@ class HeartbeatJournal:
                     continue  # torn tail of a crashed writer
                 if event is None or record.get("event") == event:
                     out.append(record)
+
+    def events(
+        self, event: str | None = None, include_rotated: bool = False
+    ) -> list[dict]:
+        """Read events back (all, or one kind); torn/garbled lines skipped.
+
+        With ``include_rotated``, retained archives are read first (oldest
+        to newest) so the result is in emission order across rotations.
+        """
+        if self.path is None:
+            return []
+        out: list[dict] = []
+        if include_rotated:
+            for path in reversed(self.rotated_paths()):
+                self._read(path, event, out)
+        if self.path.is_file():
+            self._read(self.path, event, out)
         return out

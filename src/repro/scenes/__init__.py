@@ -13,6 +13,9 @@ that reproduce the *texture-locality signatures* the paper measures:
   sharing between objects, lower depth complexity (~2).
 * **Future** — the §6 "workloads of the future" stressor: more, larger,
   less-shared textures.
+* **Terrain** — the virtual-texturing stressor: a patch grid where every
+  patch has its own unique texture (zero sharing) under a paraglider
+  descent from minified overview to magnified surface skim.
 
 All scenes are deterministic (seeded) and parameterized by a size knob so
 tests run tiny scenes while experiments run representative ones.
@@ -24,12 +27,14 @@ from repro.scenes.scene import Scene, Workload
 from repro.scenes.village import build_village
 from repro.scenes.city import build_city
 from repro.scenes.future import build_future
+from repro.scenes.terrain import build_terrain
 
 WORKLOAD_BUILDERS = {
     "village": build_village,
     "village-mt": functools.partial(build_village, multitexture=True),
     "city": build_city,
     "future": build_future,
+    "terrain": build_terrain,
 }
 
 __all__ = [
@@ -38,5 +43,6 @@ __all__ = [
     "build_village",
     "build_city",
     "build_future",
+    "build_terrain",
     "WORKLOAD_BUILDERS",
 ]

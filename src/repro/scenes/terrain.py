@@ -1,0 +1,154 @@
+"""The procedural Terrain and its paraglider descent.
+
+The virtual-texturing stressor: a large terrain split into a grid of
+patches where **every patch carries its own unique texture** — no
+inter-object sharing at all, so the total texture footprint far exceeds
+any plausible resident budget and pages must stream on demand. A
+paraglider camera path starts high (everything minified, coarse MIP
+pages suffice) and spirals down to skim the surface (a few patches
+magnified hard, demanding their finest pages), sweeping the visible page
+set across the megatexture exactly the way a demand-paged renderer is
+exercised in practice.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.mesh import MeshInstance
+from repro.geometry.paths import CameraPath, Keyframe
+from repro.geometry.primitives import make_box, make_ground_grid, make_sky_dome
+from repro.geometry.transforms import translation
+from repro.scenes.scene import Scene, Workload
+from repro.texture import procedural
+from repro.texture.texture import Texture
+from repro.scenes.village import _texture_size
+
+__all__ = ["build_terrain"]
+
+
+def build_terrain(
+    detail: float = 1.0,
+    with_images: bool = False,
+    seed: int = 23,
+) -> Workload:
+    """Build the Terrain workload.
+
+    Args:
+        detail: size knob; 1.0 gives a 6x6 patch grid, each patch with a
+            distinct 256^2 texture (a ~2.4M-texel megatexture).
+        with_images: generate procedural texel content for shading.
+        seed: RNG seed for landmark placement and texture content.
+    """
+    rng = np.random.default_rng(seed)
+    scene = Scene()
+    mgr = scene.manager
+
+    grid = max(3, int(round(6 * math.sqrt(max(detail, 1e-3)))))
+    patch = 60.0
+    extent = grid * patch
+    half = extent / 2.0
+    patch_size = _texture_size(detail, 256)
+
+    # One unique texture per terrain patch: zero sharing, so the visible
+    # page set tracks the camera and the full footprint never fits.
+    for gy in range(grid):
+        for gx in range(grid):
+            seed_i = seed * 1000 + gy * grid + gx
+            image = (
+                procedural.noise_texture(
+                    patch_size, 30 + (seed_i % 17), (70, 110, 60)
+                )
+                if with_images
+                else None
+            )
+            tid = mgr.load(
+                Texture(
+                    f"terrain/patch_{gx}_{gy}",
+                    patch_size,
+                    patch_size,
+                    original_depth_bits=16,
+                    image=image,
+                )
+            )
+            scene.add(
+                MeshInstance(
+                    make_ground_grid(patch, cells=3, uv_repeat_per_cell=1.0),
+                    translation(
+                        -half + patch * (gx + 0.5), 0, -half + patch * (gy + 0.5)
+                    ),
+                    tid,
+                    name=f"patch_{gx}_{gy}",
+                )
+            )
+
+    # A few landmark cabins so the descent has magnified vertical surfaces.
+    cabin_size = _texture_size(detail, 64)
+    cabin_img = (
+        procedural.facade_texture(cabin_size, seed) if with_images else None
+    )
+    tid_cabin = mgr.load(
+        Texture(
+            "terrain/cabin",
+            cabin_size,
+            cabin_size,
+            original_depth_bits=16,
+            image=cabin_img,
+        )
+    )
+    for i in range(max(2, grid // 2)):
+        cx = float(rng.uniform(-0.4, 0.4)) * extent
+        cz = float(rng.uniform(-0.4, 0.4)) * extent
+        scene.add(
+            MeshInstance(
+                make_box(6.0, float(rng.uniform(4.0, 7.0)), 6.0, uv_scale=0.4),
+                translation(cx, 0, cz),
+                tid_cabin,
+                name=f"cabin_{i}",
+            )
+        )
+
+    sky_size = _texture_size(detail, 128)
+    sky_img = (
+        procedural.sky_texture(sky_size) if with_images else None
+    )
+    tid_sky = mgr.load(
+        Texture(
+            "terrain/sky",
+            sky_size,
+            sky_size,
+            original_depth_bits=16,
+            image=sky_img,
+        )
+    )
+    scene.add(
+        MeshInstance(
+            make_sky_dome(extent * 2.0),
+            translation(0, 0, 0),
+            tid_sky,
+            name="sky",
+        )
+    )
+
+    path = _paraglider_path(extent)
+    return Workload(name="terrain", scene=scene, path=path)
+
+
+def _paraglider_path(extent: float) -> CameraPath:
+    """Paraglider descent: high overview spiralling down to a surface skim.
+
+    Altitude falls from ~0.8x the terrain extent (everything minified) to
+    a couple of metres (nearby patches sharply magnified), which marches
+    the demanded MIP levels from coarsest to finest as frames advance.
+    """
+    e = extent / 2.0
+    keys = [
+        Keyframe(0.00, (-1.1 * e, 1.6 * e, -1.1 * e), (0.0, 0.0, 0.0)),
+        Keyframe(0.25, (-0.5 * e, 0.9 * e, 0.6 * e), (0.2 * e, 0.0, 0.0)),
+        Keyframe(0.50, (0.4 * e, 0.45 * e, 0.5 * e), (0.3 * e, 0.0, -0.3 * e)),
+        Keyframe(0.75, (0.6 * e, 0.15 * e, -0.3 * e), (0.2 * e, 0.0, -0.6 * e)),
+        Keyframe(1.00, (0.25 * e, 8.0, -0.55 * e), (-0.4 * e, 0.0, -0.7 * e)),
+    ]
+    return CameraPath(keys, fov_y_deg=70.0, near=0.5, far=4000.0)

@@ -1,0 +1,41 @@
+"""MIP-fallback sampling for virtual texturing.
+
+When a visible page is not resident — its fetch is late, timed out,
+failed, or was quarantined — the sampler does not stall the frame: it
+samples the *coarsest resident ancestor* of the missing page instead.
+Because every texture's coarsest MIP level is a single pinned page
+(:meth:`~repro.vt.megatexture.MegaTexture.coarsest_pages`), the walk up
+the MIP chain always terminates at a resident page, so texturing always
+completes; the cost is quantified as a per-page *MIP bias* (how many
+levels coarser than requested the frame actually sampled).
+"""
+
+from __future__ import annotations
+
+__all__ = ["fallback_page"]
+
+
+def fallback_page(mega, resident, page: int) -> tuple[int, int]:
+    """Finest resident ancestor of a non-resident page.
+
+    Args:
+        mega: the :class:`~repro.vt.megatexture.MegaTexture` page space.
+        resident: a container of resident pages (supports ``in``).
+        page: the packed page reference that missed.
+
+    Returns:
+        ``(ancestor_page, mip_bias)`` — the page actually sampled and how
+        many MIP levels coarser it is than the request. The pinned
+        coarsest page guarantees the walk terminates.
+    """
+    from repro.texture.tiling import unpack_tile_refs
+
+    f = unpack_tile_refs(page)
+    top = mega.coarsest_mip(int(f.tid)) - int(f.mip)
+    for k in range(1, top + 1):
+        ancestor = mega.ancestor(page, k)
+        if ancestor in resident:
+            return ancestor, k
+    # Unreachable while coarsest pages stay pinned; kept as a honest
+    # terminal case so a future unpinned configuration degrades loudly.
+    raise LookupError(f"page {page:#x} has no resident ancestor")

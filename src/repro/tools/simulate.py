@@ -13,6 +13,8 @@ Usage::
         --checkpoint run.ckpt --checkpoint-every 8         # crash-safe run
     python -m repro.tools.simulate trace.npz --l1-kb 2 --l2-kb 2048 \\
         --resume-from run.ckpt --checkpoint-every 8        # continue it
+    python -m repro.tools.simulate trace.npz --l1-kb 2 --vt \\
+        --vt-pages 256 --vt-budget-us 2000 --vt-fault-rate 0.1   # paged VT
 """
 
 from __future__ import annotations
@@ -119,6 +121,26 @@ def main(argv: list[str] | None = None) -> int:
                         help="restore PATH and continue the run from it; "
                              "results are bit-identical to an uninterrupted "
                              "run")
+    parser.add_argument("--vt", action="store_true",
+                        help="page textures through the virtual-texturing "
+                             "engine (demand-paged megatexture with "
+                             "MIP-fallback degradation)")
+    parser.add_argument("--vt-page", type=int, metavar="TEXELS", default=32,
+                        help="VT page edge in texels (default 32)")
+    parser.add_argument("--vt-pages", type=int, metavar="N", default=512,
+                        help="VT resident-page budget (default 512)")
+    parser.add_argument("--vt-inflight", type=int, metavar="N", default=32,
+                        help="max in-flight page fetches (default 32)")
+    parser.add_argument("--vt-budget-us", type=float, metavar="US", default=2000.0,
+                        help="per-frame page-streaming budget in "
+                             "microseconds (default 2000)")
+    parser.add_argument("--vt-timeout-frames", type=int, metavar="N", default=4,
+                        help="frames before an in-flight fetch times out "
+                             "(default 4)")
+    parser.add_argument("--vt-fault-rate", type=float, metavar="P", default=0.0,
+                        help="P(drop) per page-fetch attempt (default 0; "
+                             "uses --fault-seed); $REPRO_CHAOS adds "
+                             "deterministic kills/stalls/bitflips")
     args = parser.parse_args(argv)
     if not 0.0 <= args.fault_rate <= 1.0:
         parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
@@ -139,6 +161,18 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--checkpoint-every needs --checkpoint or --resume-from")
     if args.analytic and ckpt_path is not None:
         parser.error("--analytic runs have no simulator state to checkpoint")
+    if not args.vt:
+        for flag, default in (
+            ("vt_page", 32), ("vt_pages", 512), ("vt_inflight", 32),
+            ("vt_budget_us", 2000.0), ("vt_timeout_frames", 4),
+            ("vt_fault_rate", 0.0),
+        ):
+            if getattr(args, flag) != default:
+                parser.error(f"--{flag.replace('_', '-')} needs --vt")
+    if args.vt and args.analytic:
+        parser.error("--analytic does not model virtual texturing; drop --vt")
+    if not 0.0 <= args.vt_fault_rate <= 1.0:
+        parser.error(f"--vt-fault-rate must be in [0, 1], got {args.vt_fault_rate}")
 
     trace = load_trace(args.trace)
     if args.analytic:
@@ -157,6 +191,26 @@ def main(argv: list[str] | None = None) -> int:
         if args.l2_kb is not None
         else None
     )
+    vt_config = None
+    if args.vt:
+        from repro.reliability.chaos import ChaosPolicy
+        from repro.vt import VtConfig
+
+        chaos = ChaosPolicy.from_env() if os.environ.get("REPRO_CHAOS") else None
+        vt_config = VtConfig(
+            page_texels=args.vt_page,
+            max_resident_pages=args.vt_pages,
+            max_in_flight=args.vt_inflight,
+            frame_budget_us=args.vt_budget_us,
+            timeout_frames=args.vt_timeout_frames,
+            fault_model=(
+                FaultModel(drop_rate=args.vt_fault_rate, seed=args.fault_seed)
+                if args.vt_fault_rate > 0
+                else None
+            ),
+            policy=TransferPolicy(max_retries=args.max_retries),
+            chaos=chaos,
+        )
     config = HierarchyConfig(
         l1=L1CacheConfig(size_bytes=int(args.l1_kb * 1024), ways=args.ways),
         l2=l2,
@@ -165,6 +219,7 @@ def main(argv: list[str] | None = None) -> int:
         transfer_policy=(
             TransferPolicy(max_retries=args.max_retries) if fault_model else None
         ),
+        vt=vt_config,
     )
     sim = MultiLevelTextureCache(config, trace.address_space)
     if args.resume_from is not None:
@@ -229,6 +284,27 @@ def main(argv: list[str] | None = None) -> int:
         rows.append(
             ["degraded frames", f"{result.degraded_frames}/{len(result.frames)}"]
         )
+    if args.vt:
+        rows.append(["VT page fetches", f"{result.total_page_fetches:,}"])
+        rows.append(
+            [
+                "VT stream KB/frame",
+                f"{result.total_vt_fetched_bytes / max(len(result.frames), 1) / 1024:.1f}",
+            ]
+        )
+        rows.append(["VT pages degraded", f"{result.total_pages_degraded:,}"])
+        rows.append(["VT mean MIP bias", f"{result.vt_mean_mip_bias:.2f}"])
+        rows.append(["VT timeouts", f"{result.total_vt_timeouts:,}"])
+        rows.append(["VT deferred (backpressure)", f"{result.total_vt_deferred:,}"])
+        rows.append(["VT failed fetches", f"{result.total_vt_failed_fetches:,}"])
+        rows.append(["VT pages quarantined", f"{result.total_page_quarantines:,}"])
+        rows.append(
+            [
+                "VT degraded frames",
+                f"{result.vt_degraded_frames}/{len(result.frames)}",
+            ]
+        )
+        rows.append(["VT stall-free rate", f"{result.stall_free_rate:.2f}"])
     timings = estimate_frame_timings(result, TimingModel())
     rows.append(["est. texturing fps (timing model)", f"{mean_fps(timings):.1f}"])
     rows.append(["bus-bound frames", f"{bus_bound_fraction(timings):.0%}"])

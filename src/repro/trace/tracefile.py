@@ -81,7 +81,7 @@ def _open_archive(path: str | os.PathLike) -> np.lib.npyio.NpzFile:
         return np.load(path)
     except FileNotFoundError:
         raise
-    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError, NotImplementedError) as exc:
         raise TraceCorruptionError(path, f"unreadable archive: {exc}") from exc
 
 
@@ -95,7 +95,7 @@ def _read_array(
         )
     try:
         return data[name]
-    except (zipfile.BadZipFile, zlib.error, OSError, ValueError, EOFError) as exc:
+    except (zipfile.BadZipFile, zlib.error, OSError, ValueError, EOFError, NotImplementedError) as exc:
         raise TraceCorruptionError(path, f"array {name!r} unreadable: {exc}") from exc
 
 

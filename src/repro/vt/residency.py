@@ -1,0 +1,110 @@
+"""Page-table residency set with pinning and LRU eviction.
+
+The residency set is the VT system's page table: which virtual pages are
+present in accelerator memory right now. Coarsest-MIP pages are *pinned*
+at construction — never evicted, never quarantined — so the fallback
+sampler always finds a resident ancestor and frames never block on the
+streamer.
+
+Eviction is exact LRU over unpinned pages via per-page monotone stamps.
+All state (stamps, clock) snapshots to flat int64 arrays, so checkpointed
+runs restore bit-identically and the same code path serves the reference
+and batched hierarchy engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PageResidency"]
+
+
+class PageResidency:
+    """Resident-page set with pinned pages and LRU replacement.
+
+    Args:
+        capacity: maximum resident pages, pinned included; must exceed the
+            pinned count so at least one streamable slot exists.
+        pinned: page references resident forever (coarsest MIP pages).
+    """
+
+    def __init__(self, capacity: int, pinned) -> None:
+        pinned_set = frozenset(int(p) for p in pinned)
+        if capacity <= len(pinned_set):
+            raise ValueError(
+                f"capacity ({capacity}) must exceed the pinned page count "
+                f"({len(pinned_set)})"
+            )
+        self.capacity = capacity
+        self.pinned = pinned_set
+        # page -> LRU stamp; stamps are unique (monotone clock), so the
+        # eviction victim is always well defined and order-independent.
+        self._stamps: dict[int, int] = {p: 0 for p in sorted(pinned_set)}
+        self._clock = 1
+
+    def __contains__(self, page: int) -> bool:
+        return int(page) in self._stamps
+
+    def __len__(self) -> int:
+        return len(self._stamps)
+
+    def touch(self, page: int) -> None:
+        """Refresh a resident page's LRU stamp (no-op for pinned pages)."""
+        page = int(page)
+        if page in self.pinned or page not in self._stamps:
+            return
+        self._stamps[page] = self._clock
+        self._clock += 1
+
+    def insert(self, page: int) -> list[int]:
+        """Make a page resident; returns the pages evicted to fit it."""
+        page = int(page)
+        if page in self.pinned:
+            return []
+        self._stamps[page] = self._clock
+        self._clock += 1
+        evicted: list[int] = []
+        while len(self._stamps) > self.capacity:
+            victim = min(
+                (
+                    (stamp, p)
+                    for p, stamp in self._stamps.items()
+                    if p not in self.pinned
+                ),
+            )[1]
+            del self._stamps[victim]
+            evicted.append(victim)
+        return evicted
+
+    def drop(self, page: int) -> bool:
+        """Remove a page (quarantine); pinned pages are refused."""
+        page = int(page)
+        if page in self.pinned or page not in self._stamps:
+            return False
+        del self._stamps[page]
+        return True
+
+    def unpinned_pages(self) -> list[int]:
+        """Unpinned resident pages in deterministic (sorted) order."""
+        return sorted(p for p in self._stamps if p not in self.pinned)
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture residency + LRU order for frame-granular checkpoints."""
+        pages = sorted(self._stamps)
+        return {
+            "pages": np.array(pages, dtype=np.int64),
+            "stamps": np.array([self._stamps[p] for p in pages], dtype=np.int64),
+            "clock": self._clock,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` tree; inverse of the snapshot."""
+        pages = np.asarray(state["pages"], dtype=np.int64)
+        stamps = np.asarray(state["stamps"], dtype=np.int64)
+        self._stamps = {
+            int(p): int(s) for p, s in zip(pages.tolist(), stamps.tolist())
+        }
+        for p in self.pinned:
+            self._stamps.setdefault(p, 0)
+        self._clock = int(state["clock"])

@@ -1,0 +1,228 @@
+"""Asynchronous page-streaming engine with deadlines and backpressure.
+
+Models the AGP-link page fetch path of a virtual-texturing system as a
+bounded FIFO of in-flight requests serviced against a per-frame latency
+budget:
+
+* **Backpressure** — at most ``max_in_flight`` requests are outstanding;
+  page requests beyond that are *deferred* (the feedback pass will simply
+  re-request still-missing pages next frame).
+* **Deadlines** — a request older than ``timeout_frames`` frames is
+  dropped (*timed out*) rather than serviced late; the frame falls back
+  to a coarser MIP page meanwhile.
+* **Faults + retry/backoff** — each fetch attempt can fail or stall: a
+  seeded :class:`~repro.reliability.faults.FaultModel` draws probabilistic
+  drops and latency spikes, and a :class:`~repro.reliability.chaos.ChaosPolicy`
+  deterministically kills or stalls a page's first ``max_attempt``
+  attempts (the chaos-harness "100% first-attempt faults" case). Failed
+  attempts retry on the
+  :class:`~repro.reliability.transfer.TransferPolicy` backoff schedule
+  until the retry budget is spent, then the request is dropped (*failed*).
+* **Budget banking** — a transfer larger than the frame's remaining
+  budget carries its unpaid cost into the next frame (``pending_us``), so
+  servicing never blocks a frame and long stalls simply complete later.
+
+Crucially, nothing here ever waits: a frame's service pass spends at most
+``frame_budget_us`` of simulated time and returns. All queue state and
+the fault RNG snapshot/restore bit-identically for checkpointing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.reliability.chaos import ChaosPolicy
+from repro.reliability.faults import FaultModel
+from repro.reliability.transfer import TransferPolicy
+
+__all__ = ["PageRequest", "PageStreamer"]
+
+
+@dataclass
+class PageRequest:
+    """One in-flight page fetch.
+
+    Attributes:
+        page: packed page reference being fetched.
+        attempts: fetch attempts started so far.
+        age: frames since the request was enqueued.
+        pending_us: unpaid service cost of the current attempt (banked
+            across frames when it exceeds the remaining budget).
+        carry_us: retry backoff charged to the next attempt's cost.
+        will_fail: fate of the current attempt (drawn at attempt start).
+        drawn: whether the current attempt's cost/fate have been drawn.
+    """
+
+    page: int
+    attempts: int = 0
+    age: int = 0
+    pending_us: float = 0.0
+    carry_us: float = 0.0
+    will_fail: bool = False
+    drawn: bool = False
+
+
+class PageStreamer:
+    """Bounded in-flight page-fetch queue over a faulty link.
+
+    RNG draws happen only at attempt start, in FIFO order, so a frame
+    boundary is always a clean point to snapshot the generator.
+    """
+
+    def __init__(
+        self,
+        policy: TransferPolicy,
+        fetch_latency_us: float = 20.0,
+        fault_model: FaultModel | None = None,
+        chaos: ChaosPolicy | None = None,
+    ):
+        self.policy = policy
+        self.fetch_latency_us = float(fetch_latency_us)
+        self.fault_model = fault_model
+        self.chaos = chaos
+        self._queue: list[PageRequest] = []
+        self._rng = fault_model.rng() if fault_model is not None else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def pages(self) -> set[int]:
+        """Pages currently in flight."""
+        return {req.page for req in self._queue}
+
+    # ------------------------------------------------------------------
+    def age_and_expire(self, timeout_frames: int) -> int:
+        """Start-of-frame aging; drops requests past their deadline.
+
+        Returns the number of requests that timed out.
+        """
+        for req in self._queue:
+            req.age += 1
+        before = len(self._queue)
+        self._queue = [req for req in self._queue if req.age < timeout_frames]
+        return before - len(self._queue)
+
+    def enqueue(self, pages: list[int], max_in_flight: int) -> tuple[int, int]:
+        """Admit page requests up to the in-flight bound.
+
+        Returns ``(accepted, deferred)``; deferred pages are simply not
+        enqueued — backpressure, not an error — and will be re-requested
+        by the next frame's feedback pass if still visible.
+        """
+        accepted = 0
+        for page in pages:
+            if len(self._queue) >= max_in_flight:
+                break
+            self._queue.append(PageRequest(page=int(page)))
+            accepted += 1
+        return accepted, len(pages) - accepted
+
+    def _begin_attempt(self, req: PageRequest, stats) -> None:
+        """Draw one attempt's cost and fate (latency, stalls, failure)."""
+        req.attempts += 1
+        cost = self.fetch_latency_us + req.carry_us
+        req.carry_us = 0.0
+        fail = False
+        if self.chaos is not None:
+            fate = self.chaos.decide(f"vtfetch:{req.page}", req.attempts - 1)
+            if fate == "kill":
+                fail = True
+            elif fate == "stall":
+                cost += self.chaos.stall_s * 1e6
+        model = self.fault_model
+        if model is not None:
+            if model.spike_rate > 0.0 and self._rng.random() < model.spike_rate:
+                cost += model.spike_us
+                stats.latency_spikes += 1
+            if (
+                not fail
+                and model.failure_rate > 0.0
+                and self._rng.random() < model.failure_rate
+            ):
+                fail = True
+        req.pending_us = cost
+        req.will_fail = fail
+        req.drawn = True
+
+    def service(self, budget_us: float, stats) -> list[int]:
+        """Service the queue head within one frame's latency budget.
+
+        Returns the pages whose fetch completed this frame. Never blocks:
+        at most ``budget_us`` of simulated link time is spent, and an
+        attempt that outruns the budget banks its remaining cost.
+        """
+        remaining = float(budget_us)
+        completed: list[int] = []
+        while self._queue and remaining > 0.0:
+            req = self._queue[0]
+            if not req.drawn:
+                self._begin_attempt(req, stats)
+            step = min(req.pending_us, remaining)
+            req.pending_us -= step
+            remaining -= step
+            stats.service_us += step
+            if req.pending_us > 0.0:
+                break  # budget spent mid-transfer; finish next frame
+            if not req.will_fail:
+                self._queue.pop(0)
+                completed.append(req.page)
+                continue
+            stats.failed_attempts += 1
+            if req.attempts > self.policy.max_retries:
+                self._queue.pop(0)
+                stats.failed_fetches += 1
+            else:
+                backoff = self.policy.backoff_us(req.attempts - 1)
+                stats.backoff_us += backoff
+                req.carry_us = backoff
+                req.drawn = False
+        return completed
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture the queue and the fault RNG for checkpointing."""
+        state: dict = {
+            "page": np.array([r.page for r in self._queue], dtype=np.int64),
+            "attempts": np.array([r.attempts for r in self._queue], dtype=np.int64),
+            "age": np.array([r.age for r in self._queue], dtype=np.int64),
+            "pending_us": np.array(
+                [r.pending_us for r in self._queue], dtype=np.float64
+            ),
+            "carry_us": np.array([r.carry_us for r in self._queue], dtype=np.float64),
+            "will_fail": np.array(
+                [int(r.will_fail) for r in self._queue], dtype=np.int64
+            ),
+            "drawn": np.array([int(r.drawn) for r in self._queue], dtype=np.int64),
+        }
+        if self._rng is not None:
+            state["rng_state"] = json.dumps(self._rng.bit_generator.state)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` tree; inverse of the snapshot."""
+        self._queue = [
+            PageRequest(
+                page=int(page),
+                attempts=int(attempts),
+                age=int(age),
+                pending_us=float(pending),
+                carry_us=float(carry),
+                will_fail=bool(fail),
+                drawn=bool(drawn),
+            )
+            for page, attempts, age, pending, carry, fail, drawn in zip(
+                np.asarray(state["page"]).tolist(),
+                np.asarray(state["attempts"]).tolist(),
+                np.asarray(state["age"]).tolist(),
+                np.asarray(state["pending_us"]).tolist(),
+                np.asarray(state["carry_us"]).tolist(),
+                np.asarray(state["will_fail"]).tolist(),
+                np.asarray(state["drawn"]).tolist(),
+            )
+        ]
+        if self._rng is not None:
+            self._rng = self.fault_model.rng()
+            self._rng.bit_generator.state = json.loads(state["rng_state"])

@@ -16,12 +16,13 @@ from repro.core.l1_cache import L1CacheConfig
 from repro.core.l2_cache import L2CacheConfig
 from repro.errors import CheckpointCorruptError, CorruptCheckpointWarning
 from repro.reliability import checkpoint as ckpt
-from repro.reliability.chaos import corrupt_file
+from repro.reliability.chaos import ChaosPolicy, corrupt_file
 from repro.reliability.faults import FaultModel
 from repro.reliability.transfer import TransferPolicy
 from repro.texture.texture import Texture
 from repro.texture.tiling import AddressSpace, pack_tile_refs
 from repro.trace.trace import FrameTrace, Trace, TraceMeta
+from repro.vt import VtConfig
 
 N_FRAMES = 6
 
@@ -51,13 +52,38 @@ def random_trace(space, seed, n_frames=N_FRAMES, refs_per_frame=150):
     return Trace(meta=meta, frames=frames, textures=space.textures)
 
 
-def make_config(policy, faulty):
+def make_vt_config():
+    """A small paged config exercising every VT state carrier: residency
+    churn, in-flight banking, retries, chaos kills/stalls, and page-store
+    bitflips (quarantine + refetch)."""
+    return VtConfig(
+        page_texels=16,
+        max_resident_pages=24,
+        max_in_flight=4,
+        frame_budget_us=400.0,
+        fetch_latency_us=30.0,
+        timeout_frames=2,
+        fault_model=FaultModel(drop_rate=0.25, spike_rate=0.2, spike_us=50.0, seed=5),
+        policy=TransferPolicy(max_retries=2, backoff_base_us=20.0),
+        chaos=ChaosPolicy(
+            seed=3,
+            kill_rate=0.6,
+            stall_rate=0.2,
+            stall_s=0.0001,
+            max_attempt=1,
+            bitflip_rate=0.05,
+        ),
+    )
+
+
+def make_config(policy, faulty, vt=False):
     return HierarchyConfig(
         l1=L1CacheConfig(size_bytes=2048),
         l2=L2CacheConfig(size_bytes=32 * 1024, l2_tile_texels=16, policy=policy),
         tlb_entries=4,
         fault_model=FaultModel(drop_rate=0.05, seed=9) if faulty else None,
         transfer_policy=TransferPolicy(max_retries=2) if faulty else None,
+        vt=make_vt_config() if vt else None,
     )
 
 
@@ -68,14 +94,15 @@ class TestSnapshotRestoreProperty:
         seed=st.integers(0, 10_000),
         boundary=st.integers(1, N_FRAMES - 1),
         faulty=st.booleans(),
+        vt=st.booleans(),
     )
     @settings(max_examples=10, deadline=None)
     def test_property_resume_at_any_boundary_is_bit_identical(
-        self, policy, use_reference, seed, boundary, faulty
+        self, policy, use_reference, seed, boundary, faulty, vt
     ):
         space = make_space()
         trace = random_trace(space, seed)
-        config = make_config(policy, faulty)
+        config = make_config(policy, faulty, vt)
         expected = MultiLevelTextureCache(
             config, space, use_reference=use_reference
         ).run_trace(trace)
@@ -91,14 +118,18 @@ class TestSnapshotRestoreProperty:
         tail = [second.run_frame(f) for f in trace.frames[boundary:]]
         assert head + tail == expected.frames
 
-    @given(seed=st.integers(0, 10_000), boundary=st.integers(1, N_FRAMES - 1))
+    @given(
+        seed=st.integers(0, 10_000),
+        boundary=st.integers(1, N_FRAMES - 1),
+        vt=st.booleans(),
+    )
     @settings(max_examples=10, deadline=None)
     def test_property_snapshot_round_trips_through_disk(
-        self, tmp_path_factory, seed, boundary
+        self, tmp_path_factory, seed, boundary, vt
     ):
         space = make_space()
         trace = random_trace(space, seed)
-        config = make_config("clock", faulty=True)
+        config = make_config("clock", faulty=True, vt=vt)
         path = tmp_path_factory.mktemp("ckpt") / "run.ckpt"
 
         sim = MultiLevelTextureCache(config, space)

@@ -1,0 +1,81 @@
+"""Typed validation of runtime-tuning environment variables.
+
+A typo in ``REPRO_JOBS``, ``REPRO_TASK_TIMEOUT``, or ``REPRO_CHAOS`` must
+fail the run up front with a :class:`~repro.errors.ConfigError` naming the
+variable and the problem — not fall back silently or surface as a raw
+ValueError deep inside the worker pool.
+"""
+
+import pytest
+
+from repro.errors import ConfigError, ReproError
+from repro.experiments.parallel import default_jobs, default_task_timeout
+from repro.reliability.chaos import ChaosPolicy
+
+
+class TestReproJobs:
+    def test_unset_and_valid(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert default_jobs() == 8
+
+    @pytest.mark.parametrize("raw", ["banana", "0", "-2", "2.5", ""])
+    def test_invalid_values_raise(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_JOBS", raw)
+        if raw == "":
+            assert default_jobs() == 1  # empty means unset, not invalid
+            return
+        with pytest.raises(ConfigError) as exc:
+            default_jobs()
+        assert exc.value.variable == "REPRO_JOBS"
+        assert exc.value.value == raw
+
+
+class TestReproTaskTimeout:
+    def test_unset_and_valid(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+        assert default_task_timeout() == 300.0
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "12.5")
+        assert default_task_timeout() == 12.5
+
+    @pytest.mark.parametrize("raw", ["soon", "-5", "0", "inf", "nan"])
+    def test_invalid_values_raise(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", raw)
+        with pytest.raises(ConfigError) as exc:
+            default_task_timeout()
+        assert exc.value.variable == "REPRO_TASK_TIMEOUT"
+
+
+class TestReproChaos:
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert ChaosPolicy.from_env() is None
+
+    def test_valid_policy_round_trips(self, monkeypatch):
+        policy = ChaosPolicy(seed=7, kill_rate=1.0, max_attempt=1, bitflip_rate=0.02)
+        monkeypatch.setenv("REPRO_CHAOS", policy.to_env())
+        assert ChaosPolicy.from_env() == policy
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "{not json",  # undecodable
+            "[1, 2]",  # not an object
+            '{"kill_rte": 0.5}',  # unknown field (typo)
+            '{"kill_rate": 1.5}',  # out-of-range probability
+            '{"seed": "abc"}',  # ChaosPolicy rejects at construction
+        ],
+    )
+    def test_invalid_values_raise(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_CHAOS", raw)
+        with pytest.raises(ConfigError) as exc:
+            ChaosPolicy.from_env()
+        assert exc.value.variable == "REPRO_CHAOS"
+
+    def test_config_error_is_a_value_error(self, monkeypatch):
+        # Callers that predate the taxonomy catch ValueError; keep that true.
+        monkeypatch.setenv("REPRO_CHAOS", "{broken")
+        with pytest.raises(ValueError):
+            ChaosPolicy.from_env()
+        assert issubclass(ConfigError, ReproError)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.hierarchy import MultiLevelTextureCache, TraceRunResult
-from repro.errors import CorruptSimCacheWarning
+from repro.errors import ConfigError, CorruptSimCacheWarning
 from repro.experiments import simstore
 from repro.experiments.config import Scale
 from repro.experiments.parallel import default_jobs, simulate_many
@@ -222,5 +222,7 @@ class TestParallelSweep:
         assert default_jobs() == 1
         monkeypatch.setenv("REPRO_JOBS", "6")
         assert default_jobs() == 6
+        # An unparsable value is a loud ConfigError, not a silent fallback.
         monkeypatch.setenv("REPRO_JOBS", "bogus")
-        assert default_jobs() == 1
+        with pytest.raises(ConfigError):
+            default_jobs()

@@ -1,0 +1,92 @@
+"""Heartbeat journal: append/replay semantics and the size-cap rotation."""
+
+import json
+
+import pytest
+
+from repro.reliability.heartbeat import HeartbeatJournal, default_heartbeat_path
+
+
+class TestEmitAndReplay:
+    def test_events_replay_in_emission_order(self, tmp_path):
+        j = HeartbeatJournal(tmp_path / "hb.jsonl")
+        j.emit("dispatch", task="a")
+        j.emit("complete", task="a")
+        j.emit("dispatch", task="b")
+        assert [e["event"] for e in j.events()] == [
+            "dispatch",
+            "complete",
+            "dispatch",
+        ]
+        assert [e["task"] for e in j.events("dispatch")] == ["a", "b"]
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "hb.jsonl"
+        j = HeartbeatJournal(path)
+        j.emit("dispatch", task="a")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"t": 1, "event": "disp')  # crashed mid-write
+        assert [e["event"] for e in j.events()] == ["dispatch"]
+
+    def test_disabled_journal_is_a_noop(self):
+        j = HeartbeatJournal(None)
+        j.emit("dispatch", task="a")
+        assert j.events() == []
+        assert j.rotated_paths() == []
+
+
+class TestRotation:
+    def small(self, tmp_path, keep=3):
+        # Tiny cap so every emit after the first rotates the live file.
+        return HeartbeatJournal(tmp_path / "hb.jsonl", max_bytes=1, keep=keep)
+
+    def test_cap_rotates_live_file_to_archives(self, tmp_path):
+        j = self.small(tmp_path)
+        j.emit("e", n=0)
+        assert j.rotated_paths() == []
+        j.emit("e", n=1)
+        assert [p.name for p in j.rotated_paths()] == ["hb.jsonl.1"]
+        j.emit("e", n=2)
+        assert [p.name for p in j.rotated_paths()] == ["hb.jsonl.1", "hb.jsonl.2"]
+        # Each archive holds the one line that tripped the cap before it.
+        assert json.loads((tmp_path / "hb.jsonl.2").read_text())["n"] == 0
+        assert json.loads((tmp_path / "hb.jsonl.1").read_text())["n"] == 1
+
+    def test_keeps_only_newest_n_archives(self, tmp_path):
+        j = self.small(tmp_path, keep=2)
+        for n in range(5):
+            j.emit("e", n=n)
+        assert [p.name for p in j.rotated_paths()] == ["hb.jsonl.1", "hb.jsonl.2"]
+        # Oldest events (0, 1) fell off the end; footprint stays bounded.
+        kept = [e["n"] for e in j.events(include_rotated=True)]
+        assert kept == [2, 3, 4]
+
+    def test_include_rotated_reads_in_emission_order(self, tmp_path):
+        j = self.small(tmp_path)
+        for n in range(4):
+            j.emit("e", n=n)
+        assert [e["n"] for e in j.events(include_rotated=True)] == [0, 1, 2, 3]
+        assert [e["n"] for e in j.events()] == [3]  # live file only
+
+    def test_rotation_disabled_grows_unbounded(self, tmp_path):
+        j = HeartbeatJournal(tmp_path / "hb.jsonl", max_bytes=None)
+        for n in range(20):
+            j.emit("e", n=n)
+        assert j.rotated_paths() == []
+        assert len(j.events()) == 20
+
+    def test_degenerate_limits_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            HeartbeatJournal(tmp_path / "hb.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            HeartbeatJournal(tmp_path / "hb.jsonl", keep=0)
+
+
+class TestDefaultPath:
+    def test_env_overrides_and_off_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT", "/tmp/custom.jsonl")
+        assert str(default_heartbeat_path()) == "/tmp/custom.jsonl"
+        monkeypatch.setenv("REPRO_HEARTBEAT", "off")
+        assert default_heartbeat_path() is None
+        monkeypatch.delenv("REPRO_HEARTBEAT")
+        assert default_heartbeat_path().name == "heartbeat.jsonl"

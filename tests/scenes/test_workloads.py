@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.scenes import WORKLOAD_BUILDERS, build_city, build_future, build_village
+from repro.scenes import (
+    WORKLOAD_BUILDERS,
+    build_city,
+    build_future,
+    build_terrain,
+    build_village,
+)
 from repro.texture.tiling import AddressSpace
 
 
@@ -88,3 +94,24 @@ class TestWorkloadSignatures:
         wl = build_city(detail=0.3)
         eyes = np.array([c.eye for c in wl.cameras(16)])
         assert np.all(eyes[:, 1] > 10.0)  # aerial fly-through
+
+    def test_terrain_patches_never_share_textures(self):
+        # The VT stressor: every ground patch pages its own texels.
+        wl = build_terrain(detail=1.0)
+        patch_tids = [
+            i.texture_id for i in wl.scene.instances if i.name.startswith("patch")
+        ]
+        assert len(patch_tids) == 36  # 6x6 grid at detail 1.0
+        assert len(set(patch_tids)) == len(patch_tids)
+
+    def test_terrain_footprint_exceeds_any_resident_budget(self):
+        wl = build_terrain(detail=1.0)
+        total = sum(t.host_bytes for t in wl.scene.manager.textures)
+        assert total > 4 * 1024 * 1024  # far beyond the paper's cache sizes
+
+    def test_terrain_paraglider_descends(self):
+        wl = build_terrain(detail=0.3)
+        eyes = np.array([c.eye for c in wl.cameras(16)])
+        # Starts in a high overview, ends skimming the surface.
+        assert eyes[0, 1] > 10 * eyes[-1, 1]
+        assert np.all(np.diff(eyes[:, 1]) < 0)  # monotone descent

@@ -153,6 +153,62 @@ class TestSimulateCheckpointing:
             )
 
 
+class TestSimulateVt:
+    def test_vt_rows_reported(self, trace_file, capsys):
+        rc = simulate_main(
+            [
+                str(trace_file), "--l1-kb", "2", "--vt",
+                "--vt-pages", "64", "--vt-budget-us", "800",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "VT page fetches" in out
+        assert "VT pages degraded" in out
+        assert "VT stall-free rate" in out
+
+    def test_faulty_vt_still_stall_free(self, trace_file, capsys):
+        rc = simulate_main(
+            [
+                str(trace_file), "--l1-kb", "2", "--vt",
+                "--vt-fault-rate", "0.5", "--vt-budget-us", "500",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        row = next(l for l in out.splitlines() if "VT stall-free rate" in l)
+        assert row.rstrip().endswith("1.00")
+
+    def test_vt_runs_deterministically(self, trace_file, capsys):
+        args = [
+            str(trace_file), "--l1-kb", "2", "--vt",
+            "--vt-fault-rate", "0.3", "--vt-budget-us", "600",
+        ]
+        assert simulate_main(args) == 0
+        first = capsys.readouterr().out
+        assert simulate_main(args) == 0
+        second = capsys.readouterr().out
+        # Everything except the wall-clock row must match exactly.
+        strip = lambda out: [
+            line for line in out.splitlines() if "time" not in line
+        ]
+        assert strip(first) == strip(second)
+
+    def test_vt_flags_require_vt_mode(self, trace_file):
+        with pytest.raises(SystemExit):
+            simulate_main([str(trace_file), "--vt-pages", "64"])
+        with pytest.raises(SystemExit):
+            simulate_main([str(trace_file), "--vt-budget-us", "100"])
+
+    def test_vt_rejects_analytic_and_bad_rate(self, trace_file):
+        with pytest.raises(SystemExit):
+            simulate_main([str(trace_file), "--vt", "--analytic"])
+        with pytest.raises(SystemExit):
+            simulate_main(
+                [str(trace_file), "--vt", "--vt-fault-rate", "1.5"]
+            )
+
+
 class TestTraceInfoJson:
     def test_json_summary(self, trace_file, capsys):
         import json
