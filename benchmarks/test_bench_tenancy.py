@@ -1,0 +1,60 @@
+"""Bench target for the multi-tenant serving experiment.
+
+Runs the ``tenancy`` experiment — N in {2, 4, 8} tenant contexts
+(alternating Village and City) interleaved into one shared stream across
+the four L2 partitioning policies — and asserts its contracts: every
+sweep point reports per-tenant slowdowns and fairness, contention does
+not shrink as tenants are added to the unpartitioned L2, and utility
+partitioning beats the free-for-all on worst-tenant slowdown at one or
+more sweep points (the experiment itself asserts the stat-breakdown and
+determinism contracts).
+
+Results land in ``BENCH_tenancy.json`` at the repo root so successive
+runs leave a trajectory of the contention and fairness numbers.
+"""
+
+import json
+from pathlib import Path
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_tenancy.json"
+
+
+def test_tenancy_contention_and_fairness(benchmark, run_bench_experiment):
+    result = run_bench_experiment(benchmark, "tenancy")
+
+    points = result.data["points"]
+    counts = (2, 4, 8)
+    policies = ("none", "static", "way", "utility")
+    for n in counts:
+        for policy in policies:
+            point = points[f"n{n}_{policy}"]
+            assert len(point["slowdowns"]) == n
+            assert all(s > 0 for s in point["slowdowns"])
+            assert 0.0 < point["jain"] <= 1.0
+            assert point["worst_p99_us"] > 0
+
+    # Contention on the shared free-for-all L2 must not shrink with N
+    # (within a small tolerance for scheduling noise between mixes).
+    worst_none = [max(points[f"n{n}_none"]["slowdowns"]) for n in counts]
+    for prev, cur in zip(worst_none, worst_none[1:]):
+        assert cur >= prev - 0.01, (
+            f"unpartitioned worst-tenant slowdown fell as tenants were "
+            f"added: {dict(zip(counts, worst_none))}"
+        )
+
+    margins = result.data["utility_vs_none_margins"]
+    assert max(margins.values()) > -1e-9
+
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "bench": "tenancy",
+                "scale": result.scale_name,
+                "l2": result.data["l2"],
+                "points": points,
+                "utility_vs_none_margins": margins,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

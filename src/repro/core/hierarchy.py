@@ -19,7 +19,7 @@ so a zero-rate model reproduces baseline numbers exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields as dataclass_fields
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.reliability.transfer import (
     FrameTransferStats,
     TransferPolicy,
 )
+from repro.tenancy.address import tenant_of_refs
+from repro.tenancy.partition import PartitionedL2, PartitionedTLB, TenancyConfig
+from repro.tenancy.stats import FRAME_TENANT_COLUMNS, TenantFrameStats
 from repro.texture.tiling import AddressSpace, L1_BLOCK_BYTES
 from repro.trace.trace import FrameTrace, Trace
 from repro.vt.system import (
@@ -51,6 +54,7 @@ __all__ = [
     "FRAME_L2_COLUMNS",
     "FRAME_TLB_COLUMNS",
     "FRAME_TRANSFER_INT_COLUMNS",
+    "FRAME_TENANT_COLUMNS",
     "frames_to_columns",
     "frames_from_columns",
 ]
@@ -72,12 +76,48 @@ class HierarchyConfig:
     fault_model: FaultModel | None = None
     transfer_policy: TransferPolicy | None = None
     vt: VtConfig | None = None
+    tenancy: TenancyConfig | None = None
 
     def __post_init__(self) -> None:
         if self.tlb_entries is not None and self.l2 is None:
             raise ValueError("a TLB models the L2 page table; configure an L2")
         if self.transfer_policy is not None and self.fault_model is None:
             raise ValueError("a transfer policy needs a fault model to react to")
+        if self.tenancy is not None:
+            if self.vt is not None:
+                raise ValueError(
+                    "virtual texturing and multi-tenancy cannot be combined"
+                )
+            if self.tenancy.policy != "none" and self.l2 is None:
+                raise ValueError(
+                    f"the {self.tenancy.policy!r} tenancy policy partitions "
+                    "the L2; configure an L2"
+                )
+            if self.tenancy.policy in ("static", "utility") and sum(
+                self.tenancy.quotas
+            ) > self.l2.n_blocks:
+                raise ValueError(
+                    f"tenant block quotas {self.tenancy.quotas} exceed the "
+                    f"L2's {self.l2.n_blocks} blocks"
+                )
+            if (
+                self.tenancy.policy == "way"
+                and self.l2.n_blocks % self.tenancy.ways
+            ):
+                raise ValueError(
+                    f"total ways ({self.tenancy.ways}) must divide the L2 "
+                    f"block count ({self.l2.n_blocks})"
+                )
+            if self.tenancy.tlb_quotas is not None:
+                if self.tlb_entries is None:
+                    raise ValueError(
+                        "tlb_quotas partition the TLB; configure tlb_entries"
+                    )
+                if sum(self.tenancy.tlb_quotas) > self.tlb_entries:
+                    raise ValueError(
+                        f"tenant TLB quotas {self.tenancy.tlb_quotas} exceed "
+                        f"the {self.tlb_entries} TLB entries"
+                    )
 
 
 @dataclass
@@ -91,6 +131,58 @@ class FrameCacheStats:
     tlb: TLBFrameResult | None = None
     transfer: FrameTransferStats | None = None
     vt: FrameVtStats | None = None
+    tenants: TenantFrameStats | None = None
+
+    @classmethod
+    def merge(cls, parts) -> FrameCacheStats:
+        """Sum several partial stats of one logical stream into one total.
+
+        Both engines use this to aggregate per-tenant (per-segment)
+        partials into whole-frame stats; the simulation is chunking-
+        invariant, so merged partials equal single-call stats exactly.
+        Every optional sub-result must be present in either all parts or
+        none — merging heterogeneous stats would silently drop counts.
+        Gauge-like fields (e.g. VT in-flight) are summed too, which is
+        only meaningful for partials of a *single* frame.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("nothing to merge")
+
+        def _merged_sub(name, ctor):
+            subs = [getattr(p, name) for p in parts]
+            present = [s for s in subs if s is not None]
+            if not present:
+                return None
+            if len(present) != len(subs):
+                raise ValueError(
+                    f"cannot merge: {name!r} present in only some parts"
+                )
+            return ctor(
+                **{
+                    f.name: sum(getattr(s, f.name) for s in present)
+                    for f in dataclass_fields(ctor)
+                }
+            )
+
+        merged = cls(
+            texel_reads=sum(p.texel_reads for p in parts),
+            l1_accesses=sum(p.l1_accesses for p in parts),
+            l1_misses=sum(p.l1_misses for p in parts),
+            l2=_merged_sub("l2", L2FrameResult),
+            tlb=_merged_sub("tlb", TLBFrameResult),
+            transfer=_merged_sub("transfer", FrameTransferStats),
+            vt=_merged_sub("vt", FrameVtStats),
+        )
+        tenant_subs = [p.tenants for p in parts]
+        present = [s for s in tenant_subs if s is not None]
+        if present:
+            if len(present) != len(tenant_subs):
+                raise ValueError(
+                    "cannot merge: 'tenants' present in only some parts"
+                )
+            merged.tenants = TenantFrameStats.sum(present)
+        return merged
 
     @property
     def l1_hit_rate(self) -> float:
@@ -359,6 +451,12 @@ def frames_to_columns(frames: list[FrameCacheStats]) -> dict[str, np.ndarray]:
             payload[f"vt_{name}"] = np.array(
                 [getattr(f.vt, name) for f in frames], dtype=np.float64
             )
+    if frames and frames[0].tenants is not None:
+        # 2-D columns: (n_frames, n_tenants) per field.
+        for name in FRAME_TENANT_COLUMNS:
+            payload[f"tenant_{name}"] = np.stack(
+                [getattr(f.tenants, name) for f in frames]
+            ).astype(np.int64)
     return payload
 
 
@@ -370,6 +468,7 @@ def frames_from_columns(
     has_tlb = "tlb_accesses" in arrays
     has_transfer = "transfer_requested_blocks" in arrays
     has_vt = "vt_visible_pages" in arrays
+    has_tenants = "tenant_texel_reads" in arrays
     frames: list[FrameCacheStats] = []
     for i in range(n_frames):
         stats = FrameCacheStats(
@@ -402,6 +501,15 @@ def frames_from_columns(
                     for name in FRAME_VT_FLOAT_COLUMNS
                 },
             )
+        if has_tenants:
+            stats.tenants = TenantFrameStats(
+                **{
+                    name: np.asarray(
+                        arrays[f"tenant_{name}"][i], dtype=np.int64
+                    )
+                    for name in FRAME_TENANT_COLUMNS
+                }
+            )
         frames.append(stats)
     return frames
 
@@ -423,19 +531,36 @@ class MultiLevelTextureCache:
         self.config = config
         self.space = space
         self._use_reference = use_reference
+        self.tenancy = config.tenancy
+        if self.tenancy is not None:
+            if self.tenancy.tid_bases[-1] >= space.texture_count:
+                raise ValueError(
+                    f"tenancy tid_bases {self.tenancy.tid_bases} lie outside "
+                    f"the address space ({space.texture_count} textures)"
+                )
+            self._tid_bases = np.asarray(self.tenancy.tid_bases, dtype=np.int64)
         self.l1 = L1CacheSim(config.l1, use_reference=use_reference)
-        self.l2 = (
-            L2TextureCache(config.l2, space, use_reference=use_reference)
-            if config.l2 is not None
-            else None
-        )
-        self.tlb = (
-            TextureTableTLB(
+        if config.l2 is None:
+            self.l2 = None
+        elif self.tenancy is not None and self.tenancy.policy != "none":
+            self.l2 = PartitionedL2(
+                config.l2, space, self.tenancy, use_reference=use_reference
+            )
+        else:
+            self.l2 = L2TextureCache(config.l2, space, use_reference=use_reference)
+        if config.tlb_entries is None:
+            self.tlb = None
+        elif self.tenancy is not None and self.tenancy.tlb_quotas is not None:
+            self.tlb = PartitionedTLB(
+                config.tlb_entries,
+                config.tlb_policy,
+                self.tenancy,
+                use_reference=use_reference,
+            )
+        else:
+            self.tlb = TextureTableTLB(
                 config.tlb_entries, config.tlb_policy, use_reference=use_reference
             )
-            if config.tlb_entries is not None
-            else None
-        )
         self.link = (
             AgpTransferLink(config.fault_model, config.transfer_policy)
             if config.fault_model is not None and config.fault_model.active
@@ -503,6 +628,8 @@ class MultiLevelTextureCache:
 
     def run_frame(self, frame: FrameTrace) -> FrameCacheStats:
         """Simulate one frame (Fig 7 steps A-F)."""
+        if self.tenancy is not None:
+            return self._run_frame_tenants(frame)
         sets = self.space.l1_set_indices(frame.refs, self.config.l1.n_sets)
         l1_res = self.l1.access_frame(frame.refs, frame.weights, sets)
         stats = FrameCacheStats(
@@ -528,6 +655,93 @@ class MultiLevelTextureCache:
             # The raw per-fragment refs are the feedback pass's footprint
             # stream; the VT engine pages against them and never blocks.
             stats.vt = self.vt.run_frame(frame.refs)
+        return stats
+
+    def _run_frame_tenants(self, frame: FrameTrace) -> FrameCacheStats:
+        """One frame of a merged multi-tenant stream with attribution.
+
+        The L1 runs the merged stream whole (it is shared and tenant-
+        oblivious); the L1 miss stream is split into runs of equal tenant
+        and fed segment-wise to the (shared or partitioned) TLB and L2.
+        Both batched engines are invariant to call chunking, so segment-
+        wise simulation is bit-identical to one call while attributing
+        every transaction to its tenant. Per-tenant partials are then
+        folded into whole-frame stats with :meth:`FrameCacheStats.merge`.
+        """
+        ten = self.tenancy
+        n = ten.n_tenants
+        tenant_of = tenant_of_refs(frame.refs, self._tid_bases)
+        sets = self.space.l1_set_indices(frame.refs, self.config.l1.n_sets)
+        l1_res = self.l1.access_frame(frame.refs, frame.weights, sets)
+        t_reads = (
+            np.bincount(tenant_of, weights=frame.weights, minlength=n)
+            .astype(np.int64)
+        )
+        t_accesses = np.bincount(tenant_of, minlength=n).astype(np.int64)
+        miss_tenant = tenant_of_refs(l1_res.miss_refs, self._tid_bases)
+        t_misses = np.bincount(miss_tenant, minlength=n).astype(np.int64)
+
+        l2_acc = np.zeros((n, len(FRAME_L2_COLUMNS)), dtype=np.int64)
+        tlb_acc = np.zeros((n, len(FRAME_TLB_COLUMNS)), dtype=np.int64)
+        if self.l2 is not None:
+            l2_tile = self.config.l2.l2_tile_texels
+            gids, subs = self.space.l2_addresses(l1_res.miss_refs, l2_tile)
+            l2_parted = isinstance(self.l2, PartitionedL2)
+            tlb_parted = isinstance(self.tlb, PartitionedTLB)
+            seg_starts = np.concatenate(
+                [[0], np.flatnonzero(np.diff(miss_tenant)) + 1]
+            )
+            seg_ends = np.append(seg_starts[1:], len(gids))
+            for s, e in zip(seg_starts, seg_ends):
+                if s == e:
+                    continue
+                t = int(miss_tenant[s])
+                if self.tlb is not None:
+                    tlb_res = (
+                        self.tlb.access_frame(t, gids[s:e])
+                        if tlb_parted
+                        else self.tlb.access_frame(gids[s:e])
+                    )
+                    tlb_acc[t] += [tlb_res.accesses, tlb_res.hits]
+                l2_res = (
+                    self.l2.access_blocks(t, gids[s:e], subs[s:e])
+                    if l2_parted
+                    else self.l2.access_blocks(gids[s:e], subs[s:e])
+                )
+                l2_acc[t] += [
+                    getattr(l2_res, name) for name in FRAME_L2_COLUMNS
+                ]
+
+        parts = []
+        for t in range(n):
+            part = FrameCacheStats(
+                texel_reads=int(t_reads[t]),
+                l1_accesses=int(t_accesses[t]),
+                l1_misses=int(t_misses[t]),
+            )
+            if self.l2 is not None:
+                part.l2 = L2FrameResult(*(int(v) for v in l2_acc[t]))
+                if self.tlb is not None:
+                    part.tlb = TLBFrameResult(*(int(v) for v in tlb_acc[t]))
+            parts.append(part)
+        stats = FrameCacheStats.merge(parts)
+        stats.tenants = TenantFrameStats(
+            texel_reads=t_reads,
+            l1_accesses=t_accesses,
+            l1_misses=t_misses,
+            l2_accesses=l2_acc[:, 0],
+            l2_full_hits=l2_acc[:, 1],
+            l2_partial_hits=l2_acc[:, 2],
+            l2_full_misses=l2_acc[:, 3],
+            l2_evictions=l2_acc[:, 4],
+            tlb_accesses=tlb_acc[:, 0],
+            tlb_hits=tlb_acc[:, 1],
+        )
+        if self.link is not None:
+            n_blocks = (
+                stats.l2.host_downloads if stats.l2 is not None else stats.l1_misses
+            )
+            stats.transfer = self.link.transfer_frame(n_blocks)
         return stats
 
     def run_trace(

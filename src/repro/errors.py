@@ -168,14 +168,17 @@ class CheckpointCorruptError(ReproError):
 
 
 class ConfigError(ReproError, ValueError):
-    """An environment variable holds an invalid value.
+    """A configuration knob holds an invalid (or contradictory) value.
 
-    Subclasses ValueError for compatibility with callers that predate the
-    taxonomy.
+    Covers environment variables (``$REPRO_JOBS``) and CLI flags
+    (``--tenant-policy``); the rendered message prefixes ``$`` only for
+    the former. Subclasses ValueError for compatibility with callers that
+    predate the taxonomy.
 
     Attributes:
-        variable: the environment variable name (e.g. ``REPRO_JOBS``).
-        value: the offending raw string value.
+        variable: the knob's name — an environment variable
+            (e.g. ``REPRO_JOBS``) or a CLI flag (e.g. ``--tenants``).
+        value: the offending raw value.
         detail: human-readable description of what is wrong with it.
     """
 
@@ -183,7 +186,8 @@ class ConfigError(ReproError, ValueError):
         self.variable = variable
         self.value = value
         self.detail = detail
-        super().__init__(f"${variable}={value!r}: {detail}")
+        prefix = "" if variable.startswith("-") else "$"
+        super().__init__(f"{prefix}{variable}={value!r}: {detail}")
 
 
 class CorruptTraceWarning(UserWarning):

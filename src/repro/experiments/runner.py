@@ -39,6 +39,7 @@ from repro.experiments import (
     exp_table5_6,
     exp_table7,
     exp_table8,
+    exp_tenancy,
     exp_vt,
 )
 from repro.experiments.config import Scale
@@ -79,6 +80,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[Scale | None], ExperimentResult]]] =
     "abl-faults": ("Ablation: AGP transfer faults + retry/backoff", exp_ablations.run_faults),
     "abl-future": ("Ablation: future workload", exp_ablations.run_future_workload),
     "vt": ("Fault-tolerant virtual texturing (terrain)", exp_vt.run_vt),
+    "tenancy": ("Multi-tenant serving contention", exp_tenancy.run_tenancy),
 }
 
 

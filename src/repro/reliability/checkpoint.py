@@ -47,6 +47,7 @@ from repro.trace.trace import Trace
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "READABLE_CHECKPOINT_VERSIONS",
     "Checkpoint",
     "run_key",
     "write_checkpoint",
@@ -55,7 +56,13 @@ __all__ = [
 ]
 
 #: Bump when the serialized layout changes.
-CHECKPOINT_VERSION = 2
+#: v3 added per-tenant 2-D frame columns (``f_tenant_*``) and partitioned
+#: L2/TLB state trees for multi-tenant runs; v2 files (single-tenant by
+#: construction) remain readable.
+CHECKPOINT_VERSION = 3
+
+#: Older layouts the reader still accepts.
+READABLE_CHECKPOINT_VERSIONS = (2, CHECKPOINT_VERSION)
 
 
 def run_key(trace: Trace, config: HierarchyConfig, engine: str) -> str:
@@ -186,20 +193,33 @@ def read_checkpoint(
         meta = json.loads(bytes(arrays.pop("meta_json")).decode("utf-8"))
     except (KeyError, UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise CheckpointCorruptError(path, f"manifest undecodable: {exc}") from exc
-    if meta.get("version") != CHECKPOINT_VERSION:
+    version = meta.get("version")
+    if version not in READABLE_CHECKPOINT_VERSIONS:
         raise CheckpointCorruptError(
-            path, f"unsupported version {meta.get('version')!r}"
+            path, f"unsupported version {version!r}"
         )
     checksums = meta.get("checksums", {})
     for name, arr in arrays.items():
         if name not in checksums or array_checksum(arr) != checksums[name]:
             raise CheckpointCorruptError(path, f"checksum mismatch on {name!r}")
-    if expected_key is not None and meta.get("key") != expected_key:
-        exc = CheckpointCorruptError(
-            path, "bound to a different (trace, config, engine) run"
-        )
-        exc.mismatch = True
-        raise exc
+    if expected_key is not None:
+        # A file written by an older (still-readable) layout embeds that
+        # layout's version in its run key; accept it for the same run.
+        accepted = {expected_key}
+        prefix = f"ckpt{CHECKPOINT_VERSION}|"
+        if version != CHECKPOINT_VERSION and expected_key.startswith(prefix):
+            legacy = f"ckpt{version}|" + expected_key[len(prefix):]
+            if version == 2 and legacy.endswith(", tenancy=None)"):
+                # v2 predates HierarchyConfig.tenancy, so its embedded
+                # config repr lacks the field.
+                legacy = legacy[: -len(", tenancy=None)")] + ")"
+            accepted.add(legacy)
+        if meta.get("key") not in accepted:
+            exc = CheckpointCorruptError(
+                path, "bound to a different (trace, config, engine) run"
+            )
+            exc.mismatch = True
+            raise exc
 
     frame_index = int(meta.get("frame_index", -1))
     frame_cols = {

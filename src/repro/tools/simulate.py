@@ -15,6 +15,9 @@ Usage::
         --resume-from run.ckpt --checkpoint-every 8        # continue it
     python -m repro.tools.simulate trace.npz --l1-kb 2 --vt \\
         --vt-pages 256 --vt-budget-us 2000 --vt-fault-rate 0.1   # paged VT
+    python -m repro.tools.simulate trace.npz --l1-kb 2 --l2-kb 2048 \\
+        --tenants 4 --tenant-policy utility --tenant-schedule bursty \\
+        --tenant-weights 2,1,1,1                    # multi-tenant serving
 """
 
 from __future__ import annotations
@@ -28,11 +31,115 @@ from repro.core.hierarchy import HierarchyConfig, MultiLevelTextureCache
 from repro.core.l1_cache import L1CacheConfig
 from repro.core.l2_cache import L2CacheConfig
 from repro.core.timing import TimingModel, bus_bound_fraction, estimate_frame_timings, mean_fps
+from repro.errors import ConfigError
 from repro.experiments.reporting import format_table
 from repro.reliability import FaultModel, TransferPolicy
+from repro.tenancy import POLICIES as TENANT_POLICIES
+from repro.tenancy import SCHEDULES as TENANT_SCHEDULES
 from repro.trace.tracefile import load_trace
 
 __all__ = ["main"]
+
+#: (flag, default) pairs that only make sense together with ``--vt``.
+_VT_DEPENDENT_FLAGS = (
+    ("vt_page", 32), ("vt_pages", 512), ("vt_inflight", 32),
+    ("vt_budget_us", 2000.0), ("vt_timeout_frames", 4),
+    ("vt_fault_rate", 0.0),
+)
+
+#: (flag, default) pairs that only make sense with ``--tenants >= 2``.
+_TENANT_DEPENDENT_FLAGS = (
+    ("tenant_policy", "none"), ("tenant_schedule", "rr"),
+    ("tenant_weights", None), ("tenant_ways", 8), ("tenant_seed", 0),
+)
+
+
+def _flag_name(attr: str) -> str:
+    return "--" + attr.replace("_", "-")
+
+
+def validate_vt_flags(args) -> None:
+    """Reject contradictory ``--vt*`` combinations (typed ConfigError)."""
+    if not args.vt:
+        for attr, default in _VT_DEPENDENT_FLAGS:
+            if getattr(args, attr) != default:
+                raise ConfigError(
+                    _flag_name(attr), str(getattr(args, attr)),
+                    "needs --vt",
+                )
+    if args.vt and args.analytic:
+        raise ConfigError(
+            "--vt", "on", "the analytic fast path does not model virtual "
+            "texturing; drop --analytic",
+        )
+    if args.vt and args.tenants > 1:
+        raise ConfigError(
+            "--vt", "on",
+            "virtual texturing cannot be combined with multi-tenancy",
+        )
+    if not 0.0 <= args.vt_fault_rate <= 1.0:
+        raise ConfigError(
+            "--vt-fault-rate", str(args.vt_fault_rate), "must be in [0, 1]",
+        )
+
+
+def validate_tenant_flags(args) -> None:
+    """Reject contradictory ``--tenant*`` combos; parses ``--tenant-weights``.
+
+    Raises the typed :class:`~repro.errors.ConfigError` (satellite of
+    ISSUE 7) — the CLI turns it into a clean usage error, and library
+    callers get a catchable exception instead of a stack trace.
+    """
+    if args.tenants < 1:
+        raise ConfigError("--tenants", str(args.tenants), "must be >= 1")
+    if args.tenants == 1:
+        for attr, default in _TENANT_DEPENDENT_FLAGS:
+            if getattr(args, attr) != default:
+                raise ConfigError(
+                    _flag_name(attr), str(getattr(args, attr)),
+                    "needs --tenants >= 2",
+                )
+        args.tenant_weight_values = None
+        return
+    if args.analytic:
+        raise ConfigError(
+            "--tenants", str(args.tenants),
+            "the analytic fast path is single-context; drop --analytic",
+        )
+    if args.tenant_policy != "none" and args.l2_kb is None:
+        raise ConfigError(
+            "--tenant-policy", args.tenant_policy,
+            "partitions the L2; add --l2-kb",
+        )
+    if args.tenant_policy == "way" and args.tenants > args.tenant_ways:
+        raise ConfigError(
+            "--tenant-ways", str(args.tenant_ways),
+            f"cannot give {args.tenants} tenants a way each",
+        )
+    if args.tenant_ways < 1:
+        raise ConfigError(
+            "--tenant-ways", str(args.tenant_ways), "must be >= 1"
+        )
+    weights = None
+    if args.tenant_weights is not None:
+        try:
+            weights = [float(w) for w in args.tenant_weights.split(",")]
+        except ValueError:
+            raise ConfigError(
+                "--tenant-weights", args.tenant_weights,
+                "must be comma-separated numbers",
+            ) from None
+        if len(weights) != args.tenants:
+            raise ConfigError(
+                "--tenant-weights", args.tenant_weights,
+                f"got {len(weights)} weights for {args.tenants} tenants",
+            )
+        if any(w <= 0 for w in weights):
+            raise ConfigError(
+                "--tenant-weights", args.tenant_weights,
+                "weights must be positive",
+            )
+    args.tenant_weight_values = weights
 
 
 def _run_analytic(args, trace) -> int:
@@ -121,27 +228,66 @@ def main(argv: list[str] | None = None) -> int:
                         help="restore PATH and continue the run from it; "
                              "results are bit-identical to an uninterrupted "
                              "run")
-    parser.add_argument("--vt", action="store_true",
-                        help="page textures through the virtual-texturing "
-                             "engine (demand-paged megatexture with "
-                             "MIP-fallback degradation)")
-    parser.add_argument("--vt-page", type=int, metavar="TEXELS", default=32,
-                        help="VT page edge in texels (default 32)")
-    parser.add_argument("--vt-pages", type=int, metavar="N", default=512,
-                        help="VT resident-page budget (default 512)")
-    parser.add_argument("--vt-inflight", type=int, metavar="N", default=32,
-                        help="max in-flight page fetches (default 32)")
-    parser.add_argument("--vt-budget-us", type=float, metavar="US", default=2000.0,
-                        help="per-frame page-streaming budget in "
-                             "microseconds (default 2000)")
-    parser.add_argument("--vt-timeout-frames", type=int, metavar="N", default=4,
-                        help="frames before an in-flight fetch times out "
-                             "(default 4)")
-    parser.add_argument("--vt-fault-rate", type=float, metavar="P", default=0.0,
-                        help="P(drop) per page-fetch attempt (default 0; "
-                             "uses --fault-seed); $REPRO_CHAOS adds "
-                             "deterministic kills/stalls/bitflips")
+    vt_group = parser.add_argument_group(
+        "virtual texturing",
+        "Demand-paged megatexture with MIP-fallback degradation; all "
+        "--vt-* flags require --vt.",
+    )
+    vt_group.add_argument("--vt", action="store_true",
+                          help="page textures through the virtual-texturing "
+                               "engine")
+    vt_group.add_argument("--vt-page", type=int, metavar="TEXELS", default=32,
+                          help="VT page edge in texels (default 32)")
+    vt_group.add_argument("--vt-pages", type=int, metavar="N", default=512,
+                          help="VT resident-page budget (default 512)")
+    vt_group.add_argument("--vt-inflight", type=int, metavar="N", default=32,
+                          help="max in-flight page fetches (default 32)")
+    vt_group.add_argument("--vt-budget-us", type=float, metavar="US",
+                          default=2000.0,
+                          help="per-frame page-streaming budget in "
+                               "microseconds (default 2000)")
+    vt_group.add_argument("--vt-timeout-frames", type=int, metavar="N",
+                          default=4,
+                          help="frames before an in-flight fetch times out "
+                               "(default 4)")
+    vt_group.add_argument("--vt-fault-rate", type=float, metavar="P",
+                          default=0.0,
+                          help="P(drop) per page-fetch attempt (default 0; "
+                               "uses --fault-seed); $REPRO_CHAOS adds "
+                               "deterministic kills/stalls/bitflips")
+    tenant_group = parser.add_argument_group(
+        "multi-tenant serving",
+        "Replicate the trace into N tenant contexts, interleave them into "
+        "one shared stream, and share (or partition) the L2/TLB between "
+        "them; all --tenant-* flags require --tenants >= 2.",
+    )
+    tenant_group.add_argument("--tenants", type=int, metavar="N", default=1,
+                              help="number of tenant contexts (default 1: "
+                                   "single-tenant)")
+    tenant_group.add_argument("--tenant-policy", default="none",
+                              choices=list(TENANT_POLICIES),
+                              help="L2 partitioning policy (default none: "
+                                   "shared free-for-all)")
+    tenant_group.add_argument("--tenant-schedule", default="rr",
+                              choices=list(TENANT_SCHEDULES),
+                              help="interleaving schedule (default rr)")
+    tenant_group.add_argument("--tenant-weights", metavar="W1,W2,...",
+                              default=None,
+                              help="per-tenant scheduler/quota weights "
+                                   "(default: equal)")
+    tenant_group.add_argument("--tenant-ways", type=int, metavar="W",
+                              default=8,
+                              help="total ways of the way-partitioned L2 "
+                                   "(default 8; --tenant-policy way)")
+    tenant_group.add_argument("--tenant-seed", type=int, default=0,
+                              help="scheduler seed (default 0; same seed, "
+                                   "same interleaving)")
     args = parser.parse_args(argv)
+    try:
+        validate_vt_flags(args)
+        validate_tenant_flags(args)
+    except ConfigError as exc:
+        parser.error(str(exc))
     if not 0.0 <= args.fault_rate <= 1.0:
         parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
     if args.max_retries < 0:
@@ -161,18 +307,6 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--checkpoint-every needs --checkpoint or --resume-from")
     if args.analytic and ckpt_path is not None:
         parser.error("--analytic runs have no simulator state to checkpoint")
-    if not args.vt:
-        for flag, default in (
-            ("vt_page", 32), ("vt_pages", 512), ("vt_inflight", 32),
-            ("vt_budget_us", 2000.0), ("vt_timeout_frames", 4),
-            ("vt_fault_rate", 0.0),
-        ):
-            if getattr(args, flag) != default:
-                parser.error(f"--{flag.replace('_', '-')} needs --vt")
-    if args.vt and args.analytic:
-        parser.error("--analytic does not model virtual texturing; drop --vt")
-    if not 0.0 <= args.vt_fault_rate <= 1.0:
-        parser.error(f"--vt-fault-rate must be in [0, 1], got {args.vt_fault_rate}")
 
     trace = load_trace(args.trace)
     if args.analytic:
@@ -211,6 +345,39 @@ def main(argv: list[str] | None = None) -> int:
             policy=TransferPolicy(max_retries=args.max_retries),
             chaos=chaos,
         )
+    tenancy = None
+    if args.tenants > 1:
+        from repro.tenancy import (
+            TenancyConfig,
+            merge_traces,
+            static_quotas,
+            utility_quotas,
+            way_quotas,
+        )
+
+        tenant_traces = [trace] * args.tenants
+        weights = args.tenant_weight_values
+        trace, tid_bases = merge_traces(
+            tenant_traces,
+            schedule=args.tenant_schedule,
+            weights=weights,
+            seed=args.tenant_seed,
+        )
+        quotas = None
+        if args.tenant_policy == "static":
+            quotas = static_quotas(l2, args.tenants, weights)
+        elif args.tenant_policy == "way":
+            quotas = way_quotas(args.tenant_ways, args.tenants, weights)
+        elif args.tenant_policy == "utility":
+            quotas = utility_quotas(
+                tenant_traces, int(args.l1_kb * 1024), l2, l1_ways=args.ways
+            )
+        tenancy = TenancyConfig(
+            tid_bases=tid_bases,
+            policy=args.tenant_policy,
+            quotas=quotas,
+            ways=args.tenant_ways,
+        )
     config = HierarchyConfig(
         l1=L1CacheConfig(size_bytes=int(args.l1_kb * 1024), ways=args.ways),
         l2=l2,
@@ -220,6 +387,7 @@ def main(argv: list[str] | None = None) -> int:
             TransferPolicy(max_retries=args.max_retries) if fault_model else None
         ),
         vt=vt_config,
+        tenancy=tenancy,
     )
     sim = MultiLevelTextureCache(config, trace.address_space)
     if args.resume_from is not None:
@@ -305,6 +473,45 @@ def main(argv: list[str] | None = None) -> int:
             ]
         )
         rows.append(["VT stall-free rate", f"{result.stall_free_rate:.2f}"])
+    if tenancy is not None:
+        import numpy as np
+
+        from repro.tenancy import jain_index, tenant_frame_costs_us
+        from repro.tenancy import worst_tenant_p99_cost_us
+        from repro.texture.tiling import L1_BLOCK_BYTES
+
+        if tenancy.policy != "none":
+            rows.append(
+                ["tenant quotas",
+                 ",".join(str(q) for q in tenancy.quotas)
+                 + (" ways" if tenancy.policy == "way" else " blocks")]
+            )
+        reads = np.sum(
+            [f.tenants.texel_reads for f in result.frames], axis=0
+        )
+        downloads = np.sum(
+            [f.tenants.host_downloads for f in result.frames], axis=0
+        )
+        costs = tenant_frame_costs_us(result.frames).sum(axis=0)
+        for t in range(tenancy.n_tenants):
+            agp_mb = (
+                downloads[t] * L1_BLOCK_BYTES / (1 << 20)
+                / max(len(result.frames), 1)
+            )
+            rows.append(
+                [f"tenant {t}: reads / AGP MB/frame",
+                 f"{int(reads[t]):,} / {agp_mb:.3f}"]
+            )
+        # Equal service quality means equal cost per texel read; Jain over
+        # the per-tenant read throughput per cost-µs captures deviation.
+        throughput = np.where(costs > 0, reads / np.maximum(costs, 1e-12), 0)
+        rows.append(
+            ["fairness (Jain, reads/µs)", f"{jain_index(throughput):.3f}"]
+        )
+        rows.append(
+            ["worst-tenant P99 frame cost µs",
+             f"{worst_tenant_p99_cost_us(result.frames):.1f}"]
+        )
     timings = estimate_frame_timings(result, TimingModel())
     rows.append(["est. texturing fps (timing model)", f"{mean_fps(timings):.1f}"])
     rows.append(["bus-bound frames", f"{bus_bound_fraction(timings):.0%}"])

@@ -7,6 +7,9 @@ Usage::
     python -m repro.tools.trace_info trace.npz --json     # machine-readable
     python -m repro.tools.trace_info mrc trace.npz \\
         [--l1-sizes 2,4,8,16,32] [--ways 2] [--sample 1] [--json]
+    python -m repro.tools.trace_info tenants a.npz b.npz \\
+        [--schedule rr] [--seed 0] [--l2-tile 16] [--json]
+    python -m repro.tools.trace_info tenants trace.npz --tenants 4
 """
 
 from __future__ import annotations
@@ -130,6 +133,127 @@ def _mrc_main(argv: list[str]) -> int:
     return 0
 
 
+def _tenants_main(argv: list[str]) -> int:
+    """``trace_info tenants``: per-tenant fingerprint of a merged stream."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.trace_info tenants",
+        description="Merge per-tenant traces into one shared stream and "
+                    "print each tenant's footprint and locality fingerprint.",
+    )
+    parser.add_argument("traces", nargs="+",
+                        help="per-tenant trace files (.npz); pass one file "
+                             "with --tenants N to clone it")
+    parser.add_argument("--tenants", type=int, metavar="N", default=None,
+                        help="clone a single trace into N tenant contexts")
+    parser.add_argument("--schedule", default="rr",
+                        help="interleaving schedule (default rr)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="scheduler seed (default 0)")
+    parser.add_argument("--l2-tile", type=int, default=16,
+                        help="L2 block edge in texels (default 16)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the per-tenant fingerprints as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.tenancy import SCHEDULES, merge_traces
+    from repro.tenancy import tenant_gid_extents, tenant_of_gids
+    from repro.texture.tiling import L1_BLOCK_BYTES
+    from repro.trace.locality import locality_fractions
+
+    if args.schedule not in SCHEDULES:
+        parser.error(
+            f"--schedule must be one of {', '.join(SCHEDULES)}, "
+            f"got {args.schedule!r}"
+        )
+    paths = list(args.traces)
+    if args.tenants is not None:
+        if len(paths) != 1:
+            parser.error("--tenants clones a single trace; pass one file")
+        if args.tenants < 2:
+            parser.error(f"--tenants must be >= 2, got {args.tenants}")
+        paths = paths * args.tenants
+    elif len(paths) < 2:
+        parser.error("need two or more trace files (or one with --tenants N)")
+    traces = [load_trace(p) for p in paths]
+
+    merged, tid_bases = merge_traces(
+        traces, schedule=args.schedule, seed=args.seed
+    )
+    extents = tenant_gid_extents(
+        merged.address_space, tid_bases, args.l2_tile
+    )
+    # Footprint: distinct L2 blocks each tenant touches in the merged
+    # stream. Tenant gid ranges are disjoint, so one bincount suffices.
+    refs = np.concatenate([f.refs for f in merged.frames])
+    gids, _ = merged.address_space.l2_addresses(refs, args.l2_tile)
+    uniq = np.unique(gids)
+    footprints = np.bincount(
+        tenant_of_gids(uniq, extents), minlength=len(traces)
+    )
+    block_bytes = (args.l2_tile // 4) ** 2 * L1_BLOCK_BYTES
+
+    tenants = []
+    for t, (trace, path) in enumerate(zip(traces, paths)):
+        # Locality classes need object offsets — fingerprint the tenant's
+        # original trace (the merged stream is chunked, not object-shaped).
+        try:
+            locality = locality_fractions(trace, args.l2_tile)
+        except ValueError:
+            locality = None
+        tenants.append({
+            "tenant": t,
+            "trace": path,
+            "workload": trace.meta.workload,
+            "textures": len(trace.textures),
+            "tid_base": tid_bases[t],
+            "gid_range": list(extents[t]),
+            "texel_reads": trace.total_texel_reads(),
+            "footprint_blocks": int(footprints[t]),
+            "footprint_bytes": int(footprints[t]) * block_bytes,
+            "locality": locality,
+        })
+
+    if args.json:
+        print(json.dumps({
+            "schedule": args.schedule,
+            "seed": args.seed,
+            "l2_tile": args.l2_tile,
+            "merged_workload": merged.meta.workload,
+            "tenants": tenants,
+        }, indent=2))
+        return 0
+
+    print(f"merged: {merged.meta.workload}")
+    print(
+        f"  {len(tenants)} tenants, schedule={args.schedule}, "
+        f"seed={args.seed}, {args.l2_tile}x{args.l2_tile} blocks"
+    )
+    classes = sorted(
+        {k for t in tenants if t["locality"] for k in t["locality"]}
+    )
+    rows = []
+    for t in tenants:
+        row = [
+            str(t["tenant"]),
+            t["workload"],
+            str(t["textures"]),
+            f"[{t['gid_range'][0]}, {t['gid_range'][1]})",
+            f"{t['texel_reads']:,}",
+            f"{t['footprint_blocks']:,} ({mb(t['footprint_bytes'])})",
+        ]
+        for c in classes:
+            row.append(
+                f"{t['locality'][c]:.1%}" if t["locality"] else "n/a"
+            )
+        rows.append(row)
+    print(format_table(
+        ["tenant", "workload", "textures", "gid range", "texel reads",
+         "footprint"] + classes,
+        rows,
+    ))
+    return 0
+
+
 def _json_summary(trace, path: str, l2_tile: int) -> dict:
     """Machine-readable summary payload (``--json``)."""
     from repro.analytic import reuse_distance_histograms
@@ -169,6 +293,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "mrc":
         return _mrc_main(argv[1:])
+    if argv and argv[0] == "tenants":
+        return _tenants_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.trace_info",
         description="Summarize a rendered texture-access trace "

@@ -1,0 +1,19 @@
+"""Shared micro-scale traces for the tenancy test package."""
+
+import pytest
+
+from repro.experiments.config import Scale
+from repro.experiments.traces import get_trace
+from repro.texture.sampler import FilterMode
+
+MICRO = Scale(width=64, height=48, frames=3, detail=0.2, name="micro")
+
+
+@pytest.fixture(scope="package")
+def village_trace():
+    return get_trace("village", MICRO, FilterMode.BILINEAR)
+
+
+@pytest.fixture(scope="package")
+def city_trace():
+    return get_trace("city", MICRO, FilterMode.BILINEAR)

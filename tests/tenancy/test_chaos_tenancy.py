@@ -1,0 +1,89 @@
+"""Chaos: a killed worker mid-tenancy-sweep must not change the results.
+
+Mirrors the reliability chaos suite for multi-tenant points: the merged
+trace, the per-tenant stat vectors, and the partitioned-cache state must
+all survive worker SIGKILLs and converge byte-identical to a fault-free
+serial run.
+"""
+
+import pytest
+
+from repro.core.hierarchy import HierarchyConfig
+from repro.core.l1_cache import L1CacheConfig
+from repro.core.l2_cache import L2CacheConfig
+from repro.experiments import simstore
+from repro.experiments.config import Scale
+from repro.experiments.parallel import SupervisorConfig, simulate_many
+from repro.experiments.simcache import clear_simulation_cache
+from repro.experiments.traces import get_trace
+from repro.reliability.chaos import ChaosPolicy
+from repro.reliability.transfer import TransferPolicy
+from repro.tenancy import TenancyConfig, merge_traces
+from repro.texture.sampler import FilterMode
+
+CHAOS_MICRO = Scale(width=64, height=48, frames=2, detail=0.2, name="micro")
+
+FAST = TransferPolicy(max_retries=2, backoff_base_us=5_000.0)
+
+L2 = L2CacheConfig(size_bytes=64 * 1024, l2_tile_texels=16)
+
+
+@pytest.fixture
+def fresh_store(isolated_sim_cache):
+    clear_simulation_cache()
+    simstore.clear()
+    yield isolated_sim_cache
+    clear_simulation_cache()
+    simstore.clear()
+
+
+def tenancy_points():
+    village = get_trace("village", CHAOS_MICRO, FilterMode.POINT)
+    city = get_trace("city", CHAOS_MICRO, FilterMode.POINT)
+    merged, bases = merge_traces([village, city], schedule="rr", seed=0)
+    points = []
+    for tenancy in (
+        TenancyConfig(tid_bases=bases),
+        TenancyConfig(tid_bases=bases, policy="static", quotas=(32, 32)),
+        TenancyConfig(
+            tid_bases=bases, policy="way", quotas=(4, 4), ways=8
+        ),
+    ):
+        points.append(
+            (
+                merged,
+                HierarchyConfig(
+                    l1=L1CacheConfig(size_bytes=2048),
+                    l2=L2,
+                    tlb_entries=8,
+                    tenancy=tenancy,
+                ),
+            )
+        )
+    return points
+
+
+def store_bytes(store_dir):
+    return {p.name: p.read_bytes() for p in store_dir.glob("sim_*.npz")}
+
+
+def test_killed_worker_mid_tenancy_sweep_converges(fresh_store, tmp_path):
+    points = tenancy_points()
+    serial = simulate_many(points, jobs=1)
+    reference = store_bytes(fresh_store)
+    assert len(reference) == len(points)
+    for res in serial:
+        assert all(f.tenants is not None for f in res.frames)
+
+    simstore.clear()
+    healed = simulate_many(
+        points,
+        jobs=2,
+        supervisor=SupervisorConfig(
+            retry=FAST,
+            heartbeat_path=tmp_path / "hb.jsonl",
+            chaos=ChaosPolicy(seed=11, kill_rate=1.0, max_attempt=1),
+        ),
+    )
+    assert all(s.frames == h.frames for s, h in zip(serial, healed))
+    assert store_bytes(fresh_store) == reference

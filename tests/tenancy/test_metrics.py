@@ -1,0 +1,170 @@
+"""Fairness metrics, per-tenant stat vectors, and FrameCacheStats.merge."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import FrameCacheStats, HierarchyConfig, MultiLevelTextureCache
+from repro.core.l1_cache import L1CacheConfig
+from repro.core.l2_cache import L2CacheConfig, L2FrameResult
+from repro.tenancy import (
+    TenancyConfig,
+    jain_index,
+    merge_traces,
+    slowdowns,
+    tenant_frame_costs_us,
+    worst_tenant_p99_cost_us,
+)
+from repro.tenancy.metrics import frame_costs_us, tenant_matrix
+from repro.tenancy.stats import TenantFrameStats
+from repro.trace.trace import FrameTrace
+
+L2 = L2CacheConfig(size_bytes=64 * 1024, l2_tile_texels=16)
+
+
+def _config(tenancy=None):
+    return HierarchyConfig(
+        l1=L1CacheConfig(size_bytes=2048),
+        l2=L2,
+        tlb_entries=8,
+        tenancy=tenancy,
+    )
+
+
+class TestJain:
+    def test_equal_allocation_is_perfectly_fair(self):
+        assert jain_index([3.0, 3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_one_hot_allocation_is_maximally_unfair(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_rejects_bad_vectors(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1.0, -0.5])
+
+
+class TestTenantStats:
+    def test_vectors_validated(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            TenantFrameStats.zeros(2).__class__(
+                **{
+                    name: np.zeros(0, dtype=np.int64)
+                    for name in (
+                        "texel_reads l1_accesses l1_misses l2_accesses "
+                        "l2_full_hits l2_partial_hits l2_full_misses "
+                        "l2_evictions tlb_accesses tlb_hits"
+                    ).split()
+                }
+            )
+        zeros = TenantFrameStats.zeros(3)
+        assert zeros.n_tenants == 3
+        assert np.array_equal(zeros.host_downloads, [0, 0, 0])
+
+    def test_sum_and_equality(self):
+        a = TenantFrameStats.zeros(2)
+        a.texel_reads += [5, 7]
+        b = TenantFrameStats.zeros(2)
+        b.texel_reads += [1, 2]
+        total = TenantFrameStats.sum([a, b])
+        assert np.array_equal(total.texel_reads, [6, 9])
+        assert total != a
+        assert TenantFrameStats.sum([a]) == a
+
+
+class TestCosts:
+    def test_tenant_costs_sum_to_single_tenant_costs(self, village_trace):
+        merged, bases = merge_traces([village_trace])
+        tenancy = TenancyConfig(tid_bases=bases)
+        shared = MultiLevelTextureCache(
+            _config(tenancy), merged.address_space
+        ).run_trace(merged)
+        plain = MultiLevelTextureCache(
+            _config(), village_trace.address_space
+        ).run_trace(village_trace)
+        per_tenant = tenant_frame_costs_us(shared.frames)
+        assert per_tenant.shape == (len(merged.frames), 1)
+        assert np.allclose(per_tenant[:, 0], frame_costs_us(plain.frames))
+
+    def test_slowdown_of_uncontended_tenant_is_one(self, village_trace):
+        merged, bases = merge_traces([village_trace])
+        tenancy = TenancyConfig(tid_bases=bases)
+        shared = MultiLevelTextureCache(
+            _config(tenancy), merged.address_space
+        ).run_trace(merged)
+        plain = MultiLevelTextureCache(
+            _config(), village_trace.address_space
+        ).run_trace(village_trace)
+        sd = slowdowns(shared.frames, [plain.frames])
+        assert sd == pytest.approx([1.0])
+        assert worst_tenant_p99_cost_us(shared.frames) > 0
+
+    def test_contended_tenants_slow_down(self, village_trace, city_trace):
+        merged, bases = merge_traces([village_trace, city_trace])
+        tenancy = TenancyConfig(tid_bases=bases)
+        shared = MultiLevelTextureCache(
+            _config(tenancy), merged.address_space
+        ).run_trace(merged)
+        isolated = [
+            MultiLevelTextureCache(_config(), t.address_space).run_trace(t).frames
+            for t in (village_trace, city_trace)
+        ]
+        sd = slowdowns(shared.frames, isolated)
+        assert np.all(sd >= 1.0 - 1e-9)
+
+    def test_matrix_validation(self, village_trace):
+        plain = MultiLevelTextureCache(
+            _config(), village_trace.address_space
+        ).run_trace(village_trace)
+        with pytest.raises(ValueError, match="no per-tenant stats"):
+            tenant_matrix(plain.frames, "texel_reads")
+        with pytest.raises(ValueError, match="unknown per-tenant field"):
+            tenant_matrix(plain.frames, "wallclock")
+        merged, bases = merge_traces([village_trace])
+        shared = MultiLevelTextureCache(
+            _config(TenancyConfig(tid_bases=bases)), merged.address_space
+        ).run_trace(merged)
+        with pytest.raises(ValueError, match="isolated runs"):
+            slowdowns(shared.frames, [])
+
+
+class TestFrameStatsMerge:
+    def test_merged_partials_equal_whole_run(self, village_trace):
+        """Satellite contract: merge() of split-stream partials is exact."""
+        frame = village_trace.frames[0]
+        whole = MultiLevelTextureCache(
+            _config(), village_trace.address_space
+        ).run_frame(frame)
+
+        split_sim = MultiLevelTextureCache(
+            _config(), village_trace.address_space
+        )
+        cuts = [0, len(frame.refs) // 3, len(frame.refs) // 2, len(frame.refs)]
+        parts = [
+            split_sim.run_frame(
+                FrameTrace(
+                    refs=frame.refs[a:b],
+                    weights=frame.weights[a:b],
+                    n_fragments=0,
+                )
+            )
+            for a, b in zip(cuts, cuts[1:])
+        ]
+        assert FrameCacheStats.merge(parts) == whole
+
+    def test_merge_rejects_empty_and_heterogeneous(self):
+        with pytest.raises(ValueError, match="nothing to merge"):
+            FrameCacheStats.merge([])
+        with_l2 = FrameCacheStats(
+            texel_reads=1,
+            l1_accesses=1,
+            l1_misses=1,
+            l2=L2FrameResult(1, 0, 0, 1, 0),
+        )
+        without = FrameCacheStats(texel_reads=1, l1_accesses=1, l1_misses=0)
+        with pytest.raises(ValueError, match="only some parts"):
+            FrameCacheStats.merge([with_l2, without])
+        ten = FrameCacheStats(texel_reads=1, l1_accesses=1, l1_misses=0)
+        ten.tenants = TenantFrameStats.zeros(2)
+        with pytest.raises(ValueError, match="only some parts"):
+            FrameCacheStats.merge([ten, without])

@@ -1,0 +1,148 @@
+"""Seeded interleaving schedulers: determinism and order preservation."""
+
+import numpy as np
+import pytest
+
+from repro.tenancy.address import tag_refs, tenant_of_refs
+from repro.tenancy.schedule import SCHEDULES, merge_traces
+
+
+def _per_tenant_streams(merged, bases, n):
+    """Each tenant's refs in merged-stream order, per frame."""
+    out = []
+    for frame in merged.frames:
+        owners = tenant_of_refs(frame.refs, bases)
+        out.append([frame.refs[owners == t] for t in range(n)])
+    return out
+
+
+class TestMergeContracts:
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_deterministic(self, village_trace, city_trace, schedule):
+        a, bases_a = merge_traces(
+            [village_trace, city_trace], schedule=schedule, seed=7
+        )
+        b, bases_b = merge_traces(
+            [village_trace, city_trace], schedule=schedule, seed=7
+        )
+        assert bases_a == bases_b
+        assert a.meta.workload == b.meta.workload
+        for fa, fb in zip(a.frames, b.frames):
+            assert np.array_equal(fa.refs, fb.refs)
+            assert np.array_equal(fa.weights, fb.weights)
+
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_preserves_each_tenants_order(
+        self, village_trace, city_trace, schedule
+    ):
+        traces = [village_trace, city_trace]
+        merged, bases = merge_traces(traces, schedule=schedule, seed=3)
+        streams = _per_tenant_streams(merged, bases, len(traces))
+        for f, per_tenant in enumerate(streams):
+            for t, trace in enumerate(traces):
+                expected = tag_refs(trace.frames[f].refs, bases[t])
+                assert np.array_equal(per_tenant[t], expected)
+
+    def test_totals_preserved(self, village_trace, city_trace):
+        merged, _ = merge_traces([village_trace, city_trace])
+        per_frame = [
+            village_trace.frames[f].weights.sum()
+            + city_trace.frames[f].weights.sum()
+            for f in range(len(merged.frames))
+        ]
+        assert [f.weights.sum() for f in merged.frames] == per_frame
+        assert len(merged.textures) == len(village_trace.textures) + len(
+            city_trace.textures
+        )
+
+    def test_rr_start_tenant_rotates_with_frame(self, village_trace):
+        # Small chunks so every frame has chunks from both tenants.
+        merged, bases = merge_traces(
+            [village_trace, village_trace], schedule="rr", chunk_refs=64
+        )
+        firsts = [
+            int(tenant_of_refs(f.refs[:1], bases)[0]) for f in merged.frames
+        ]
+        assert firsts[0] == 0
+        assert len(set(firsts)) > 1  # the head tenant is not fixed
+
+    def test_weighted_favours_heavy_tenant_early(self, village_trace):
+        merged, bases = merge_traces(
+            [village_trace, village_trace],
+            schedule="weighted",
+            weights=[8.0, 1.0],
+            chunk_refs=64,
+        )
+        frame = merged.frames[0]
+        owners = tenant_of_refs(frame.refs, bases)
+        half = len(owners) // 2
+        assert (owners[:half] == 0).mean() > (owners[half:] == 0).mean()
+
+    def test_bursty_seed_changes_interleaving(self, village_trace, city_trace):
+        a, bases = merge_traces(
+            [village_trace, city_trace], schedule="bursty", seed=1, chunk_refs=64
+        )
+        b, _ = merge_traces(
+            [village_trace, city_trace], schedule="bursty", seed=2, chunk_refs=64
+        )
+        different = any(
+            not np.array_equal(fa.refs, fb.refs)
+            for fa, fb in zip(a.frames, b.frames)
+        )
+        assert different
+
+
+class TestValidation:
+    def test_rejects_unknown_schedule(self, village_trace):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            merge_traces([village_trace, village_trace], schedule="fifo")
+
+    def test_rejects_empty_and_bad_chunks(self, village_trace):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_traces([])
+        with pytest.raises(ValueError, match="chunk_refs"):
+            merge_traces([village_trace], chunk_refs=0)
+
+    def test_rejects_mismatched_frame_counts(self, village_trace):
+        from repro.trace.trace import Trace, TraceMeta
+
+        short = Trace(
+            meta=TraceMeta(
+                workload=village_trace.meta.workload,
+                width=village_trace.meta.width,
+                height=village_trace.meta.height,
+                filter_mode=village_trace.meta.filter_mode,
+                n_frames=1,
+            ),
+            frames=village_trace.frames[:1],
+            textures=village_trace.textures,
+        )
+        with pytest.raises(ValueError, match="equal frame counts"):
+            merge_traces([village_trace, short])
+
+    def test_rejects_bad_weights(self, village_trace, city_trace):
+        with pytest.raises(ValueError, match="weights"):
+            merge_traces([village_trace, city_trace], weights=[1.0])
+        with pytest.raises(ValueError, match="positive"):
+            merge_traces([village_trace, city_trace], weights=[1.0, 0.0])
+
+
+class TestWorkloadString:
+    def test_encodes_stream_determining_parameters(self, village_trace, city_trace):
+        tags = {
+            merge_traces([village_trace, city_trace], **kw)[0].meta.workload
+            for kw in (
+                {},
+                {"schedule": "bursty"},
+                {"seed": 1},
+                {"weights": [2.0, 1.0]},
+                {"chunk_refs": 256},
+            )
+        }
+        assert len(tags) == 5  # every variation keys a distinct stream
+
+    def test_explicit_workload_override(self, village_trace):
+        merged, _ = merge_traces(
+            [village_trace, village_trace], workload="pair"
+        )
+        assert merged.meta.workload == "pair"
