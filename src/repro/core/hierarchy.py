@@ -753,6 +753,12 @@ class MultiLevelTextureCache:
     ) -> TraceRunResult:
         """Simulate a whole animation, carrying cache state across frames.
 
+        ``trace`` may be an in-RAM :class:`~repro.trace.trace.Trace` or
+        any duck-typed equivalent (a mmap-backed
+        :class:`~repro.trace.stream.StreamingTrace`, a lazy tenant merge):
+        frames are consumed strictly one at a time by index, so an
+        out-of-core trace is simulated in bounded memory.
+
         With ``checkpoint_path`` and ``checkpoint_every > 0``, the full
         simulator state plus all completed frame stats are persisted
         (atomically, CRC-checked) every N frames; ``resume=True`` restores

@@ -22,9 +22,15 @@ from repro.scenes import WORKLOAD_BUILDERS
 from repro.texture.sampler import FilterMode
 from repro.trace.trace import Trace, TraceMeta
 from repro.trace.tracefile import load_trace, save_trace
+from repro.trace.stream import DEFAULT_CHUNK_REFS, StreamingTrace, StreamTraceWriter
 from repro.experiments.config import Scale
 
-__all__ = ["get_trace", "render_trace", "clear_memory_cache"]
+__all__ = [
+    "get_trace",
+    "render_trace",
+    "render_trace_stream",
+    "clear_memory_cache",
+]
 
 #: Bump when scene builders or the rasterizer change behaviourally.
 SCENE_VERSION = 4
@@ -161,12 +167,61 @@ def render_trace(
         return Trace(meta=meta, frames=frames, textures=wl.scene.manager.textures)
 
     renderer, wl = _build_renderer(workload, scale, mode, z_first, tiled)
-    outputs = renderer.render_animation(wl.cameras(scale.frames))
-    return Trace(
-        meta=meta,
-        frames=[o.trace for o in outputs],
-        textures=wl.scene.manager.textures,
+    frames = [
+        out.trace for out in renderer.iter_frames(wl.cameras(scale.frames))
+    ]
+    return Trace(meta=meta, frames=frames, textures=wl.scene.manager.textures)
+
+
+def render_trace_stream(
+    workload: str,
+    scale: Scale,
+    mode: FilterMode,
+    path: str | os.PathLike,
+    z_first: bool = False,
+    tiled: bool = False,
+    workers: int | None = None,
+    chunk_refs: int = DEFAULT_CHUNK_REFS,
+) -> StreamingTrace:
+    """Render straight to a streamed trace directory in bounded memory.
+
+    The out-of-core twin of :func:`render_trace` for paper-scale renders:
+    each frame goes from the renderer into the chunked on-disk stream and
+    is dropped, so peak RSS is one frame plus one chunk regardless of
+    animation length. With ``workers`` > 1 frames are rendered in parallel
+    and written in order as they arrive (``imap``, not ``map``, so early
+    frames stream out while late ones render). The result is bit-identical
+    to ``save_stream(render_trace(...))``.
+    """
+    workers = render_workers() if workers is None else max(workers, 1)
+    meta = TraceMeta(
+        workload=workload + _variant_suffix(z_first, tiled),
+        width=scale.width,
+        height=scale.height,
+        filter_mode=mode.value,
+        n_frames=scale.frames,
     )
+    renderer, wl = _build_renderer(workload, scale, mode, z_first, tiled)
+    with StreamTraceWriter(
+        path, meta, wl.scene.manager.textures, chunk_refs=chunk_refs
+    ) as writer:
+        if workers > 1 and scale.frames > 1:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:
+                ctx = multiprocessing.get_context()
+            with ctx.Pool(
+                processes=min(workers, scale.frames),
+                initializer=_worker_init,
+                initargs=(workload, scale, mode, z_first, tiled),
+            ) as pool:
+                # imap preserves frame order while letting workers run ahead.
+                for _, frame in pool.imap(_worker_render, range(scale.frames)):
+                    writer.append_frame(frame)
+        else:
+            for out in renderer.iter_frames(wl.cameras(scale.frames)):
+                writer.append_frame(out.trace)
+    return StreamingTrace(path)
 
 
 def quarantine_trace(path: Path) -> Path:

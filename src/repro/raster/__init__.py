@@ -14,7 +14,9 @@ Modules:
 * :mod:`repro.raster.clipping` — near-plane polygon clipping in clip space.
 * :mod:`repro.raster.rasterizer` — triangle setup, edge-function coverage,
   perspective-correct attributes, analytic LOD gradients, scanline or tiled
-  fragment ordering.
+  fragment ordering (the per-triangle reference engine).
+* :mod:`repro.raster.batch` — triangle-batched vectorized rasterization,
+  bit-identical to the reference (the default engine).
 * :mod:`repro.raster.pipeline` — the per-frame renderer/tracer.
 """
 
@@ -22,6 +24,7 @@ from repro.raster.framebuffer import Framebuffer
 from repro.raster.zbuffer import DepthBuffer
 from repro.raster.clipping import clip_triangle_near
 from repro.raster.rasterizer import Fragments, rasterize_triangle, RasterOrder
+from repro.raster.batch import FragmentBatch, rasterize_triangles
 from repro.raster.pipeline import RenderOptions, Renderer, FrameOutput
 
 __all__ = [
@@ -30,6 +33,8 @@ __all__ = [
     "clip_triangle_near",
     "Fragments",
     "rasterize_triangle",
+    "FragmentBatch",
+    "rasterize_triangles",
     "RasterOrder",
     "RenderOptions",
     "Renderer",

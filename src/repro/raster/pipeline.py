@@ -7,26 +7,46 @@ texel-access stream (as collapsed 4x4-tile references) that the §4
 statistics and the §5 cache simulator consume. Optionally it also shades
 pixels into a framebuffer (Fig 12 snapshots) and/or applies the §6
 z-before-texture optimization.
+
+Two rasterization engines are paired (the PR 3 pattern, applied upstream
+of the caches): the default batched engine vectorizes triangle setup and
+edge testing across whole runs of triangles (:mod:`repro.raster.batch`)
+and issues one footprint call per distinct texture binding per frame,
+while the per-triangle
+reference engine (``Renderer(..., use_reference=True)``) is kept as the
+bit-identical ground truth the differential suite proves the batched
+engine against. Both emit exactly the same fragment and reference streams.
+
+For long animations prefer :meth:`Renderer.iter_frames`, which yields one
+:class:`FrameOutput` at a time — together with the streaming trace writer
+(:mod:`repro.trace.stream`) a full-scale animation renders in bounded
+memory. ``render_animation`` (which materializes every frame, images
+included) is deprecated.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+import warnings
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.geometry.camera import Camera
 from repro.geometry.frustum import Frustum
-from repro.geometry.mesh import MeshInstance
+from repro.geometry.mesh import Mesh, MeshInstance
+from repro.raster.batch import rasterize_triangles
 from repro.raster.clipping import clip_triangle_near
 from repro.raster.framebuffer import Framebuffer
 from repro.raster.rasterizer import Fragments, RasterOrder, rasterize_triangle
 from repro.raster.zbuffer import DepthBuffer
-import math
-
 from repro.texture.manager import TextureManager
-from repro.texture.sampler import FilterMode, footprint_tiles_grid, sample_color
+from repro.texture.sampler import (
+    FilterMode,
+    footprint_tiles_grid,
+    sample_color,
+    secondary_lod_shift,
+)
 from repro.trace.events import collapse_runs
 from repro.trace.trace import FrameTrace
 
@@ -68,6 +88,32 @@ class FrameOutput:
     rasterized_triangles: int = 0
 
 
+def _project_vertices(mesh: Mesh, mvp: np.ndarray, width: int, height: int):
+    """Clip-space, NDC, screen, and 1/w for every vertex of a mesh.
+
+    Shared by both engines so their per-vertex inputs are the same bits.
+    Returns ``(clip, ndc, screen, inv_w, fully_in)`` where ``fully_in`` is
+    the per-triangle-per-vertex near-plane inclusion mask.
+    """
+    positions = mesh.positions
+    homo = np.empty((positions.shape[0], 4), dtype=np.float64)
+    homo[:, :3] = positions
+    homo[:, 3] = 1.0
+    clip = homo @ mvp.T
+
+    # Near-plane distances per vertex; most triangles need no clipping,
+    # and fully-behind triangles drop without setup.
+    near_d = clip[:, 2] + clip[:, 3]
+    fully_in = near_d[mesh.triangles] > 0.0
+    safe_w = np.where(np.abs(clip[:, 3]) > 1e-12, clip[:, 3], 1.0)
+    ndc = clip[:, :3] / safe_w[:, None]
+    screen = np.empty((clip.shape[0], 2), dtype=np.float64)
+    screen[:, 0] = (ndc[:, 0] + 1.0) * 0.5 * width
+    screen[:, 1] = (1.0 - ndc[:, 1]) * 0.5 * height
+    inv_w = 1.0 / safe_w
+    return clip, ndc, screen, inv_w, fully_in
+
+
 class Renderer:
     """Renders frames of a scene and traces their texture accesses.
 
@@ -77,6 +123,10 @@ class Renderer:
             access stream the caches see).
         manager: texture manager holding every texture the instances bind.
         options: pipeline configuration.
+        use_reference: rasterize with the per-triangle reference loop
+            instead of the batched engine. Both produce bit-identical
+            traces and images; the reference is the differential ground
+            truth and the batched engine is several times faster.
     """
 
     def __init__(
@@ -84,19 +134,310 @@ class Renderer:
         instances: Sequence[MeshInstance],
         manager: TextureManager,
         options: RenderOptions | None = None,
+        use_reference: bool = False,
     ):
         self.instances = list(instances)
         self.manager = manager
         self.options = options or RenderOptions()
+        self.use_reference = use_reference
         for inst in self.instances:
             # Fail fast on dangling texture bindings.
             self.manager.texture(inst.texture_id)
             if inst.secondary_texture_id is not None:
                 self.manager.texture(inst.secondary_texture_id)
 
+    @property
+    def engine(self) -> str:
+        """``"reference"`` or ``"batched"`` (mirrors the simulator kernels)."""
+        return "reference" if self.use_reference else "batched"
+
     # ------------------------------------------------------------------
     def render_frame(self, camera: Camera) -> FrameOutput:
         """Render one frame; returns its trace (and image when shading)."""
+        if self.use_reference:
+            return self._render_frame_reference(camera)
+        return self._render_frame_batched(camera)
+
+    def iter_frames(self, cameras: Sequence[Camera]) -> Iterator[FrameOutput]:
+        """Render camera poses one frame at a time (generator).
+
+        Yields each :class:`FrameOutput` as soon as it is rendered, so a
+        consumer that streams traces to disk (or aggregates statistics)
+        never holds more than one frame — images included — in memory.
+        """
+        for cam in cameras:
+            yield self.render_frame(cam)
+
+    def render_animation(self, cameras: Sequence[Camera]) -> list[FrameOutput]:
+        """Render a list of camera poses (one per frame).
+
+        .. deprecated::
+            Materializes every frame (images included) at once; use
+            :meth:`iter_frames` and consume frames as they are produced.
+        """
+        warnings.warn(
+            "Renderer.render_animation materializes every FrameOutput at "
+            "once; use Renderer.iter_frames and consume frames as they "
+            "stream",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return list(self.iter_frames(cameras))
+
+    # ------------------------------------------------------------------
+    # Batched engine
+    # ------------------------------------------------------------------
+    def _render_frame_batched(self, camera: Camera) -> FrameOutput:
+        opt = self.options
+        w, h = opt.width, opt.height
+        vp = camera.view_projection(w, h)
+        frustum = Frustum(vp) if opt.cull else None
+
+        need_depth = opt.z_before_texture or opt.shade
+        depth = DepthBuffer(w, h) if need_depth else None
+        fb = Framebuffer(w, h) if opt.shade else None
+
+        # Phase 1 — cull + project every instance and split its triangles
+        # into fully-inside runs and near-clip pieces. Both are only
+        # *registered* here (their vertex data appended to frame-wide
+        # arrays); clip pieces become one-triangle entries after the same
+        # clip-space-to-screen transform the reference applies. ``items``
+        # remembers per-instance emission order. Texture dims and
+        # sidedness are constant per run, so they are kept as
+        # (value, count) pairs and expanded once in phase 2.
+        plans: list[tuple[MeshInstance, object, int, int]] = []
+        g_screen: list[np.ndarray] = []
+        g_invw: list[np.ndarray] = []
+        g_uv: list[np.ndarray] = []
+        g_z: list[np.ndarray] = []
+        g_texw: list[float] = []
+        g_texh: list[float] = []
+        g_ds: list[bool] = []
+        g_counts: list[int] = []
+        g_ntri = 0
+        culled = 0
+        rasterized = 0
+
+        def _register(screen_t, invw_t, uv_t, z_t, n, tex, ds):
+            g_screen.append(screen_t)
+            g_invw.append(invw_t)
+            g_uv.append(uv_t)
+            g_z.append(z_t)
+            g_texw.append(float(tex.width))
+            g_texh.append(float(tex.height))
+            g_ds.append(bool(ds))
+            g_counts.append(n)
+
+        for inst in self.instances:
+            if frustum is not None:
+                center, radius = inst.bounding_sphere()
+                if not frustum.contains_sphere(center, radius):
+                    culled += 1
+                    continue
+            self.manager.bind(inst.texture_id)
+            tex = self.manager.texture(inst.texture_id)
+            mvp = vp @ inst.model
+            clip, ndc, screen, inv_w, fully_in = _project_vertices(
+                inst.mesh, mvp, w, h
+            )
+
+            tris = inst.mesh.triangles
+            all_in = fully_in.all(axis=1)
+            emit = np.flatnonzero(fully_in.any(axis=1))
+            if len(emit) == 0:
+                continue
+            inst_start = g_ntri
+            needs_clip = ~all_in[emit]
+            change = np.flatnonzero(np.diff(needs_clip)) + 1
+            run_bounds = np.concatenate(([0], change, [len(emit)]))
+            for rs, re in zip(run_bounds[:-1], run_bounds[1:]):
+                run = emit[rs:re]
+                if needs_clip[rs]:
+                    for t_idx in run:
+                        tri = tris[t_idx]
+                        for cpos, cuv in clip_triangle_near(
+                            clip[tri], inst.mesh.uvs[tri]
+                        ):
+                            # The reference's clip-space-to-screen math
+                            # (see _raster_one), registered as a
+                            # one-triangle batch entry.
+                            w_clip = cpos[:, 3]
+                            ndc_p = cpos[:, :3] / w_clip[:, None]
+                            screen_p = np.empty((1, 3, 2), dtype=np.float64)
+                            screen_p[0, :, 0] = (ndc_p[:, 0] + 1.0) * 0.5 * w
+                            screen_p[0, :, 1] = (1.0 - ndc_p[:, 1]) * 0.5 * h
+                            _register(
+                                screen_p,
+                                (1.0 / w_clip)[None],
+                                cuv[None],
+                                ndc_p[None, :, 2],
+                                1,
+                                tex,
+                                inst.mesh.double_sided,
+                            )
+                            g_ntri += 1
+                else:
+                    t = tris[run]
+                    n = len(run)
+                    _register(
+                        screen[t],
+                        inv_w[t],
+                        inst.mesh.uvs[t],
+                        ndc[t, 2],
+                        n,
+                        tex,
+                        inst.mesh.double_sided,
+                    )
+                    g_ntri += n
+            if g_ntri > inst_start:
+                # Registrations are consecutive, so the instance owns one
+                # contiguous triangle span of the frame batch.
+                plans.append((inst, tex, inst_start, g_ntri))
+
+        # Phase 2 — one rasterizer call for the whole frame. Per-triangle
+        # texture dimensions and sidedness let instances with different
+        # bindings share the call; fragments come back grouped by triangle
+        # in registration (== emission) order.
+        if g_ntri:
+            gbatch = rasterize_triangles(
+                screen_xy=np.concatenate(g_screen),
+                inv_w=np.concatenate(g_invw),
+                uv=np.concatenate(g_uv),
+                z_ndc=np.concatenate(g_z),
+                width=w,
+                height=h,
+                tex_width=np.repeat(
+                    np.asarray(g_texw, dtype=np.float64), g_counts
+                ),
+                tex_height=np.repeat(
+                    np.asarray(g_texh, dtype=np.float64), g_counts
+                ),
+                double_sided=np.repeat(
+                    np.asarray(g_ds, dtype=bool), g_counts
+                ),
+                order=opt.order,
+            )
+            gcounts = gbatch.fragment_counts(g_ntri)
+            gbounds = np.concatenate(([0], np.cumsum(gcounts))).astype(np.int64)
+
+        # Phase 3 — walk instances in emission order, slicing each one's
+        # fragment ranges out of the frame batch. Footprints are *queued*
+        # per texture binding and issued in phase 4 as one call per
+        # distinct texture, then sliced back per instance: every row of a
+        # footprint grid depends only on its own fragment, so batching
+        # across instances emits the same rows as per-instance calls.
+        obj_refs: list[np.ndarray] = []
+        obj_weights: list[np.ndarray] = []
+        n_fragments = 0
+
+        fp_groups: dict[int, list[list]] = {}
+        fp_results: list[np.ndarray | None] = []
+
+        def _queue_footprint(texture, tid, u, v, lod) -> int:
+            slot = len(fp_results)
+            fp_results.append(None)
+            fp_groups.setdefault(tid, []).append([slot, texture, u, v, lod])
+            return slot
+
+        emitted: list[tuple[int, int | None]] = []
+
+        for inst, tex, ts, te in plans:
+            rasterized += int(np.count_nonzero(gcounts[ts:te]))
+            lo, hi = int(gbounds[ts]), int(gbounds[te])
+            if lo == hi:
+                continue
+
+            if need_depth:
+                # Depth is sequential across triangles (a later triangle
+                # tests against earlier writes), so walk per-triangle
+                # slices of the batch in emission order; rasterization
+                # itself was still vectorized above.
+                kept: list[Fragments] = []
+                for s, e in zip(gbounds[ts:te], gbounds[ts + 1 : te + 1]):
+                    if s == e:
+                        continue
+                    piece = Fragments(
+                        xs=gbatch.xs[s:e],
+                        ys=gbatch.ys[s:e],
+                        z=gbatch.z[s:e],
+                        u=gbatch.u[s:e],
+                        v=gbatch.v[s:e],
+                        lod=gbatch.lod[s:e],
+                    )
+                    if opt.z_before_texture:
+                        passed = depth.test_and_update(
+                            piece.ys, piece.xs, piece.z
+                        )
+                        piece = _select(piece, passed)
+                        if len(piece) == 0:
+                            continue
+                    n_fragments += len(piece)
+                    kept.append(piece)
+                    if opt.shade:
+                        self._shade(piece, inst, tex, depth, fb, opt)
+                if not kept:
+                    continue
+                u = np.concatenate([p.u for p in kept])
+                v = np.concatenate([p.v for p in kept])
+                lod = np.concatenate([p.lod for p in kept])
+            else:
+                n_fragments += hi - lo
+                u = gbatch.u[lo:hi]
+                v = gbatch.v[lo:hi]
+                lod = gbatch.lod[lo:hi]
+
+            slot = _queue_footprint(tex, inst.texture_id, u, v, lod)
+            sec_slot = None
+            if inst.secondary_texture_id is not None:
+                sec = self.manager.texture(inst.secondary_texture_id)
+                sec_slot = _queue_footprint(
+                    sec,
+                    inst.secondary_texture_id,
+                    u,
+                    v,
+                    lod + secondary_lod_shift(tex, sec),
+                )
+            emitted.append((slot, sec_slot))
+
+        # Phase 4 — one footprint call per distinct texture binding, then
+        # collapse each instance's slice of the grid in emission order.
+        for tid, entries in fp_groups.items():
+            if len(entries) == 1:
+                slot, texture, u, v, lod = entries[0]
+                fp_results[slot] = footprint_tiles_grid(
+                    texture, tid, u, v, lod, opt.filter_mode
+                )
+                continue
+            texture = entries[0][1]
+            grid = footprint_tiles_grid(
+                texture,
+                tid,
+                np.concatenate([e[2] for e in entries]),
+                np.concatenate([e[3] for e in entries]),
+                np.concatenate([e[4] for e in entries]),
+                opt.filter_mode,
+            )
+            pos = 0
+            for slot, _, u, _, _ in entries:
+                fp_results[slot] = grid[pos : pos + len(u)]
+                pos += len(u)
+
+        for slot, sec_slot in emitted:
+            grid = fp_results[slot]
+            if sec_slot is not None:
+                grid = np.concatenate([grid, fp_results[sec_slot]], axis=1)
+            chunk_refs, chunk_weights = collapse_runs(grid.reshape(-1))
+            obj_refs.append(chunk_refs)
+            obj_weights.append(chunk_weights)
+
+        return self._assemble_output(
+            obj_refs, obj_weights, n_fragments, culled, rasterized, fb
+        )
+
+    # ------------------------------------------------------------------
+    # Reference engine (per-triangle ground truth)
+    # ------------------------------------------------------------------
+    def _render_frame_reference(self, camera: Camera) -> FrameOutput:
         opt = self.options
         w, h = opt.width, opt.height
         vp = camera.view_projection(w, h)
@@ -126,23 +467,9 @@ class Renderer:
             self.manager.bind(inst.texture_id)
             tex = self.manager.texture(inst.texture_id)
             mvp = vp @ inst.model
-
-            positions = inst.mesh.positions
-            homo = np.empty((positions.shape[0], 4), dtype=np.float64)
-            homo[:, :3] = positions
-            homo[:, 3] = 1.0
-            clip = homo @ mvp.T
-
-            # Near-plane distances per vertex; most triangles need no
-            # clipping, and fully-behind triangles drop without setup.
-            near_d = clip[:, 2] + clip[:, 3]
-            fully_in = near_d[inst.mesh.triangles] > 0.0
-            safe_w = np.where(np.abs(clip[:, 3]) > 1e-12, clip[:, 3], 1.0)
-            ndc_all = clip[:, :3] / safe_w[:, None]
-            screen_all = np.empty((clip.shape[0], 2), dtype=np.float64)
-            screen_all[:, 0] = (ndc_all[:, 0] + 1.0) * 0.5 * opt.width
-            screen_all[:, 1] = (1.0 - ndc_all[:, 1]) * 0.5 * opt.height
-            inv_w_all = 1.0 / safe_w
+            clip, ndc_all, screen_all, inv_w_all, fully_in = _project_vertices(
+                inst.mesh, mvp, w, h
+            )
 
             for t_idx, tri in enumerate(inst.mesh.triangles):
                 inside = fully_in[t_idx]
@@ -190,15 +517,12 @@ class Renderer:
                         # footprint — exactly the access pattern that
                         # inflates the intra-frame working set (§4).
                         sec = self.manager.texture(inst.secondary_texture_id)
-                        lod_shift = math.log2(
-                            max(sec.width / tex.width, sec.height / tex.height)
-                        )
                         sec_grid = footprint_tiles_grid(
                             sec,
                             inst.secondary_texture_id,
                             frags.u,
                             frags.v,
-                            frags.lod + lod_shift,
+                            frags.lod + secondary_lod_shift(tex, sec),
                             opt.filter_mode,
                         )
                         grid = np.concatenate([grid, sec_grid], axis=1)
@@ -213,6 +537,15 @@ class Renderer:
                 obj_refs.append(chunk_refs)
                 obj_weights.append(chunk_weights)
 
+        return self._assemble_output(
+            obj_refs, obj_weights, n_fragments, culled, rasterized, fb
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _assemble_output(
+        obj_refs, obj_weights, n_fragments, culled, rasterized, fb
+    ) -> FrameOutput:
         if obj_refs:
             lengths = np.array([len(r) for r in obj_refs], dtype=np.int64)
             offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
@@ -235,11 +568,6 @@ class Renderer:
             rasterized_triangles=rasterized,
         )
 
-    def render_animation(self, cameras: Sequence[Camera]) -> list[FrameOutput]:
-        """Render a list of camera poses (one per frame)."""
-        return [self.render_frame(cam) for cam in cameras]
-
-    # ------------------------------------------------------------------
     def _raster_one(self, cpos, cuv, tex, double_sided) -> Fragments | None:
         opt = self.options
         w_clip = cpos[:, 3]
@@ -274,11 +602,12 @@ class Renderer:
             # Modulate by the lightmap's luminance (standard multi-texture
             # combine).
             sec = self.manager.texture(inst.secondary_texture_id)
-            lod_shift = math.log2(
-                max(sec.width / tex.width, sec.height / tex.height)
-            )
             light = sample_color(
-                sec, vis.u, vis.v, vis.lod + lod_shift, opt.filter_mode
+                sec,
+                vis.u,
+                vis.v,
+                vis.lod + secondary_lod_shift(tex, sec),
+                opt.filter_mode,
             )
             colors = colors * (light.mean(axis=1, keepdims=True) / 255.0)
         fb.write_pixels(vis.ys, vis.xs, colors)
@@ -292,4 +621,15 @@ def _select(frags: Fragments, mask: np.ndarray) -> Fragments:
         u=frags.u[mask],
         v=frags.v[mask],
         lod=frags.lod[mask],
+    )
+
+
+def _slice(frags: Fragments, s: int, e: int) -> Fragments:
+    return Fragments(
+        xs=frags.xs[s:e],
+        ys=frags.ys[s:e],
+        z=frags.z[s:e],
+        u=frags.u[s:e],
+        v=frags.v[s:e],
+        lod=frags.lod[s:e],
     )

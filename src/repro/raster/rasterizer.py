@@ -178,7 +178,11 @@ def rasterize_triangle(
 
     frags = Fragments(xs=xs, ys=ys, z=z, u=u, v=v, lod=lod)
     if order is RasterOrder.TILED:
-        key = np.lexsort((frags.xs, frags.ys, frags.xs // TILE_EDGE, frags.ys // TILE_EDGE))
+        # Stable sort by (tile row, tile col) alone: fragments already
+        # arrive in (ys, xs) scanline order, so lexsort's stability keeps
+        # that order within each tile — re-sorting by the raw coordinates
+        # as well (the old 4-key sort) was redundant.
+        key = np.lexsort((frags.xs // TILE_EDGE, frags.ys // TILE_EDGE))
         frags = Fragments(
             xs=frags.xs[key],
             ys=frags.ys[key],

@@ -106,6 +106,81 @@ def _merged_workload(
     return tag + "]"
 
 
+def _merge_frame(
+    traces,
+    f: int,
+    bases,
+    schedule: str,
+    warr: np.ndarray,
+    seed: int,
+    chunk_refs: int,
+) -> FrameTrace:
+    """Interleave one frame's tenant streams (the merge inner loop)."""
+    ref_chunks: list[list[np.ndarray]] = []
+    weight_chunks: list[list[np.ndarray]] = []
+    for t, trace in enumerate(traces):
+        frame = trace.frames[f]
+        tagged = tag_refs(frame.refs, bases[t])
+        bounds = np.arange(chunk_refs, len(tagged), chunk_refs)
+        ref_chunks.append(np.split(tagged, bounds))
+        weight_chunks.append(np.split(frame.weights, bounds))
+    counts = [len(c) for c in ref_chunks]
+    order_t, order_k = _emission_order(schedule, counts, warr, seed, f)
+    refs = np.concatenate(
+        [ref_chunks[t][k] for t, k in zip(order_t, order_k)]
+    )
+    wts = np.concatenate(
+        [weight_chunks[t][k] for t, k in zip(order_t, order_k)]
+    )
+    return FrameTrace(
+        refs=refs,
+        weights=wts,
+        n_fragments=sum(t.frames[f].n_fragments for t in traces),
+    )
+
+
+class _LazyMergedFrames:
+    """Sequence that merges each frame on access instead of up front.
+
+    With streamed per-tenant traces underneath, a hundred-tenant merged
+    stream never materializes more than the frame being simulated — the
+    out-of-core path the full-scale sweeps rely on.
+    """
+
+    def __init__(self, traces, bases, schedule, warr, seed, chunk_refs):
+        self._traces = traces
+        self._bases = bases
+        self._schedule = schedule
+        self._warr = warr
+        self._seed = seed
+        self._chunk_refs = chunk_refs
+        self._n_frames = traces[0].meta.n_frames
+
+    def __len__(self) -> int:
+        return self._n_frames
+
+    def __iter__(self):
+        for f in range(self._n_frames):
+            yield self[f]
+
+    def __getitem__(self, f: int) -> FrameTrace:
+        if isinstance(f, slice):
+            return [self[j] for j in range(*f.indices(self._n_frames))]
+        if f < 0:
+            f += self._n_frames
+        if not 0 <= f < self._n_frames:
+            raise IndexError(f)
+        return _merge_frame(
+            self._traces,
+            f,
+            self._bases,
+            self._schedule,
+            self._warr,
+            self._seed,
+            self._chunk_refs,
+        )
+
+
 def merge_traces(
     traces,
     schedule: str = "rr",
@@ -113,6 +188,7 @@ def merge_traces(
     seed: int = 0,
     chunk_refs: int = DEFAULT_CHUNK_REFS,
     workload: str | None = None,
+    lazy: bool = False,
 ) -> tuple[Trace, tuple[int, ...]]:
     """Merge per-tenant traces into one shared stream.
 
@@ -120,6 +196,11 @@ def merge_traces(
     a :class:`~repro.tenancy.partition.TenancyConfig`. The same trace
     object may appear several times (homogeneous multi-programming); each
     occurrence becomes an independent tenant with its own texture copies.
+
+    With ``lazy=True`` the merged trace's ``frames`` is a lazy sequence
+    that interleaves each frame on access (bit-identical entries), so a
+    merge over streamed tenant traces holds at most one merged frame in
+    RAM. Eager merges (the default) stay materialized lists.
     """
     traces = list(traces)
     if schedule not in SCHEDULES:
@@ -151,31 +232,13 @@ def merge_traces(
     bases = tenant_tid_bases([len(t.textures) for t in traces])
     textures = [tex for t in traces for tex in t.textures]
 
-    frames: list[FrameTrace] = []
-    for f in range(n_frames):
-        ref_chunks: list[list[np.ndarray]] = []
-        weight_chunks: list[list[np.ndarray]] = []
-        for t, trace in enumerate(traces):
-            frame = trace.frames[f]
-            tagged = tag_refs(frame.refs, bases[t])
-            bounds = np.arange(chunk_refs, len(tagged), chunk_refs)
-            ref_chunks.append(np.split(tagged, bounds))
-            weight_chunks.append(np.split(frame.weights, bounds))
-        counts = [len(c) for c in ref_chunks]
-        order_t, order_k = _emission_order(schedule, counts, warr, seed, f)
-        refs = np.concatenate(
-            [ref_chunks[t][k] for t, k in zip(order_t, order_k)]
-        )
-        wts = np.concatenate(
-            [weight_chunks[t][k] for t, k in zip(order_t, order_k)]
-        )
-        frames.append(
-            FrameTrace(
-                refs=refs,
-                weights=wts,
-                n_fragments=sum(t.frames[f].n_fragments for t in traces),
-            )
-        )
+    if lazy:
+        frames = _LazyMergedFrames(traces, bases, schedule, warr, seed, chunk_refs)
+    else:
+        frames = [
+            _merge_frame(traces, f, bases, schedule, warr, seed, chunk_refs)
+            for f in range(n_frames)
+        ]
 
     first = traces[0].meta
     meta = TraceMeta(

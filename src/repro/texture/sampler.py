@@ -17,6 +17,7 @@ It also samples actual colors for image output (Fig 12 snapshots).
 from __future__ import annotations
 
 import enum
+import math
 
 import numpy as np
 
@@ -28,6 +29,7 @@ __all__ = [
     "FilterMode",
     "footprint_tiles",
     "footprint_tiles_grid",
+    "secondary_lod_shift",
     "texel_reads_per_fragment",
     "sample_color",
 ]
@@ -44,6 +46,19 @@ class FilterMode(enum.Enum):
 def texel_reads_per_fragment(mode: FilterMode) -> int:
     """Texel reads each rasterized fragment performs under ``mode``."""
     return {FilterMode.POINT: 1, FilterMode.BILINEAR: 4, FilterMode.TRILINEAR: 8}[mode]
+
+
+def secondary_lod_shift(base: Texture, secondary: Texture) -> float:
+    """LOD bias for sampling ``secondary`` with LODs computed for ``base``.
+
+    Multi-texturing reuses the base texture's per-fragment LOD (computed in
+    the base's texel units); a second texture of different resolution needs
+    a constant log2 shift of the resolution ratio. Shared by the trace and
+    shade paths of both rasterization engines.
+    """
+    return math.log2(
+        max(secondary.width / base.width, secondary.height / base.height)
+    )
 
 
 def _nearest_level(lod: np.ndarray, n_levels: int) -> np.ndarray:
@@ -65,38 +80,48 @@ def _level_tiles(
     columns in deterministic footprint order.
     """
     n = len(u)
-    unique_levels = np.unique(levels)
     k = 4 if bilinear else 1
     out = np.empty((n, k), dtype=np.int64)
-    for m in unique_levels:
-        sel = levels == m
-        w, h = mip_level_dims(texture.width, texture.height, int(m))
-        uu = u[sel] * w
-        vv = v[sel] * h
-        if bilinear:
-            x0 = np.floor(uu - 0.5).astype(np.int64)
-            y0 = np.floor(vv - 0.5).astype(np.int64)
-            xs = (np.mod(x0, w), np.mod(x0 + 1, w))
-            ys = (np.mod(y0, h), np.mod(y0 + 1, h))
-            cols = []
-            for yy in ys:
-                for xx in xs:
-                    cols.append(
-                        pack_tile_refs(
-                            tid,
-                            int(m),
-                            yy // L1_TILE_TEXELS,
-                            xx // L1_TILE_TEXELS,
-                            check=False,
-                        )
-                    )
-            out[sel] = np.stack(cols, axis=1)
-        else:
-            x = np.mod(np.floor(uu).astype(np.int64), w)
-            y = np.mod(np.floor(vv).astype(np.int64), h)
-            out[sel, 0] = pack_tile_refs(
-                tid, int(m), y // L1_TILE_TEXELS, x // L1_TILE_TEXELS, check=False
-            )
+    if n == 0:
+        return out
+    # Gather per-fragment level dimensions from a (tiny) table instead of
+    # looping over unique levels with boolean masks: one pass over the
+    # fragments regardless of how many MIP levels the batch spans. A
+    # gathered dimension multiplies to the same IEEE bits as a scalar
+    # broadcast of that dimension, so results are unchanged.
+    dims = np.array(
+        [
+            mip_level_dims(texture.width, texture.height, m)
+            for m in range(int(levels.max()) + 1)
+        ],
+        dtype=np.int64,
+    )
+    w = dims[levels, 0]
+    h = dims[levels, 1]
+    uu = u * w
+    vv = v * h
+    if bilinear:
+        x0 = np.floor(uu - 0.5).astype(np.int64)
+        y0 = np.floor(vv - 0.5).astype(np.int64)
+        xs = (np.mod(x0, w), np.mod(x0 + 1, w))
+        ys = (np.mod(y0, h), np.mod(y0 + 1, h))
+        col = 0
+        for yy in ys:
+            for xx in xs:
+                out[:, col] = pack_tile_refs(
+                    tid,
+                    levels,
+                    yy // L1_TILE_TEXELS,
+                    xx // L1_TILE_TEXELS,
+                    check=False,
+                )
+                col += 1
+    else:
+        x = np.mod(np.floor(uu).astype(np.int64), w)
+        y = np.mod(np.floor(vv).astype(np.int64), h)
+        out[:, 0] = pack_tile_refs(
+            tid, levels, y // L1_TILE_TEXELS, x // L1_TILE_TEXELS, check=False
+        )
     return out
 
 

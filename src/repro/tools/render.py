@@ -4,6 +4,10 @@ Usage::
 
     python -m repro.tools.render village out.npz --width 320 --height 240 \\
         --frames 32 --filter trilinear --detail 1.0
+
+With ``--stream`` the output is a chunked trace *directory* written frame
+by frame in bounded memory (the paper-scale path); pass it to
+``python -m repro.tools.simulate`` exactly like an .npz file.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ import sys
 import time
 
 from repro.experiments.config import Scale
-from repro.experiments.traces import render_trace
+from repro.experiments.traces import render_trace, render_trace_stream
 from repro.scenes import WORKLOAD_BUILDERS
 from repro.texture.sampler import FilterMode
 from repro.trace.tracefile import save_trace
@@ -28,7 +32,8 @@ def main(argv: list[str] | None = None) -> int:
         description="Render a workload animation into a trace file.",
     )
     parser.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))
-    parser.add_argument("output", help="output trace path (.npz)")
+    parser.add_argument("output",
+                        help="output trace path (.npz, or a directory with --stream)")
     parser.add_argument("--width", type=int, default=320)
     parser.add_argument("--height", type=int, default=240)
     parser.add_argument("--frames", type=int, default=32)
@@ -43,6 +48,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="depth-test before texturing (SS6 variant)")
     parser.add_argument("--tiled", action="store_true",
                         help="tiled rasterization order")
+    parser.add_argument("--stream", action="store_true",
+                        help="write a chunked trace directory frame by frame "
+                             "(bounded memory; use for paper-scale renders)")
     args = parser.parse_args(argv)
 
     scale = Scale(
@@ -53,14 +61,24 @@ def main(argv: list[str] | None = None) -> int:
         name="cli",
     )
     start = time.time()
-    trace = render_trace(
-        args.workload,
-        scale,
-        FilterMode(args.filter_mode),
-        z_first=args.z_first,
-        tiled=args.tiled,
-    )
-    save_trace(trace, args.output)
+    if args.stream:
+        trace = render_trace_stream(
+            args.workload,
+            scale,
+            FilterMode(args.filter_mode),
+            args.output,
+            z_first=args.z_first,
+            tiled=args.tiled,
+        )
+    else:
+        trace = render_trace(
+            args.workload,
+            scale,
+            FilterMode(args.filter_mode),
+            z_first=args.z_first,
+            tiled=args.tiled,
+        )
+        save_trace(trace, args.output)
     elapsed = time.time() - start
     reads = trace.total_texel_reads()
     print(

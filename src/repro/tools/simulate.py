@@ -36,7 +36,7 @@ from repro.experiments.reporting import format_table
 from repro.reliability import FaultModel, TransferPolicy
 from repro.tenancy import POLICIES as TENANT_POLICIES
 from repro.tenancy import SCHEDULES as TENANT_SCHEDULES
-from repro.trace.tracefile import load_trace
+from repro.trace.stream import open_trace
 
 __all__ = ["main"]
 
@@ -193,7 +193,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.tools.simulate",
         description="Replay a trace through an L1(/L2/TLB) configuration.",
     )
-    parser.add_argument("trace", help="trace file (.npz)")
+    parser.add_argument("trace",
+                    help="trace file (.npz) or streamed trace directory")
     parser.add_argument("--l1-kb", type=float, default=2.0,
                         help="L1 cache size in KB (default 2)")
     parser.add_argument("--ways", type=int, default=2,
@@ -308,7 +309,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.analytic and ckpt_path is not None:
         parser.error("--analytic runs have no simulator state to checkpoint")
 
-    trace = load_trace(args.trace)
+    trace = open_trace(args.trace)
     if args.analytic:
         return _run_analytic(args, trace)
     fault_model = (
@@ -357,11 +358,14 @@ def main(argv: list[str] | None = None) -> int:
 
         tenant_traces = [trace] * args.tenants
         weights = args.tenant_weight_values
+        # Lazy merge: each interleaved frame is built on access, so a
+        # streamed input never materializes the full multi-tenant stream.
         trace, tid_bases = merge_traces(
             tenant_traces,
             schedule=args.tenant_schedule,
             weights=weights,
             seed=args.tenant_seed,
+            lazy=True,
         )
         quotas = None
         if args.tenant_policy == "static":

@@ -10,6 +10,12 @@ statistics over them.
 from repro.trace.events import collapse_runs
 from repro.trace.trace import FrameTrace, Trace, TraceMeta
 from repro.trace.tracefile import save_trace, load_trace
+from repro.trace.stream import (
+    StreamTraceWriter,
+    StreamingTrace,
+    save_stream,
+    open_trace,
+)
 from repro.trace.stats import WorkloadStats, workload_stats, frame_depth_complexity
 from repro.trace.workingset import (
     per_frame_unique_blocks,
@@ -33,6 +39,10 @@ __all__ = [
     "TraceMeta",
     "save_trace",
     "load_trace",
+    "StreamTraceWriter",
+    "StreamingTrace",
+    "save_stream",
+    "open_trace",
     "WorkloadStats",
     "workload_stats",
     "frame_depth_complexity",

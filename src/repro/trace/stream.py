@@ -1,0 +1,525 @@
+"""Chunked, out-of-core trace streaming.
+
+The npz archive (:mod:`repro.trace.tracefile`) materializes every frame to
+write and to read, so a paper-scale trace (1024x768, hundreds of frames)
+costs gigabytes of RAM at both ends. This module stores the same data as a
+*directory*:
+
+* ``refs_00000.npy`` / ``weights_00000.npy`` … — the animation's collapsed
+  reference stream, concatenated across frames and split into fixed-size
+  chunks (``chunk_refs`` entries each, last one partial). Plain ``.npy``
+  files load with ``mmap_mode='r'``, so a reader touches only the pages a
+  frame actually spans.
+* ``frame_starts.npy`` — per-frame start positions into that global stream
+  (``n_frames + 1`` entries), plus ``n_fragments.npy`` and the flattened
+  ``object_offsets`` index.
+* ``manifest.json`` — format version, :class:`~repro.trace.trace.TraceMeta`
+  fields, the texture set, and a CRC32 per file (the same
+  :func:`~repro.reliability.integrity.array_checksum` manifest as trace
+  format v3).
+
+:class:`StreamTraceWriter` appends one :class:`FrameTrace` at a time and
+never holds more than one chunk of pending data, so
+``Renderer.iter_frames() -> writer.append_frame()`` renders an arbitrarily
+long animation in bounded memory. :class:`StreamingTrace` is the reading
+counterpart: it duck-types :class:`~repro.trace.trace.Trace` (``meta``,
+``frames``, ``textures``, ``fingerprint`` …) but builds each frame on
+demand from the mmap'd chunks, verifying each chunk's CRC once on first
+touch. A corrupt chunk is moved into ``quarantine/`` and surfaces as
+:class:`~repro.errors.TraceCorruptionError`, mirroring the v3 posture.
+
+The directory is written atomically (tmp dir + ``os.replace``), so readers
+never observe a half-written trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceCorruptionError, TraceFormatError
+from repro.reliability.integrity import ArrayCheck, VerifyReport, array_checksum
+from repro.texture.texture import Texture
+from repro.texture.tiling import AddressSpace
+from repro.trace.trace import FrameTrace, Trace, TraceMeta
+from repro.trace.tracefile import load_trace
+
+__all__ = [
+    "STREAM_VERSION",
+    "DEFAULT_CHUNK_REFS",
+    "StreamTraceWriter",
+    "StreamingTrace",
+    "save_stream",
+    "open_trace",
+]
+
+STREAM_VERSION = 1
+
+#: Default chunk length (stream entries per chunk): 1M entries = 8 MB per
+#: refs chunk — large enough for mmap efficiency, small enough that a
+#: reader's working set stays a few chunks.
+DEFAULT_CHUNK_REFS = 1 << 20
+
+_MANIFEST = "manifest.json"
+
+
+def _chunk_name(kind: str, index: int) -> str:
+    return f"{kind}_{index:05d}.npy"
+
+
+class StreamTraceWriter:
+    """Writes a streamed trace one frame at a time in bounded memory.
+
+    Usage::
+
+        with StreamTraceWriter(path, meta, textures) as w:
+            for out in renderer.iter_frames(cameras):
+                w.append_frame(out.trace)
+
+    The target directory appears atomically on successful ``close()`` (the
+    context manager calls it); on error the partial tmp directory is
+    removed and an existing trace at ``path`` is left untouched.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        meta: TraceMeta,
+        textures: list[Texture],
+        chunk_refs: int = DEFAULT_CHUNK_REFS,
+    ):
+        if chunk_refs < 1:
+            raise ValueError(f"chunk_refs must be >= 1, got {chunk_refs}")
+        self.path = Path(path)
+        self.meta = meta
+        self.textures = list(textures)
+        self.chunk_refs = int(chunk_refs)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._tmp = Path(
+            tempfile.mkdtemp(dir=self.path.parent, prefix=f".{self.path.name}.")
+        )
+        self._checksums: dict[str, int] = {}
+        self._n_chunks = 0
+        self._pending_refs: list[np.ndarray] = []
+        self._pending_weights: list[np.ndarray] = []
+        self._pending = 0  # entries buffered across _pending_refs
+        self._total = 0  # entries flushed + buffered (global stream length)
+        self._frame_starts: list[int] = [0]
+        self._n_fragments: list[int] = []
+        self._offsets: list[np.ndarray] = []
+        self._offset_bounds: list[int] = [0]
+        self._has_offsets: list[bool] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def append_frame(self, frame: FrameTrace) -> None:
+        """Append one frame's refs/weights to the stream."""
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        self._pending_refs.append(np.asarray(frame.refs, dtype=np.int64))
+        self._pending_weights.append(np.asarray(frame.weights, dtype=np.int64))
+        self._pending += len(frame.refs)
+        self._total += len(frame.refs)
+        self._frame_starts.append(self._total)
+        self._n_fragments.append(int(frame.n_fragments))
+        if frame.object_offsets is not None:
+            self._offsets.append(np.asarray(frame.object_offsets, dtype=np.int64))
+            self._has_offsets.append(True)
+        else:
+            self._offsets.append(np.empty(0, dtype=np.int64))
+            self._has_offsets.append(False)
+        self._offset_bounds.append(self._offset_bounds[-1] + len(self._offsets[-1]))
+        while self._pending >= self.chunk_refs:
+            self._flush_chunk(self.chunk_refs)
+
+    def _flush_chunk(self, length: int) -> None:
+        refs = np.concatenate(self._pending_refs) if self._pending_refs else np.empty(0, dtype=np.int64)
+        weights = np.concatenate(self._pending_weights) if self._pending_weights else np.empty(0, dtype=np.int64)
+        chunk_refs, rest_refs = refs[:length], refs[length:]
+        chunk_weights, rest_weights = weights[:length], weights[length:]
+        for kind, arr in (("refs", chunk_refs), ("weights", chunk_weights)):
+            name = _chunk_name(kind, self._n_chunks)
+            np.save(self._tmp / name, arr)
+            self._checksums[name] = array_checksum(arr)
+        self._n_chunks += 1
+        self._pending_refs = [rest_refs] if len(rest_refs) else []
+        self._pending_weights = [rest_weights] if len(rest_weights) else []
+        self._pending = len(rest_refs)
+
+    def close(self) -> Path:
+        """Flush, write the index and manifest, and publish atomically."""
+        if self._closed:
+            return self.path
+        if len(self._n_fragments) != self.meta.n_frames:
+            self.abort()
+            raise ValueError(
+                f"meta declares {self.meta.n_frames} frames, "
+                f"appended {len(self._n_fragments)}"
+            )
+        if self._pending or self._n_chunks == 0:
+            self._flush_chunk(self._pending)
+        index = {
+            "frame_starts": np.asarray(self._frame_starts, dtype=np.int64),
+            "n_fragments": np.asarray(self._n_fragments, dtype=np.int64),
+            "offsets_cat": (
+                np.concatenate(self._offsets)
+                if self._offsets
+                else np.empty(0, dtype=np.int64)
+            ),
+            "offset_bounds": np.asarray(self._offset_bounds, dtype=np.int64),
+            "has_offsets": np.asarray(self._has_offsets, dtype=np.uint8),
+        }
+        for name, arr in index.items():
+            np.save(self._tmp / f"{name}.npy", arr)
+            self._checksums[f"{name}.npy"] = array_checksum(arr)
+        manifest = {
+            "version": STREAM_VERSION,
+            "workload": self.meta.workload,
+            "width": self.meta.width,
+            "height": self.meta.height,
+            "filter_mode": self.meta.filter_mode,
+            "n_frames": self.meta.n_frames,
+            "chunk_refs": self.chunk_refs,
+            "n_chunks": self._n_chunks,
+            "stream_length": self._total,
+            "textures": [
+                {
+                    "name": t.name,
+                    "width": t.width,
+                    "height": t.height,
+                    "original_depth_bits": t.original_depth_bits,
+                }
+                for t in self.textures
+            ],
+            "checksums": self._checksums,
+        }
+        manifest_path = self._tmp / _MANIFEST
+        manifest_path.write_text(json.dumps(manifest, indent=1))
+        with open(manifest_path, "rb") as fh:
+            os.fsync(fh.fileno())
+        # Publish: replace any existing trace directory in one rename.
+        if self.path.exists():
+            old = Path(
+                tempfile.mkdtemp(dir=self.path.parent, prefix=f".{self.path.name}.old.")
+            )
+            os.replace(self.path, old / "trace")
+            shutil.rmtree(old, ignore_errors=True)
+        os.replace(self._tmp, self.path)
+        self._closed = True
+        return self.path
+
+    def abort(self) -> None:
+        """Discard the partial tmp directory (leaves ``path`` untouched)."""
+        if not self._closed:
+            shutil.rmtree(self._tmp, ignore_errors=True)
+            self._closed = True
+
+    def __enter__(self) -> "StreamTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+def save_stream(
+    trace: Trace, path: str | os.PathLike, chunk_refs: int = DEFAULT_CHUNK_REFS
+) -> Path:
+    """Write an in-RAM :class:`Trace` as a streamed trace directory."""
+    with StreamTraceWriter(path, trace.meta, trace.textures, chunk_refs) as w:
+        for frame in trace.frames:
+            w.append_frame(frame)
+    return Path(path)
+
+
+# ----------------------------------------------------------------------
+class _ChunkCache:
+    """Mmap'd chunk loader with first-touch CRC verification and a tiny LRU."""
+
+    def __init__(self, trace: "StreamingTrace", capacity: int = 4):
+        self._trace = trace
+        self._capacity = capacity
+        self._cache: dict[str, np.ndarray] = {}
+        self._verified: set[str] = set()
+
+    def get(self, kind: str, index: int) -> np.ndarray:
+        name = _chunk_name(kind, index)
+        arr = self._cache.get(name)
+        if arr is not None:
+            # LRU refresh: move to the back.
+            self._cache[name] = self._cache.pop(name)
+            return arr
+        path = self._trace.path / name
+        try:
+            arr = np.load(path, mmap_mode="r")
+        except (FileNotFoundError, OSError, ValueError, EOFError) as exc:
+            self._trace._quarantine(name)
+            raise TraceCorruptionError(
+                self._trace.path, f"chunk {name!r} unreadable: {exc}"
+            ) from exc
+        if name not in self._verified:
+            expected = self._trace.checksums.get(name)
+            if expected is not None and array_checksum(arr) != expected:
+                del arr  # release the mmap before moving the file
+                self._trace._quarantine(name)
+                raise TraceCorruptionError(
+                    self._trace.path,
+                    f"chunk {name!r} fails its checksum (bit flip or content swap)",
+                )
+            self._verified.add(name)
+        self._cache[name] = arr
+        while len(self._cache) > self._capacity:
+            self._cache.pop(next(iter(self._cache)))
+        return arr
+
+
+class _StreamFrames:
+    """Lazy ``Sequence[FrameTrace]`` over a streamed trace's chunks."""
+
+    def __init__(self, trace: "StreamingTrace"):
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return self._trace.meta.n_frames
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    def __getitem__(self, i: int) -> FrameTrace:
+        n = len(self)
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(n))]
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(i)
+        t = self._trace
+        start, stop = int(t.frame_starts[i]), int(t.frame_starts[i + 1])
+        refs = t._read_span("refs", start, stop)
+        weights = t._read_span("weights", start, stop)
+        if t.has_offsets[i]:
+            lo, hi = int(t.offset_bounds[i]), int(t.offset_bounds[i + 1])
+            offsets = t.offsets_cat[lo:hi]
+        else:
+            offsets = None
+        return FrameTrace(
+            refs=refs,
+            weights=weights,
+            n_fragments=int(t.n_fragments_per_frame[i]),
+            object_offsets=offsets,
+        )
+
+
+class StreamingTrace:
+    """Read side of a streamed trace directory.
+
+    Duck-types :class:`~repro.trace.trace.Trace` for every consumer in the
+    repository (cache hierarchy, tenancy merge, virtual texturing,
+    checkpointing): ``meta``, ``textures``, ``address_space``,
+    ``pixels_per_frame``, ``total_texel_reads()``, ``fingerprint()``, and a
+    lazy ``frames`` sequence that materializes one frame at a time from the
+    mmap'd chunks. Peak memory is a few chunks regardless of trace length.
+    """
+
+    def __init__(self, path: str | os.PathLike, verify: bool = True):
+        self.path = Path(path)
+        manifest_path = self.path / _MANIFEST
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except FileNotFoundError:
+            raise
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TraceCorruptionError(
+                self.path, f"manifest undecodable: {exc}"
+            ) from exc
+        version = manifest.get("version")
+        if version != STREAM_VERSION:
+            raise TraceFormatError(
+                f"streamed trace {self.path} has format version {version}, "
+                f"expected {STREAM_VERSION}"
+            )
+        self.manifest = manifest
+        self.meta = TraceMeta(
+            workload=manifest["workload"],
+            width=manifest["width"],
+            height=manifest["height"],
+            filter_mode=manifest["filter_mode"],
+            n_frames=manifest["n_frames"],
+        )
+        self.textures = [
+            Texture(
+                name=t["name"],
+                width=t["width"],
+                height=t["height"],
+                original_depth_bits=t["original_depth_bits"],
+            )
+            for t in manifest["textures"]
+        ]
+        self.chunk_refs = int(manifest["chunk_refs"])
+        self.n_chunks = int(manifest["n_chunks"])
+        self.stream_length = int(manifest["stream_length"])
+        self.checksums: dict[str, int] = (
+            manifest.get("checksums", {}) if verify else {}
+        )
+        self.frame_starts = self._index("frame_starts")
+        self.n_fragments_per_frame = self._index("n_fragments")
+        self.offsets_cat = self._index("offsets_cat")
+        self.offset_bounds = self._index("offset_bounds")
+        self.has_offsets = self._index("has_offsets").astype(bool)
+        if (
+            len(self.frame_starts) != self.meta.n_frames + 1
+            or len(self.n_fragments_per_frame) != self.meta.n_frames
+            or int(self.frame_starts[-1]) != self.stream_length
+        ):
+            raise TraceCorruptionError(
+                self.path, "index arrays inconsistent with the manifest"
+            )
+        self._chunks = _ChunkCache(self)
+        self.frames = _StreamFrames(self)
+        self._space: AddressSpace | None = None
+        self._fingerprint: int | None = None
+
+    # ------------------------------------------------------------------
+    def _index(self, name: str) -> np.ndarray:
+        fname = f"{name}.npy"
+        try:
+            arr = np.load(self.path / fname)
+        except (FileNotFoundError, OSError, ValueError, EOFError) as exc:
+            raise TraceCorruptionError(
+                self.path, f"index {fname!r} unreadable: {exc}"
+            ) from exc
+        expected = self.checksums.get(fname)
+        if expected is not None and array_checksum(arr) != expected:
+            raise TraceCorruptionError(
+                self.path, f"index {fname!r} fails its checksum"
+            )
+        return arr
+
+    def _quarantine(self, name: str) -> None:
+        """Move a damaged chunk aside so reruns fail fast, not subtly."""
+        qdir = self.path / "quarantine"
+        try:
+            qdir.mkdir(exist_ok=True)
+            os.replace(self.path / name, qdir / name)
+        except OSError:
+            pass  # quarantine is best-effort; the corruption error still raises
+
+    def _read_span(self, kind: str, start: int, stop: int) -> np.ndarray:
+        """One contiguous slice of the global stream, crossing chunks."""
+        if stop <= start:
+            return np.empty(0, dtype=np.int64)
+        c0 = start // self.chunk_refs
+        c1 = (stop - 1) // self.chunk_refs
+        if c0 == c1:
+            chunk = self._chunks.get(kind, c0)
+            base = c0 * self.chunk_refs
+            # Copy out of the mmap so frames own their data (consumers may
+            # outlive the cache entry).
+            return np.array(chunk[start - base : stop - base])
+        parts = []
+        for ci in range(c0, c1 + 1):
+            chunk = self._chunks.get(kind, ci)
+            base = ci * self.chunk_refs
+            lo = max(start - base, 0)
+            hi = min(stop - base, len(chunk))
+            parts.append(chunk[lo:hi])
+        return np.concatenate(parts)
+
+    # ------------------------------------------------------------------
+    @property
+    def address_space(self) -> AddressSpace:
+        if self._space is None:
+            self._space = AddressSpace(self.textures)
+        return self._space
+
+    @property
+    def pixels_per_frame(self) -> int:
+        return self.meta.width * self.meta.height
+
+    def total_texel_reads(self) -> int:
+        """Texel reads over the animation, summed chunk-wise."""
+        return int(
+            sum(
+                int(self._chunks.get("weights", ci).sum())
+                for ci in range(self.n_chunks)
+            )
+        )
+
+    def fingerprint(self) -> int:
+        """CRC32 over the reference stream — same chaining as ``Trace``.
+
+        Guarantees a streamed trace keys the same simulation-store entries
+        and checkpoints as its materialized twin.
+        """
+        if self._fingerprint is None:
+            crc = 0
+            for frame in self.frames:
+                crc = zlib.crc32(np.ascontiguousarray(frame.refs).tobytes(), crc)
+                crc = zlib.crc32(
+                    np.ascontiguousarray(frame.weights).tobytes(), crc
+                )
+            self._fingerprint = crc
+        return self._fingerprint
+
+    def materialize(self) -> Trace:
+        """Load every frame into an in-RAM :class:`Trace`."""
+        return Trace(
+            meta=self.meta, frames=list(self.frames), textures=self.textures
+        )
+
+    def verify(self) -> VerifyReport:
+        """Checksum every chunk and index file without quarantining."""
+        report = VerifyReport(
+            path=str(self.path),
+            version=STREAM_VERSION,
+            n_frames=self.meta.n_frames,
+        )
+        names = [
+            f"{n}.npy"
+            for n in (
+                "frame_starts",
+                "n_fragments",
+                "offsets_cat",
+                "offset_bounds",
+                "has_offsets",
+            )
+        ]
+        for ci in range(self.n_chunks):
+            names.append(_chunk_name("refs", ci))
+            names.append(_chunk_name("weights", ci))
+        for name in names:
+            try:
+                arr = np.load(self.path / name, mmap_mode="r")
+            except (FileNotFoundError, OSError, ValueError, EOFError):
+                report.checks.append(ArrayCheck(name, "missing"))
+                continue
+            expected = self.manifest.get("checksums", {}).get(name)
+            if expected is None:
+                report.checks.append(ArrayCheck(name, "unchecksummed"))
+            elif array_checksum(arr) != expected:
+                report.checks.append(ArrayCheck(name, "checksum-mismatch"))
+            else:
+                report.checks.append(ArrayCheck(name, "ok"))
+        return report
+
+
+def open_trace(path: str | os.PathLike, verify: bool = True):
+    """Open a trace of either format.
+
+    A directory opens as a :class:`StreamingTrace` (lazy, bounded memory);
+    a file loads through :func:`~repro.trace.tracefile.load_trace`
+    (materialized ``Trace``). Consumers treat both identically.
+    """
+    p = Path(path)
+    if p.is_dir():
+        return StreamingTrace(p, verify=verify)
+    return load_trace(p, verify=verify)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -91,10 +92,15 @@ class Trace:
     The texture set (dimensions and original depths; no texel content) is
     carried along because every consumer — address translation, working-set
     and push-architecture memory accounting — needs it.
+
+    ``frames`` is any integer-indexable sequence of :class:`FrameTrace`;
+    besides plain lists, consumers receive lazy sequences (streamed traces,
+    lazy tenant merges) that build each frame on access, so nothing here or
+    downstream may assume the whole animation is resident.
     """
 
     meta: TraceMeta
-    frames: list[FrameTrace]
+    frames: Sequence[FrameTrace]
     textures: list[Texture]
     _space: AddressSpace | None = field(default=None, init=False, repr=False)
     _fingerprint: int | None = field(default=None, init=False, repr=False)

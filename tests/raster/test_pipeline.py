@@ -155,11 +155,21 @@ class TestShading:
         center = out.image[16, 16]
         assert not np.all(center == 255)
 
-    def test_animation_renders_frames(self):
+    def test_iter_frames_yields_frames(self):
         instances, mgr = simple_scene()
         r = Renderer(instances, mgr, RenderOptions(width=16, height=16))
-        outs = r.render_animation([camera(), camera()])
+        outs = list(r.iter_frames([camera(), camera()]))
         assert len(outs) == 2
+
+    def test_render_animation_deprecated_shim(self):
+        instances, mgr = simple_scene()
+        r = Renderer(instances, mgr, RenderOptions(width=16, height=16))
+        with pytest.warns(DeprecationWarning):
+            outs = r.render_animation([camera(), camera()])
+        assert len(outs) == 2
+        expected = list(r.iter_frames([camera(), camera()]))
+        for a, b in zip(outs, expected):
+            assert np.array_equal(a.trace.refs, b.trace.refs)
 
 
 class TestTiledOrder:

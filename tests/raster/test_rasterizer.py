@@ -163,3 +163,25 @@ class TestOrdering:
         # Stronger check: each tile appears as one contiguous run.
         changes = np.count_nonzero(np.diff(tile_keys))
         assert changes == len(np.unique(tile_keys)) - 1
+
+    def test_tiled_order_pinned(self):
+        # Regression for the lexsort-key fix: the 2-key sort (tile row,
+        # tile col — stable over the scanline input) must reproduce the
+        # old 4-key sort (xs, ys, xs//8, ys//8) exactly: tiles in (tile
+        # row, tile col) order, scanline order within each tile.
+        for verts in (
+            FRONT,
+            [[0.0, 0.0], [0.0, 32.0], [32.0, 32.0]],
+            [[3.0, 1.0], [27.5, 30.0], [30.0, 4.5]],
+        ):
+            scan = raster(verts)
+            tiled = raster(verts, order=RasterOrder.TILED)
+            old_key = np.lexsort(
+                (scan.xs, scan.ys, scan.xs // 8, scan.ys // 8)
+            )
+            assert np.array_equal(tiled.xs, scan.xs[old_key])
+            assert np.array_equal(tiled.ys, scan.ys[old_key])
+            assert np.array_equal(tiled.u, scan.u[old_key])
+            assert np.array_equal(tiled.v, scan.v[old_key])
+            assert np.array_equal(tiled.z, scan.z[old_key])
+            assert np.array_equal(tiled.lod, scan.lod[old_key])
