@@ -1,0 +1,120 @@
+"""Bench target for the batched general-associativity L1 kernel.
+
+Runs the bench-scale City trace through a 4-way L1 twice — once with the
+recency-level stacked kernel, once with the retained per-access reference
+loop — and asserts the pairing's two contracts: bit-identical per-frame
+results (miss counts *and* miss streams, plus state snapshots at every
+frame boundary, including a mid-trace checkpoint/resume across engines),
+and >= 3x frame-simulation speedup.
+
+Timings land in ``BENCH_l1_kernel.json`` at the repo root so successive
+runs leave a trajectory of the kernel's throughput. The kernel speedup is
+algorithmic (numpy passes vs a Python loop), so unlike the render bench
+it is measurable — and enforced — on a single-core container. Engines are
+interleaved round by round, round zero is warmup, each keeps its best
+(the ``test_bench_raster`` methodology) so a cold page cache right after
+the trace render cannot skew the ratio.
+
+The comparison always runs at the fixed bench scale (not ``$REPRO_SCALE``):
+at tiny scales per-call overhead dominates and the speedup floor would
+measure the harness, not the kernel.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.l1_cache import L1CacheConfig, L1CacheSim
+from repro.experiments.config import Scale
+from repro.experiments.traces import get_trace
+from repro.texture.sampler import FilterMode
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_l1_kernel.json"
+MIN_SPEEDUP = 3.0
+ROUNDS = 2
+WAYS = 4
+SIZE_BYTES = 16 * 1024
+
+
+def _frames(trace, config):
+    space = trace.address_space
+    return [
+        (f.refs, f.weights, space.l1_set_indices(f.refs, config.n_sets))
+        for f in trace.frames
+    ]
+
+
+def _run(frames, config, use_reference):
+    sim = L1CacheSim(config, use_reference=use_reference)
+    results, snapshots = [], []
+    start = time.perf_counter()
+    for refs, weights, sets in frames:
+        results.append(sim.access_frame(refs, weights, sets))
+        snapshots.append(sim.snapshot_state())
+    return results, snapshots, time.perf_counter() - start
+
+
+def test_stacked_l1_kernel_speedup_and_identity(benchmark):
+    scale = Scale.bench()
+    config = L1CacheConfig(size_bytes=SIZE_BYTES, ways=WAYS)
+    trace = get_trace("city", scale, FilterMode.TRILINEAR)
+    frames = _frames(trace, config)
+
+    t_fast = t_ref = float("inf")
+    for rnd in range(ROUNDS + 1):
+        fast, fast_snaps, dt_fast = _run(frames, config, use_reference=False)
+        ref, ref_snaps, dt_ref = _run(frames, config, use_reference=True)
+        if rnd > 0:
+            t_fast = min(t_fast, dt_fast)
+            t_ref = min(t_ref, dt_ref)
+
+    # Contract 1: bit identity, per frame and at every frame boundary.
+    for i, (a, b) in enumerate(zip(fast, ref)):
+        assert a.misses == b.misses, f"frame {i} miss count diverged"
+        assert np.array_equal(a.miss_refs, b.miss_refs), f"frame {i} miss stream"
+    for i, (sa, sb) in enumerate(zip(fast_snaps, ref_snaps)):
+        assert sa == sb, f"frame {i} boundary state diverged"
+
+    # Contract 1b: a mid-trace checkpoint taken on one engine resumes on
+    # the other and still matches the uninterrupted reference.
+    cut = len(frames) // 2
+    resumed = L1CacheSim(config, use_reference=True)
+    resumed.restore_state(fast_snaps[cut])
+    for i, (refs, weights, sets) in enumerate(frames[cut + 1 :], cut + 1):
+        out = resumed.access_frame(refs, weights, sets)
+        assert out.misses == ref[i].misses, f"resumed frame {i} diverged"
+        assert np.array_equal(out.miss_refs, ref[i].miss_refs)
+
+    # Contract 2: the kernel is why the loop could be retired.
+    speedup = t_ref / t_fast
+    accesses = sum(r.accesses for r in fast)
+    assert speedup >= MIN_SPEEDUP, (
+        f"stacked L1 kernel speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
+        f"(reference {t_ref:.2f}s, stacked {t_fast:.2f}s, {accesses} accesses)"
+    )
+
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "bench": "l1_kernel",
+                "scale": scale.name,
+                "config": repr(config),
+                "min_speedup": MIN_SPEEDUP,
+                "accesses": accesses,
+                "stacked_s": t_fast,
+                "reference_s": t_ref,
+                "speedup": speedup,
+                "stacked_accesses_per_s": accesses / t_fast,
+                "reference_accesses_per_s": accesses / t_ref,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Register the stacked City run with pytest-benchmark for trend tracking.
+    benchmark.pedantic(
+        lambda: _run(frames, config, use_reference=False), rounds=1, iterations=1
+    )

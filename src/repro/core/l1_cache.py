@@ -14,7 +14,19 @@ the last reference and the LRU way holds the most recent *different*
 reference — regardless of hits or misses. Both are computable with a
 grouped scan (stable sort by set, shift, forward-fill), so whole frames
 simulate in a handful of numpy passes. Direct-mapped caches vectorize the
-same way; other associativities fall back to an explicit per-access loop.
+same way.
+
+General associativities (3 ways and up) use the recency-level kernel the
+TLB introduced (:meth:`repro.core.tlb.TextureTableTLB._access_lru_batched`),
+generalized per set: recency level k of a set is redefined at access *i*
+exactly when access *i-1* resolved at depth >= k (its tag was not within
+the top k levels), in which case level k inherits level k-1's previous
+content — the demoted entry. Each level is then one grouped forward-fill
+(``np.maximum.accumulate`` over definition points), ``ways`` numpy passes
+per frame instead of a Python loop per access. The explicit per-access
+loop is retained as ``use_reference=True`` ground truth (and for extreme
+associativities past :data:`_MAX_STACKED_WAYS`, where the per-level pass
+count would exceed the loop's cost).
 """
 
 from __future__ import annotations
@@ -97,6 +109,11 @@ class L1FrameResult:
         return self.misses * L1_BLOCK_BYTES
 
 
+#: Widest associativity the recency-level kernel handles; each way is one
+#: grouped forward-fill pass, so past this the reference loop wins anyway.
+_MAX_STACKED_WAYS = 64
+
+
 class L1CacheSim:
     """Stateful L1 cache simulator; state persists across frames."""
 
@@ -105,25 +122,34 @@ class L1CacheSim:
     def __init__(self, config: L1CacheConfig, use_reference: bool = False):
         """Args:
             config: cache geometry.
-            use_reference: force the explicit per-access loop even for 1- and
-                2-way caches. The vectorized and reference paths are
+            use_reference: force the explicit per-access loop regardless of
+                associativity. The batched and reference paths are
                 behaviourally identical; the flag exists so tests can check
                 that equivalence on arbitrary streams.
         """
         self.config = config
         n_sets = config.n_sets
-        if config.ways <= 2 and not use_reference:
+        self._sets_general: list[list[int]] | None = None
+        self._stack: np.ndarray | None = None
+        if use_reference or config.ways > _MAX_STACKED_WAYS:
+            self.engine = "reference"
+            self._sets_general = [[] for _ in range(n_sets)]
+        elif config.ways <= 2:
+            self.engine = "vectorized"
             self._mru = np.full(n_sets, self._EMPTY, dtype=np.int64)
             self._lru = np.full(n_sets, self._EMPTY, dtype=np.int64)
-            self._sets_general: list[list[int]] | None = None
         else:
-            self._sets_general = [[] for _ in range(n_sets)]
+            # MRU-first recency stack per set, EMPTY-padded on the right.
+            self.engine = "stacked"
+            self._stack = np.full((n_sets, config.ways), self._EMPTY, dtype=np.int64)
 
     def reset(self) -> None:
         """Invalidate the whole cache."""
-        if self._sets_general is None:
+        if self.engine == "vectorized":
             self._mru[:] = self._EMPTY
             self._lru[:] = self._EMPTY
+        elif self.engine == "stacked":
+            self._stack[:] = self._EMPTY
         else:
             for s in self._sets_general:
                 s.clear()
@@ -135,11 +161,22 @@ class L1CacheSim:
         The returned tree contains only numpy arrays and JSON-able scalars
         /lists, so :mod:`repro.reliability.checkpoint` can persist it.
         """
-        if self._sets_general is None:
+        if self.engine == "vectorized":
             return {
                 "engine": "vectorized",
                 "mru": self._mru.copy(),
                 "lru": self._lru.copy(),
+            }
+        if self.engine == "stacked":
+            # Same oldest-first-list format as the reference loop, so a
+            # checkpoint taken on either general-associativity engine
+            # restores onto the other bit-identically.
+            return {
+                "engine": "general",
+                "sets": [
+                    [int(t) for t in reversed(row) if t != self._EMPTY]
+                    for row in self._stack
+                ],
             }
         return {
             "engine": "general",
@@ -148,19 +185,31 @@ class L1CacheSim:
 
     def restore_state(self, state: dict) -> None:
         """Restore a :meth:`snapshot_state` tree; inverse of the snapshot."""
-        engine = "general" if self._sets_general is not None else "vectorized"
+        engine = "vectorized" if self.engine == "vectorized" else "general"
         if state.get("engine") != engine:
             raise ValueError(
                 f"L1 checkpoint was taken on the {state.get('engine')!r} "
                 f"engine but this simulator runs {engine!r}"
             )
-        if self._sets_general is None:
+        if self.engine == "vectorized":
             mru = np.asarray(state["mru"], dtype=np.int64)
             lru = np.asarray(state["lru"], dtype=np.int64)
             if mru.shape != self._mru.shape or lru.shape != self._lru.shape:
                 raise ValueError("L1 checkpoint does not match the cache geometry")
             self._mru[:] = mru
             self._lru[:] = lru
+        elif self.engine == "stacked":
+            sets = state["sets"]
+            if len(sets) != len(self._stack):
+                raise ValueError("L1 checkpoint does not match the cache geometry")
+            self._stack[:] = self._EMPTY
+            for row, content in zip(self._stack, sets):
+                if len(content) > self.config.ways:
+                    raise ValueError(
+                        "L1 checkpoint does not match the cache geometry"
+                    )
+                for level, tag in enumerate(reversed(content)):
+                    row[level] = int(tag)
         else:
             sets = state["sets"]
             if len(sets) != len(self._sets_general):
@@ -187,10 +236,12 @@ class L1CacheSim:
         if len(refs) == 0:
             return L1FrameResult(0, 0, 0, np.empty(0, dtype=np.int64))
 
-        if self._sets_general is not None:
-            hit = self._access_general(refs, sets)
-        else:
+        if self.engine == "vectorized":
             hit = self._access_vectorized(refs, sets)
+        elif self.engine == "stacked":
+            hit = self._access_stacked(refs, sets)
+        else:
+            hit = self._access_general(refs, sets)
 
         miss_positions = np.flatnonzero(~hit)
         return L1FrameResult(
@@ -259,6 +310,81 @@ class L1CacheSim:
         # Back to original access order.
         hit = np.empty(n, dtype=bool)
         hit[order] = hit_sorted
+        return hit
+
+    def _access_stacked(self, refs: np.ndarray, sets: np.ndarray) -> np.ndarray:
+        """Exact per-set LRU for any associativity via recency levels.
+
+        Within one set's (stably sorted) access run, recency level k
+        before access i is a forward-fill: it is redefined at i exactly
+        when access i-1 resolved at depth >= k (its tag was outside the
+        top k levels), taking level k-1's content at i-1 — the demoted
+        entry. Level 0 is simply the previous access's tag. Group starts
+        seed every level from the carried inter-frame stack. A tag hits
+        iff it matches any of the ``ways`` levels before its access.
+        """
+        n = len(refs)
+        ways = self.config.ways
+        if self.config.n_sets <= 1 << 16:
+            order = np.argsort(sets.astype(np.uint16), kind="stable")
+        else:
+            order = np.argsort(sets, kind="stable")
+        s = sets[order]
+        t = refs[order]
+
+        group_start = np.empty(n, dtype=bool)
+        group_start[0] = True
+        np.not_equal(s[1:], s[:-1], out=group_start[1:])
+        group_end = np.empty(n, dtype=bool)
+        group_end[-1] = True
+        group_end[:-1] = group_start[1:]
+
+        carried = self._stack[s[group_start]]  # (groups, ways) MRU-first
+        idx = np.arange(n)
+
+        # in_top accumulates "t[i] is within the top k+1 levels" as the
+        # level loop deepens; after the last level it is the hit mask.
+        in_top = np.zeros(n, dtype=bool)
+        end_levels = np.empty((int(group_end.sum()), ways), dtype=np.int64)
+        prev_w: np.ndarray | None = None
+        for k in range(ways):
+            if k == 0:
+                wk = np.empty(n, dtype=np.int64)
+                wk[1:] = t[:-1]
+                wk[group_start] = carried[:, 0]
+            else:
+                define = np.zeros(n, dtype=bool)
+                define[1:] = ~in_top[:-1]
+                vals = np.empty(n, dtype=np.int64)
+                vals[1:][define[1:]] = prev_w[:-1][define[1:]]
+                define[group_start] = True
+                vals[group_start] = carried[:, k]
+                last_def = np.maximum.accumulate(np.where(define, idx, -1))
+                wk = vals[last_def]
+            in_top |= t == wk  # EMPTY never equals a packed ref
+            end_levels[:, k] = wk[group_end]
+            prev_w = wk
+
+        # Writeback: each touched set's new stack is its last access on
+        # top of the pre-access levels with that tag (and EMPTY padding)
+        # squeezed out, truncated to ``ways`` — LRU eviction for free.
+        last = t[group_end]
+        keep = (end_levels != last[:, None]) & (end_levels != self._EMPTY)
+        colorder = np.argsort(~keep, axis=1, kind="stable")
+        packed = np.take_along_axis(end_levels, colorder, axis=1)
+        counts = keep.sum(axis=1)
+        new_stack = np.empty_like(packed)
+        new_stack[:, 0] = last
+        if ways > 1:
+            tail = packed[:, : ways - 1]
+            cols = np.arange(1, ways)
+            new_stack[:, 1:] = np.where(
+                cols[None, :] > counts[:, None], self._EMPTY, tail
+            )
+        self._stack[s[group_end]] = new_stack
+
+        hit = np.empty(n, dtype=bool)
+        hit[order] = in_top
         return hit
 
     def _access_general(self, refs: np.ndarray, sets: np.ndarray) -> np.ndarray:

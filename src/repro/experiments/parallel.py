@@ -4,30 +4,18 @@ The experiment layer's sweeps (Fig 9/10, Tables 3 and 5-7, the ablations)
 are embarrassingly parallel: every (trace, HierarchyConfig) point is an
 independent, deterministic simulation. :func:`simulate_many` resolves a
 list of points by first consulting the persistent store
-(:mod:`repro.experiments.simstore`), then fanning the remainder across a
-supervised worker pool and persisting what the workers compute. Results
-are identical to serial simulation — the pool only changes wall-clock
-time.
+(:mod:`repro.experiments.simstore`), then fanning the remainder across the
+generic supervised worker pool (:mod:`repro.reliability.supervisor`) and
+persisting what the workers compute. Results are identical to serial
+simulation — the pool only changes wall-clock time.
 
-Unlike a bare ``multiprocessing.Pool``, the supervisor treats worker
-failure as a first-class state, the same posture the transfer layer takes
-toward dropped AGP blocks:
-
-* every dispatched point runs under a watchdog deadline; a worker that
-  exceeds it is SIGKILLed and the point requeued;
-* dead workers (crash, OOM-kill, chaos SIGKILL) are detected through
-  their process sentinels, their point requeued with exponential backoff
-  (the same :class:`~repro.reliability.TransferPolicy` schedule the AGP
-  link uses), and a replacement worker spawned;
-* a point that exhausts its retry budget — and the whole sweep, after
-  ``max_worker_failures`` pool casualties — degrades to serial in-process
-  execution, so a sweep finishes unless the simulation itself is broken;
-* workers persist each result to the store *before* reporting it, so
-  points completed by a sweep that later crashes survive, and a restarted
-  sweep re-runs only the missing remainder;
-* every dispatch/done/crash/timeout/requeue/degrade event is appended to
-  a heartbeat journal (:mod:`repro.reliability.heartbeat`) next to the
-  run journal.
+The failure posture — watchdog deadlines, dead-worker replacement,
+requeue with backoff, heartbeat journal, serial degradation — lives in
+:func:`repro.reliability.supervisor.supervise_tasks`; this module only
+supplies the sweep-specific task body (:class:`_SweepRunner`): simulate a
+(trace, config) point and persist it to the store *before* reporting, so
+points completed by a sweep that later crashes survive and a restarted
+sweep re-runs only the missing remainder.
 
 Job count comes from ``--jobs`` on the experiments CLI via ``$REPRO_JOBS``
 (default 1, i.e. serial in-process, no supervisor). The watchdog deadline
@@ -38,19 +26,17 @@ writing to ``.sim_cache/``) after ^C.
 
 from __future__ import annotations
 
-import math
-import multiprocessing
-import multiprocessing.connection
-import os
-import time
-from dataclasses import dataclass
-
 from repro.core.hierarchy import HierarchyConfig, MultiLevelTextureCache, TraceRunResult
-from repro.errors import ConfigError, WorkerCrashError, WorkerTimeoutError
 from repro.experiments import simstore
-from repro.reliability.chaos import ChaosInjector, ChaosPolicy
-from repro.reliability.heartbeat import HeartbeatJournal, default_heartbeat_path
-from repro.reliability.transfer import TransferPolicy
+from repro.reliability.supervisor import (  # noqa: F401  (re-exported API)
+    SupervisorConfig,
+    TaskRunner,
+    _mp_context,
+    _WorkerPool,
+    default_jobs,
+    default_task_timeout,
+    supervise_tasks,
+)
 from repro.trace.trace import Trace
 
 __all__ = [
@@ -59,87 +45,6 @@ __all__ = [
     "SupervisorConfig",
     "simulate_many",
 ]
-
-
-def default_jobs() -> int:
-    """Worker processes for sweep simulation (``$REPRO_JOBS``, default 1).
-
-    Raises :class:`~repro.errors.ConfigError` on an unparsable or
-    non-positive value, so a typo fails the run up front instead of
-    silently running serial (or blowing up inside the pool).
-    """
-    raw = os.environ.get("REPRO_JOBS", "").strip()
-    if not raw:
-        return 1
-    try:
-        jobs = int(raw)
-    except ValueError:
-        raise ConfigError("REPRO_JOBS", raw, "must be an integer") from None
-    if jobs < 1:
-        raise ConfigError("REPRO_JOBS", raw, "must be >= 1")
-    return jobs
-
-
-def default_task_timeout() -> float:
-    """Watchdog deadline per point (``$REPRO_TASK_TIMEOUT``, default 300s).
-
-    Raises :class:`~repro.errors.ConfigError` on an unparsable,
-    non-finite, or non-positive value.
-    """
-    raw = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
-    if not raw:
-        return 300.0
-    try:
-        timeout = float(raw)
-    except ValueError:
-        raise ConfigError(
-            "REPRO_TASK_TIMEOUT", raw, "must be a number of seconds"
-        ) from None
-    if not math.isfinite(timeout) or timeout <= 0.0:
-        raise ConfigError(
-            "REPRO_TASK_TIMEOUT", raw, "must be a finite positive number"
-        )
-    return timeout
-
-
-@dataclass(frozen=True)
-class SupervisorConfig:
-    """How the sweep supervisor reacts to worker failure.
-
-    Attributes:
-        task_timeout_s: watchdog deadline per dispatched point; None reads
-            :func:`default_task_timeout` at sweep time.
-        retry: requeue budget and backoff schedule, expressed as the same
-            :class:`TransferPolicy` the AGP link uses — a point gets
-            ``max_retries`` re-dispatches after its first attempt, waiting
-            ``backoff_us(round)`` (scaled to seconds) before each.
-        max_worker_failures: pool casualties (crashes + watchdog kills)
-            tolerated before the whole remaining sweep degrades to serial
-            in-process execution.
-        serial_fallback: run a point serially in-process once its retry
-            budget is exhausted (the default), instead of raising
-            :class:`WorkerCrashError` / :class:`WorkerTimeoutError`.
-        heartbeat_path: liveness journal location; None uses
-            :func:`~repro.reliability.heartbeat.default_heartbeat_path`.
-        chaos: fault-injection policy shipped to workers; None reads
-            ``$REPRO_CHAOS`` (:meth:`ChaosPolicy.from_env`).
-    """
-
-    task_timeout_s: float | None = None
-    retry: TransferPolicy = TransferPolicy(max_retries=2, backoff_base_us=50_000.0)
-    max_worker_failures: int = 8
-    serial_fallback: bool = True
-    heartbeat_path: str | os.PathLike | None = None
-    chaos: ChaosPolicy | None = None
-
-    @property
-    def max_attempts(self) -> int:
-        """Parallel dispatches a point may consume before falling back."""
-        return self.retry.max_retries + 1
-
-    def backoff_s(self, retry_round: int) -> float:
-        """Requeue delay before retry round ``retry_round`` (0-based)."""
-        return self.retry.backoff_us(retry_round) * 1e-6
 
 
 def _simulate_point(trace: Trace, config: HierarchyConfig) -> TraceRunResult:
@@ -153,297 +58,29 @@ def _task_key(trace: Trace, config: HierarchyConfig) -> str:
     return simstore._entry_digest(trace, config)
 
 
-# ----------------------------------------------------------------------
-# Worker side
-# ----------------------------------------------------------------------
-def _worker_main(conn, traces: list[Trace], chaos: ChaosPolicy | None) -> None:
-    """Worker loop: receive points, simulate, persist, report.
+class _SweepRunner(TaskRunner):
+    """Task body for sweep points: payload = (trace_index, config).
 
-    The result is saved to the store *before* the reply is sent, so a
-    sweep that dies right after this point finishes still finds it on
-    disk when restarted. A failed save is non-fatal — the supervisor
-    re-saves from the reply.
-    """
-    injector = ChaosInjector(chaos) if chaos is not None and chaos.active else None
-    try:
-        while True:
-            msg = conn.recv()
-            if msg[0] == "stop":
-                return
-            _, task_id, attempt, trace_index, config = msg
-            trace = traces[trace_index]
-            if injector is not None:
-                injector.on_task(_task_key(trace, config), attempt)
-            result = _simulate_point(trace, config)
-            try:
-                simstore.save(trace, config, result)
-            except OSError:
-                pass
-            conn.send(("done", task_id, attempt, result))
-    except (EOFError, OSError, KeyboardInterrupt):
-        return
-
-
-# ----------------------------------------------------------------------
-# Supervisor side
-# ----------------------------------------------------------------------
-class _Worker:
-    """One supervised worker process and its command pipe."""
-
-    def __init__(self, wid: int, ctx, traces: list[Trace], chaos: ChaosPolicy | None):
-        self.id = wid
-        parent_conn, child_conn = ctx.Pipe()
-        self.conn = parent_conn
-        self.process = ctx.Process(
-            target=_worker_main,
-            args=(child_conn, traces, chaos),
-            daemon=True,
-            name=f"repro-sweep-{wid}",
-        )
-        self.process.start()
-        child_conn.close()
-        self.task: tuple[int, int] | None = None  # (task_id, attempt)
-        self.deadline: float | None = None
-
-
-class _WorkerPool:
-    """Owns the worker processes; guarantees none outlive the sweep.
-
-    ``__exit__`` runs on success, failure, and KeyboardInterrupt alike:
-    live workers get a "stop", stragglers are killed and joined, and every
-    pipe is closed — ^C leaves no orphan processes behind.
+    Each distinct trace object ships to workers once (inside the runner);
+    payloads reference it by index, so a sweep over one trace and many
+    configs doesn't serialize the trace per task.
     """
 
-    def __init__(self, ctx, traces: list[Trace], chaos: ChaosPolicy | None):
-        self._ctx = ctx
-        self._traces = traces
-        self._chaos = chaos
-        self._next_id = 0
-        self.workers: dict[int, _Worker] = {}
+    def __init__(self, traces: list[Trace]):
+        self.traces = traces
 
-    def spawn(self) -> _Worker:
-        worker = _Worker(self._next_id, self._ctx, self._traces, self._chaos)
-        self._next_id += 1
-        self.workers[worker.id] = worker
-        return worker
+    def task_key(self, payload) -> str:
+        trace_idx, config = payload
+        return _task_key(self.traces[trace_idx], config)
 
-    def reap(self, worker: _Worker) -> None:
-        """Remove one worker (already dead or killed) from the pool."""
-        self.workers.pop(worker.id, None)
-        if worker.process.is_alive():
-            worker.process.kill()
-        worker.process.join(timeout=5.0)
-        worker.conn.close()
+    def run(self, payload) -> TraceRunResult:
+        trace_idx, config = payload
+        return _simulate_point(self.traces[trace_idx], config)
 
-    def __enter__(self) -> "_WorkerPool":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        for worker in self.workers.values():
-            try:
-                worker.conn.send(("stop",))
-            except (OSError, ValueError):
-                pass
-        stop_by = time.monotonic() + 2.0
-        for worker in self.workers.values():
-            worker.process.join(timeout=max(stop_by - time.monotonic(), 0.1))
-            if worker.process.is_alive():
-                worker.process.kill()
-                worker.process.join(timeout=5.0)
-            worker.conn.close()
-        self.workers.clear()
-
-
-def _mp_context():
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:
-        return multiprocessing.get_context()
-
-
-def _supervise(
-    todo: list[tuple[int, Trace, HierarchyConfig]],
-    jobs: int,
-    cfg: SupervisorConfig,
-) -> dict[int, TraceRunResult]:
-    """Run the missing sweep points under supervision; returns id→result."""
-    timeout_s = (
-        cfg.task_timeout_s if cfg.task_timeout_s is not None else default_task_timeout()
-    )
-    chaos = cfg.chaos if cfg.chaos is not None else ChaosPolicy.from_env()
-    if chaos is not None and not chaos.active:
-        chaos = None
-    hb_path = (
-        cfg.heartbeat_path if cfg.heartbeat_path is not None else default_heartbeat_path()
-    )
-    hb = HeartbeatJournal(hb_path)
-
-    # Ship each distinct trace object to workers once.
-    traces: list[Trace] = []
-    trace_index: dict[int, int] = {}
-    work: dict[int, tuple[int, HierarchyConfig]] = {}
-    for task_id, trace, config in todo:
-        if id(trace) not in trace_index:
-            trace_index[id(trace)] = len(traces)
-            traces.append(trace)
-        work[task_id] = (trace_index[id(trace)], config)
-
-    results: dict[int, TraceRunResult] = {}
-    ready: list[tuple[int, int]] = [(task_id, 0) for task_id, _, _ in todo]
-    delayed: list[tuple[float, int, int]] = []  # (ready_at, task_id, attempt)
-    failures = 0
-    n_tasks = len(todo)
-
-    def requeue_or_exhaust(task_id: int, attempt: int, cause: str, **info) -> None:
-        """Schedule a failed point's next attempt, or route it to serial."""
-        nonlocal failures
-        failures += 1
-        hb.emit(cause, task=task_id, attempt=attempt, **info)
-        if attempt + 1 < cfg.max_attempts:
-            delay = cfg.backoff_s(attempt)
-            delayed.append((time.monotonic() + delay, task_id, attempt + 1))
-            hb.emit("requeue", task=task_id, attempt=attempt + 1, backoff_s=delay)
-        elif cfg.serial_fallback:
-            hb.emit("degrade", scope="task", task=task_id)
-        elif cause == "timeout":
-            raise WorkerTimeoutError(task_id, attempt + 1, timeout_s)
-        else:
-            raise WorkerCrashError(task_id, attempt + 1, info.get("exitcode"))
-
-    def record(task_id: int, attempt: int, result: TraceRunResult) -> None:
-        results[task_id] = result
-        trace_idx, config = work[task_id]
-        # Dedupe makes this a no-op when the worker's own save landed.
-        simstore.save(traces[trace_idx], config, result)
-        hb.emit("done", task=task_id, attempt=attempt)
-
-    hb.emit("sweep-start", points=n_tasks, jobs=jobs, timeout_s=timeout_s)
-    with _WorkerPool(_mp_context(), traces, chaos) as pool:
-        while ready or delayed or any(
-            w.task is not None for w in pool.workers.values()
-        ):
-            if failures >= cfg.max_worker_failures:
-                hb.emit("degrade", scope="sweep", failures=failures)
-                break
-            now = time.monotonic()
-
-            still_delayed = []
-            for ready_at, task_id, attempt in delayed:
-                if ready_at <= now:
-                    ready.append((task_id, attempt))
-                else:
-                    still_delayed.append((ready_at, task_id, attempt))
-            delayed = still_delayed
-
-            target = min(jobs, n_tasks - len(results))
-            while len(pool.workers) < target:
-                pool.spawn()
-
-            for worker in pool.workers.values():
-                if worker.task is None and ready:
-                    task_id, attempt = ready.pop(0)
-                    trace_idx, config = work[task_id]
-                    try:
-                        worker.conn.send(("task", task_id, attempt, trace_idx, config))
-                    except (OSError, ValueError):
-                        ready.insert(0, (task_id, attempt))
-                        continue  # dying worker; its sentinel fires below
-                    worker.task = (task_id, attempt)
-                    worker.deadline = now + timeout_s
-                    hb.emit(
-                        "dispatch",
-                        task=task_id,
-                        attempt=attempt,
-                        pid=worker.process.pid,
-                    )
-
-            # Watchdog: SIGKILL workers past their deadline.
-            now = time.monotonic()
-            for worker in list(pool.workers.values()):
-                if worker.task is not None and worker.deadline is not None and (
-                    now > worker.deadline
-                ):
-                    task_id, attempt = worker.task
-                    worker.task = None
-                    worker.process.kill()
-                    pool.reap(worker)
-                    requeue_or_exhaust(
-                        task_id, attempt, "timeout", timeout_s=timeout_s
-                    )
-
-            busy = [w for w in pool.workers.values() if w.task is not None]
-            if not busy:
-                if ready:
-                    continue  # spawn/dispatch again next iteration
-                if delayed:
-                    time.sleep(
-                        max(min(t for t, _, _ in delayed) - time.monotonic(), 0.0)
-                        + 0.001
-                    )
-                continue
-
-            wakeups = [w.deadline - now for w in busy if w.deadline is not None]
-            wakeups += [t - now for t, _, _ in delayed]
-            wait_s = min(max(min(wakeups, default=0.5), 0.001), 0.5)
-            by_obj = {}
-            for worker in pool.workers.values():
-                by_obj[worker.process.sentinel] = worker
-                if worker.task is not None:
-                    by_obj[worker.conn] = worker
-            fired = multiprocessing.connection.wait(list(by_obj), timeout=wait_s)
-
-            handled: set[int] = set()
-            for obj in fired:
-                worker = by_obj[obj]
-                if worker.id in handled or worker.id not in pool.workers:
-                    continue
-                if obj is worker.conn:
-                    try:
-                        msg = worker.conn.recv()
-                    except (EOFError, OSError):
-                        continue  # died mid-send; sentinel path takes over
-                    if msg[0] == "done":
-                        record(msg[1], msg[2], msg[3])
-                        if worker.task is not None and worker.task[0] == msg[1]:
-                            worker.task = None
-                            worker.deadline = None
-                else:  # process sentinel: the worker died
-                    handled.add(worker.id)
-                    # Drain a result that raced with the death.
-                    try:
-                        while worker.conn.poll():
-                            msg = worker.conn.recv()
-                            if msg[0] == "done":
-                                record(msg[1], msg[2], msg[3])
-                                if worker.task is not None and (
-                                    worker.task[0] == msg[1]
-                                ):
-                                    worker.task = None
-                    except (EOFError, OSError):
-                        pass
-                    exitcode = worker.process.exitcode
-                    lost = worker.task
-                    worker.task = None
-                    pool.reap(worker)
-                    if lost is not None:
-                        requeue_or_exhaust(
-                            lost[0], lost[1], "crash", exitcode=exitcode
-                        )
-
-    # Serial completion: points that exhausted their budget, plus — after
-    # whole-sweep degradation — everything still missing. Chaos does not
-    # apply here; this path is the healer, and results are deterministic
-    # either way.
-    for task_id, _, _ in todo:
-        if task_id not in results:
-            hb.emit("serial", task=task_id)
-            trace_idx, config = work[task_id]
-            result = _simulate_point(traces[trace_idx], config)
-            simstore.save(traces[trace_idx], config, result)
-            results[task_id] = result
-            hb.emit("done", task=task_id, attempt=-1)
-    hb.emit("sweep-end", points=n_tasks, failures=failures)
-    return results
+    def persist(self, payload, result: TraceRunResult) -> None:
+        trace_idx, config = payload
+        # Dedupe makes this a no-op when another save already landed.
+        simstore.save(self.traces[trace_idx], config, result)
 
 
 def simulate_many(
@@ -473,8 +110,17 @@ def simulate_many(
 
     if todo:
         if jobs > 1 and len(todo) > 1:
-            supervised = _supervise(
-                [(i, points[i][0], points[i][1]) for i in todo],
+            # Ship each distinct trace object to workers once.
+            traces: list[Trace] = []
+            trace_index: dict[int, int] = {}
+            for i in todo:
+                trace = points[i][0]
+                if id(trace) not in trace_index:
+                    trace_index[id(trace)] = len(traces)
+                    traces.append(trace)
+            supervised = supervise_tasks(
+                [(i, (trace_index[id(points[i][0])], points[i][1])) for i in todo],
+                _SweepRunner(traces),
                 jobs,
                 supervisor or SupervisorConfig(),
             )

@@ -12,12 +12,16 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import tempfile
 import warnings
 from pathlib import Path
 
 from repro.errors import CorruptTraceWarning, TraceCorruptionError
+from repro.raster.parallel import render_stream_parallel
 from repro.raster.pipeline import Renderer, RenderOptions
 from repro.raster.rasterizer import RasterOrder
+from repro.reliability.supervisor import SupervisorConfig, default_jobs
 from repro.scenes import WORKLOAD_BUILDERS
 from repro.texture.sampler import FilterMode
 from repro.trace.trace import Trace, TraceMeta
@@ -29,6 +33,7 @@ __all__ = [
     "get_trace",
     "render_trace",
     "render_trace_stream",
+    "resolve_render_jobs",
     "clear_memory_cache",
 ]
 
@@ -91,22 +96,14 @@ def _build_renderer(
     return Renderer(wl.scene.instances, wl.scene.manager, options), wl
 
 
-# Per-worker renderer state for parallel rendering (scenes are deterministic,
-# so each worker rebuilds the same scene once and renders its frame shares).
-_worker_state: dict = {}
+def _renderer_factory(workload, scale, mode, z_first, tiled):
+    """Module-level (picklable) scene build for parallel render workers.
 
-
-def _worker_init(workload, scale, mode, z_first, tiled):
+    Returns ``(Renderer, cameras)``; deterministic, so every worker
+    process rebuilding it sees the same scene and camera path.
+    """
     renderer, wl = _build_renderer(workload, scale, mode, z_first, tiled)
-    _worker_state["renderer"] = renderer
-    _worker_state["cameras"] = wl.cameras(scale.frames)
-
-
-def _worker_render(frame_index: int):
-    renderer = _worker_state["renderer"]
-    camera = _worker_state["cameras"][frame_index]
-    out = renderer.render_frame(camera)
-    return frame_index, out.trace
+    return renderer, wl.cameras(scale.frames)
 
 
 def render_workers() -> int:
@@ -120,6 +117,25 @@ def render_workers() -> int:
         return max(int(os.environ.get("REPRO_RENDER_WORKERS", "1")), 1)
     except ValueError:
         return 1
+
+
+def resolve_render_jobs() -> int:
+    """Render worker count: ``$REPRO_JOBS`` first, legacy variable second.
+
+    ``$REPRO_JOBS`` drives the sweep supervisor; rendering used to ignore
+    it silently (only the legacy ``$REPRO_RENDER_WORKERS`` applied), so a
+    sweep configured for 4 jobs still rendered its traces on one core.
+    Now ``$REPRO_JOBS`` governs both, with the same strict typed
+    validation (:class:`~repro.errors.ConfigError` on junk); the legacy
+    variable keeps its lenient semantics as the fallback. Inside a daemon
+    worker process (a sweep worker rendering a missing trace) this always
+    returns 1 — daemons cannot spawn children.
+    """
+    if multiprocessing.current_process().daemon:
+        return 1
+    if os.environ.get("REPRO_JOBS", "").strip():
+        return default_jobs()
+    return render_workers()
 
 
 def render_trace(
@@ -137,12 +153,13 @@ def render_trace(
     Variant traces carry a suffixed workload name so downstream simulation
     caches never confuse them with baseline traces.
 
-    ``workers`` > 1 renders frames in parallel processes (default from
-    ``$REPRO_RENDER_WORKERS``) — frames are independent, so results are
-    bit-identical to a serial render. Use it to make ``Scale.paper()``
-    renders practical.
+    ``workers`` > 1 renders frame shards in supervised parallel processes
+    (:mod:`repro.raster.parallel`; default from ``$REPRO_JOBS``, falling
+    back to the legacy ``$REPRO_RENDER_WORKERS``) — frames are
+    independent, so results are bit-identical to a serial render. Use it
+    to make ``Scale.paper()`` renders practical.
     """
-    workers = render_workers() if workers is None else max(workers, 1)
+    workers = resolve_render_jobs() if workers is None else max(workers, 1)
     meta = TraceMeta(
         workload=workload + _variant_suffix(z_first, tiled),
         width=scale.width,
@@ -151,17 +168,22 @@ def render_trace(
         n_frames=scale.frames,
     )
     if workers > 1 and scale.frames > 1:
+        # Render through the supervised shard pipeline into a scratch
+        # stream, then materialize. Frames copy out of the mmap'd chunks,
+        # so they outlive the scratch directory.
+        tmp = tempfile.mkdtemp(prefix="repro-render-")
         try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # platforms without fork: spawn works too
-            ctx = multiprocessing.get_context()
-        with ctx.Pool(
-            processes=min(workers, scale.frames),
-            initializer=_worker_init,
-            initargs=(workload, scale, mode, z_first, tiled),
-        ) as pool:
-            indexed = pool.map(_worker_render, range(scale.frames))
-        frames = [t for _, t in sorted(indexed, key=lambda p: p[0])]
+            stream_path = Path(tmp) / "trace.stream"
+            render_stream_parallel(
+                _renderer_factory,
+                (workload, scale, mode, z_first, tiled),
+                meta,
+                stream_path,
+                jobs=workers,
+            )
+            frames = list(StreamingTrace(stream_path).frames)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
         # The texture set comes from a local (cheap) scene build.
         _, wl = _build_renderer(workload, scale, mode, z_first, tiled)
         return Trace(meta=meta, frames=frames, textures=wl.scene.manager.textures)
@@ -182,18 +204,20 @@ def render_trace_stream(
     tiled: bool = False,
     workers: int | None = None,
     chunk_refs: int = DEFAULT_CHUNK_REFS,
+    supervisor: SupervisorConfig | None = None,
 ) -> StreamingTrace:
     """Render straight to a streamed trace directory in bounded memory.
 
     The out-of-core twin of :func:`render_trace` for paper-scale renders:
     each frame goes from the renderer into the chunked on-disk stream and
     is dropped, so peak RSS is one frame plus one chunk regardless of
-    animation length. With ``workers`` > 1 frames are rendered in parallel
-    and written in order as they arrive (``imap``, not ``map``, so early
-    frames stream out while late ones render). The result is bit-identical
-    to ``save_stream(render_trace(...))``.
+    animation length. With ``workers`` > 1 frame shards render in
+    supervised parallel processes (:mod:`repro.raster.parallel`) whose
+    per-shard streams merge in frame order. Either way the result is
+    byte-identical to ``save_stream(render_trace(...))`` — manifest CRCs
+    included.
     """
-    workers = render_workers() if workers is None else max(workers, 1)
+    workers = resolve_render_jobs() if workers is None else max(workers, 1)
     meta = TraceMeta(
         workload=workload + _variant_suffix(z_first, tiled),
         width=scale.width,
@@ -201,26 +225,23 @@ def render_trace_stream(
         filter_mode=mode.value,
         n_frames=scale.frames,
     )
+    if workers > 1 and scale.frames > 1:
+        render_stream_parallel(
+            _renderer_factory,
+            (workload, scale, mode, z_first, tiled),
+            meta,
+            path,
+            jobs=workers,
+            chunk_refs=chunk_refs,
+            supervisor=supervisor,
+        )
+        return StreamingTrace(path)
     renderer, wl = _build_renderer(workload, scale, mode, z_first, tiled)
     with StreamTraceWriter(
         path, meta, wl.scene.manager.textures, chunk_refs=chunk_refs
     ) as writer:
-        if workers > 1 and scale.frames > 1:
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:
-                ctx = multiprocessing.get_context()
-            with ctx.Pool(
-                processes=min(workers, scale.frames),
-                initializer=_worker_init,
-                initargs=(workload, scale, mode, z_first, tiled),
-            ) as pool:
-                # imap preserves frame order while letting workers run ahead.
-                for _, frame in pool.imap(_worker_render, range(scale.frames)):
-                    writer.append_frame(frame)
-        else:
-            for out in renderer.iter_frames(wl.cameras(scale.frames)):
-                writer.append_frame(out.trace)
+        for out in renderer.iter_frames(wl.cameras(scale.frames)):
+            writer.append_frame(out.trace)
     return StreamingTrace(path)
 
 

@@ -20,6 +20,11 @@ Three concerns, one package:
   bit-identically, and :mod:`~repro.reliability.chaos` injects seeded
   worker kills, stalls, and artifact corruption to prove the healing
   paths work.
+* **Supervised parallelism** — :mod:`~repro.reliability.supervisor` is
+  the generic self-healing worker pool (watchdogs, dead-worker
+  replacement, requeue with backoff, serial degradation) behind both
+  sweep simulation (:mod:`repro.experiments.parallel`) and parallel
+  frame rendering (:mod:`repro.raster.parallel`).
 """
 
 from repro.reliability.atomic import (
@@ -50,6 +55,14 @@ from repro.reliability.runjournal import (
     RunJournal,
     default_journal_path,
 )
+from repro.reliability.supervisor import (
+    SupervisorConfig,
+    TaskRunner,
+    default_jobs,
+    default_task_timeout,
+    parse_jobs,
+    supervise_tasks,
+)
 from repro.reliability.transfer import (
     AgpTransferLink,
     FrameTransferStats,
@@ -77,6 +90,12 @@ __all__ = [
     "VerifyReport",
     "verify_npz",
     "FaultModel",
+    "SupervisorConfig",
+    "TaskRunner",
+    "default_jobs",
+    "default_task_timeout",
+    "parse_jobs",
+    "supervise_tasks",
     "TransferPolicy",
     "FrameTransferStats",
     "AgpTransferLink",

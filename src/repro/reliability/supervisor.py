@@ -1,0 +1,467 @@
+"""Generic self-healing supervisor for embarrassingly-parallel task pools.
+
+PR 4 built a supervised worker pool for sweep simulation; parallel frame
+rendering (PR 9) needs the identical machinery — watchdog deadlines,
+dead-worker detection and replacement, requeue with backoff, heartbeat
+journal, degradation to serial — over a different task body. This module
+is that machinery with the task body factored out: a :class:`TaskRunner`
+describes how to compute one task (and how to make its result durable),
+and :func:`supervise_tasks` runs a batch of them to completion under the
+same failure posture the sweep engine established:
+
+* every dispatched task runs under a watchdog deadline; a worker that
+  exceeds it is SIGKILLed and the task requeued;
+* dead workers (crash, OOM-kill, chaos SIGKILL) are detected through
+  their process sentinels, their task requeued with exponential backoff
+  (the :class:`~repro.reliability.transfer.TransferPolicy` schedule), and
+  a replacement worker spawned;
+* a task that exhausts its retry budget — and the whole batch, after
+  ``max_worker_failures`` pool casualties — degrades to serial in-process
+  execution, so a batch finishes unless the task body itself is broken;
+* workers persist each result (:meth:`TaskRunner.persist`) *before*
+  reporting it, so tasks completed by a run that later crashes survive;
+* every dispatch/done/crash/timeout/requeue/degrade event is appended to
+  a heartbeat journal (:mod:`repro.reliability.heartbeat`).
+
+Seeded chaos (:mod:`repro.reliability.chaos`) keys its kill/stall
+decisions on :meth:`TaskRunner.task_key`, so a chaos run perturbs the
+same tasks regardless of which worker picks them up or when.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, WorkerCrashError, WorkerTimeoutError
+from repro.reliability.chaos import ChaosInjector, ChaosPolicy
+from repro.reliability.heartbeat import HeartbeatJournal, default_heartbeat_path
+from repro.reliability.transfer import TransferPolicy
+
+__all__ = [
+    "default_jobs",
+    "default_task_timeout",
+    "parse_jobs",
+    "SupervisorConfig",
+    "TaskRunner",
+    "supervise_tasks",
+]
+
+
+def default_jobs() -> int:
+    """Worker processes for supervised batches (``$REPRO_JOBS``, default 1).
+
+    Raises :class:`~repro.errors.ConfigError` on an unparsable or
+    non-positive value, so a typo fails the run up front instead of
+    silently running serial (or blowing up inside the pool).
+    """
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    return parse_jobs("REPRO_JOBS", raw)
+
+
+def parse_jobs(variable: str, raw: str) -> int:
+    """Validate a job count from an env variable or CLI flag.
+
+    Shared by ``$REPRO_JOBS`` and ``render --jobs`` so both reject bad
+    values with the same typed :class:`~repro.errors.ConfigError`.
+    """
+    try:
+        jobs = int(raw)
+    except (TypeError, ValueError):
+        raise ConfigError(variable, str(raw), "must be an integer") from None
+    if jobs < 1:
+        raise ConfigError(variable, str(raw), "must be >= 1")
+    return jobs
+
+
+def default_task_timeout() -> float:
+    """Watchdog deadline per task (``$REPRO_TASK_TIMEOUT``, default 300s).
+
+    Raises :class:`~repro.errors.ConfigError` on an unparsable,
+    non-finite, or non-positive value.
+    """
+    raw = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
+    if not raw:
+        return 300.0
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise ConfigError(
+            "REPRO_TASK_TIMEOUT", raw, "must be a number of seconds"
+        ) from None
+    if not math.isfinite(timeout) or timeout <= 0.0:
+        raise ConfigError(
+            "REPRO_TASK_TIMEOUT", raw, "must be a finite positive number"
+        )
+    return timeout
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """How the supervisor reacts to worker failure.
+
+    Attributes:
+        task_timeout_s: watchdog deadline per dispatched task; None reads
+            :func:`default_task_timeout` at run time.
+        retry: requeue budget and backoff schedule, expressed as the same
+            :class:`TransferPolicy` the AGP link uses — a task gets
+            ``max_retries`` re-dispatches after its first attempt, waiting
+            ``backoff_us(round)`` (scaled to seconds) before each.
+        max_worker_failures: pool casualties (crashes + watchdog kills)
+            tolerated before the whole remaining batch degrades to serial
+            in-process execution.
+        serial_fallback: run a task serially in-process once its retry
+            budget is exhausted (the default), instead of raising
+            :class:`WorkerCrashError` / :class:`WorkerTimeoutError`.
+        heartbeat_path: liveness journal location; None uses
+            :func:`~repro.reliability.heartbeat.default_heartbeat_path`.
+        chaos: fault-injection policy shipped to workers; None reads
+            ``$REPRO_CHAOS`` (:meth:`ChaosPolicy.from_env`).
+    """
+
+    task_timeout_s: float | None = None
+    retry: TransferPolicy = TransferPolicy(max_retries=2, backoff_base_us=50_000.0)
+    max_worker_failures: int = 8
+    serial_fallback: bool = True
+    heartbeat_path: str | os.PathLike | None = None
+    chaos: ChaosPolicy | None = None
+
+    @property
+    def max_attempts(self) -> int:
+        """Parallel dispatches a task may consume before falling back."""
+        return self.retry.max_retries + 1
+
+    def backoff_s(self, retry_round: int) -> float:
+        """Requeue delay before retry round ``retry_round`` (0-based)."""
+        return self.retry.backoff_us(retry_round) * 1e-6
+
+
+class TaskRunner:
+    """The task body a supervised pool executes; must be picklable.
+
+    One runner instance is shipped to every worker process (and kept by
+    the supervisor for serial fallback). Implementations carry only cheap,
+    picklable configuration; anything expensive (a scene, a renderer) is
+    built in :meth:`setup`, which each process calls once before its first
+    task.
+    """
+
+    def setup(self) -> None:
+        """Per-process initialization (expensive state goes here)."""
+
+    def task_key(self, payload) -> str:
+        """Stable identity of one task — the chaos/heartbeat key.
+
+        Must be a pure function of the payload (not of scheduling), so
+        seeded chaos meets the same tasks with the same fates every run.
+        """
+        raise NotImplementedError
+
+    def run(self, payload):
+        """Compute one task; the return value must be picklable."""
+        raise NotImplementedError
+
+    def persist(self, payload, result) -> None:
+        """Make one result durable (idempotent; called at-least-once).
+
+        Workers call this *before* reporting, so a batch that dies right
+        after a task finishes still finds the result on disk when
+        restarted; the supervisor calls it again on receipt (harmless for
+        deduping stores and no-op runners).
+        """
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_main(conn, runner: TaskRunner, chaos: ChaosPolicy | None) -> None:
+    """Worker loop: receive tasks, compute, persist, report.
+
+    The result is persisted *before* the reply is sent (see
+    :meth:`TaskRunner.persist`). A failed persist is non-fatal — the
+    supervisor persists again from the reply.
+    """
+    injector = ChaosInjector(chaos) if chaos is not None and chaos.active else None
+    ready = False
+    try:
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                return
+            _, task_id, attempt, payload = msg
+            if not ready:
+                runner.setup()
+                ready = True
+            if injector is not None:
+                injector.on_task(runner.task_key(payload), attempt)
+            result = runner.run(payload)
+            try:
+                runner.persist(payload, result)
+            except OSError:
+                pass
+            conn.send(("done", task_id, attempt, result))
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+
+
+# ----------------------------------------------------------------------
+# Supervisor side
+# ----------------------------------------------------------------------
+class _Worker:
+    """One supervised worker process and its command pipe."""
+
+    def __init__(self, wid: int, ctx, runner: TaskRunner, chaos: ChaosPolicy | None):
+        self.id = wid
+        parent_conn, child_conn = ctx.Pipe()
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, runner, chaos),
+            daemon=True,
+            name=f"repro-pool-{wid}",
+        )
+        self.process.start()
+        child_conn.close()
+        self.task: tuple[int, int] | None = None  # (task_id, attempt)
+        self.deadline: float | None = None
+
+
+class _WorkerPool:
+    """Owns the worker processes; guarantees none outlive the batch.
+
+    ``__exit__`` runs on success, failure, and KeyboardInterrupt alike:
+    live workers get a "stop", stragglers are killed and joined, and every
+    pipe is closed — ^C leaves no orphan processes behind.
+    """
+
+    def __init__(self, ctx, runner: TaskRunner, chaos: ChaosPolicy | None):
+        self._ctx = ctx
+        self._runner = runner
+        self._chaos = chaos
+        self._next_id = 0
+        self.workers: dict[int, _Worker] = {}
+
+    def spawn(self) -> _Worker:
+        worker = _Worker(self._next_id, self._ctx, self._runner, self._chaos)
+        self._next_id += 1
+        self.workers[worker.id] = worker
+        return worker
+
+    def reap(self, worker: _Worker) -> None:
+        """Remove one worker (already dead or killed) from the pool."""
+        self.workers.pop(worker.id, None)
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=5.0)
+        worker.conn.close()
+
+    def __enter__(self) -> "_WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for worker in self.workers.values():
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        stop_by = time.monotonic() + 2.0
+        for worker in self.workers.values():
+            worker.process.join(timeout=max(stop_by - time.monotonic(), 0.1))
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()
+        self.workers.clear()
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def supervise_tasks(
+    todo: list[tuple[int, object]],
+    runner: TaskRunner,
+    jobs: int,
+    cfg: SupervisorConfig,
+) -> dict[int, object]:
+    """Run every (task_id, payload) under supervision; returns id→result."""
+    timeout_s = (
+        cfg.task_timeout_s if cfg.task_timeout_s is not None else default_task_timeout()
+    )
+    chaos = cfg.chaos if cfg.chaos is not None else ChaosPolicy.from_env()
+    if chaos is not None and not chaos.active:
+        chaos = None
+    hb_path = (
+        cfg.heartbeat_path if cfg.heartbeat_path is not None else default_heartbeat_path()
+    )
+    hb = HeartbeatJournal(hb_path)
+
+    work: dict[int, object] = {task_id: payload for task_id, payload in todo}
+    results: dict[int, object] = {}
+    ready: list[tuple[int, int]] = [(task_id, 0) for task_id, _ in todo]
+    delayed: list[tuple[float, int, int]] = []  # (ready_at, task_id, attempt)
+    failures = 0
+    n_tasks = len(todo)
+
+    def requeue_or_exhaust(task_id: int, attempt: int, cause: str, **info) -> None:
+        """Schedule a failed task's next attempt, or route it to serial."""
+        nonlocal failures
+        failures += 1
+        hb.emit(cause, task=task_id, attempt=attempt, **info)
+        if attempt + 1 < cfg.max_attempts:
+            delay = cfg.backoff_s(attempt)
+            delayed.append((time.monotonic() + delay, task_id, attempt + 1))
+            hb.emit("requeue", task=task_id, attempt=attempt + 1, backoff_s=delay)
+        elif cfg.serial_fallback:
+            hb.emit("degrade", scope="task", task=task_id)
+        elif cause == "timeout":
+            raise WorkerTimeoutError(task_id, attempt + 1, timeout_s)
+        else:
+            raise WorkerCrashError(task_id, attempt + 1, info.get("exitcode"))
+
+    def record(task_id: int, attempt: int, result) -> None:
+        results[task_id] = result
+        # Idempotent: a no-op when the worker's own persist landed.
+        runner.persist(work[task_id], result)
+        hb.emit("done", task=task_id, attempt=attempt)
+
+    hb.emit("sweep-start", points=n_tasks, jobs=jobs, timeout_s=timeout_s)
+    with _WorkerPool(_mp_context(), runner, chaos) as pool:
+        while ready or delayed or any(
+            w.task is not None for w in pool.workers.values()
+        ):
+            if failures >= cfg.max_worker_failures:
+                hb.emit("degrade", scope="sweep", failures=failures)
+                break
+            now = time.monotonic()
+
+            still_delayed = []
+            for ready_at, task_id, attempt in delayed:
+                if ready_at <= now:
+                    ready.append((task_id, attempt))
+                else:
+                    still_delayed.append((ready_at, task_id, attempt))
+            delayed = still_delayed
+
+            target = min(jobs, n_tasks - len(results))
+            while len(pool.workers) < target:
+                pool.spawn()
+
+            for worker in pool.workers.values():
+                if worker.task is None and ready:
+                    task_id, attempt = ready.pop(0)
+                    try:
+                        worker.conn.send(
+                            ("task", task_id, attempt, work[task_id])
+                        )
+                    except (OSError, ValueError):
+                        ready.insert(0, (task_id, attempt))
+                        continue  # dying worker; its sentinel fires below
+                    worker.task = (task_id, attempt)
+                    worker.deadline = now + timeout_s
+                    hb.emit(
+                        "dispatch",
+                        task=task_id,
+                        attempt=attempt,
+                        pid=worker.process.pid,
+                    )
+
+            # Watchdog: SIGKILL workers past their deadline.
+            now = time.monotonic()
+            for worker in list(pool.workers.values()):
+                if worker.task is not None and worker.deadline is not None and (
+                    now > worker.deadline
+                ):
+                    task_id, attempt = worker.task
+                    worker.task = None
+                    worker.process.kill()
+                    pool.reap(worker)
+                    requeue_or_exhaust(
+                        task_id, attempt, "timeout", timeout_s=timeout_s
+                    )
+
+            busy = [w for w in pool.workers.values() if w.task is not None]
+            if not busy:
+                if ready:
+                    continue  # spawn/dispatch again next iteration
+                if delayed:
+                    time.sleep(
+                        max(min(t for t, _, _ in delayed) - time.monotonic(), 0.0)
+                        + 0.001
+                    )
+                continue
+
+            wakeups = [w.deadline - now for w in busy if w.deadline is not None]
+            wakeups += [t - now for t, _, _ in delayed]
+            wait_s = min(max(min(wakeups, default=0.5), 0.001), 0.5)
+            by_obj = {}
+            for worker in pool.workers.values():
+                by_obj[worker.process.sentinel] = worker
+                if worker.task is not None:
+                    by_obj[worker.conn] = worker
+            fired = multiprocessing.connection.wait(list(by_obj), timeout=wait_s)
+
+            handled: set[int] = set()
+            for obj in fired:
+                worker = by_obj[obj]
+                if worker.id in handled or worker.id not in pool.workers:
+                    continue
+                if obj is worker.conn:
+                    try:
+                        msg = worker.conn.recv()
+                    except (EOFError, OSError):
+                        continue  # died mid-send; sentinel path takes over
+                    if msg[0] == "done":
+                        record(msg[1], msg[2], msg[3])
+                        if worker.task is not None and worker.task[0] == msg[1]:
+                            worker.task = None
+                            worker.deadline = None
+                else:  # process sentinel: the worker died
+                    handled.add(worker.id)
+                    # Drain a result that raced with the death.
+                    try:
+                        while worker.conn.poll():
+                            msg = worker.conn.recv()
+                            if msg[0] == "done":
+                                record(msg[1], msg[2], msg[3])
+                                if worker.task is not None and (
+                                    worker.task[0] == msg[1]
+                                ):
+                                    worker.task = None
+                    except (EOFError, OSError):
+                        pass
+                    exitcode = worker.process.exitcode
+                    lost = worker.task
+                    worker.task = None
+                    pool.reap(worker)
+                    if lost is not None:
+                        requeue_or_exhaust(
+                            lost[0], lost[1], "crash", exitcode=exitcode
+                        )
+
+    # Serial completion: tasks that exhausted their budget, plus — after
+    # whole-batch degradation — everything still missing. Chaos does not
+    # apply here; this path is the healer, and results are deterministic
+    # either way.
+    serial_ready = False
+    for task_id, payload in todo:
+        if task_id not in results:
+            hb.emit("serial", task=task_id)
+            if not serial_ready:
+                runner.setup()
+                serial_ready = True
+            result = runner.run(payload)
+            runner.persist(payload, result)
+            results[task_id] = result
+            hb.emit("done", task=task_id, attempt=-1)
+    hb.emit("sweep-end", points=n_tasks, failures=failures)
+    return results

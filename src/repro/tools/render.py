@@ -8,6 +8,10 @@ Usage::
 With ``--stream`` the output is a chunked trace *directory* written frame
 by frame in bounded memory (the paper-scale path); pass it to
 ``python -m repro.tools.simulate`` exactly like an .npz file.
+
+With ``--jobs N`` (default ``$REPRO_JOBS``, falling back to the legacy
+``$REPRO_RENDER_WORKERS``) frame shards render across N supervised worker
+processes; the output is byte-identical to a serial render whatever N is.
 """
 
 from __future__ import annotations
@@ -16,8 +20,14 @@ import argparse
 import sys
 import time
 
+from repro.errors import ConfigError
 from repro.experiments.config import Scale
-from repro.experiments.traces import render_trace, render_trace_stream
+from repro.experiments.traces import (
+    render_trace,
+    render_trace_stream,
+    resolve_render_jobs,
+)
+from repro.reliability.supervisor import parse_jobs
 from repro.scenes import WORKLOAD_BUILDERS
 from repro.texture.sampler import FilterMode
 from repro.trace.tracefile import save_trace
@@ -51,7 +61,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stream", action="store_true",
                         help="write a chunked trace directory frame by frame "
                              "(bounded memory; use for paper-scale renders)")
+    par = parser.add_argument_group(
+        "parallel rendering",
+        "Frames are independent given the scene, so contiguous frame "
+        "shards render across a supervised worker pool (watchdogs, "
+        "dead-worker replacement, requeue) and merge in frame order; the "
+        "output is byte-identical to a serial render.",
+    )
+    par.add_argument(
+        "--jobs",
+        default=None,
+        help="render worker processes (>= 1; default $REPRO_JOBS, then the "
+             "legacy $REPRO_RENDER_WORKERS, then 1)",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs is None:
+        try:
+            jobs = resolve_render_jobs()
+        except ConfigError as exc:
+            parser.error(str(exc))
+    else:
+        try:
+            jobs = parse_jobs("--jobs", args.jobs)
+        except ConfigError as exc:
+            parser.error(str(exc))
 
     scale = Scale(
         width=args.width,
@@ -69,6 +103,7 @@ def main(argv: list[str] | None = None) -> int:
             args.output,
             z_first=args.z_first,
             tiled=args.tiled,
+            workers=jobs,
         )
     else:
         trace = render_trace(
@@ -77,13 +112,14 @@ def main(argv: list[str] | None = None) -> int:
             FilterMode(args.filter_mode),
             z_first=args.z_first,
             tiled=args.tiled,
+            workers=jobs,
         )
         save_trace(trace, args.output)
     elapsed = time.time() - start
     reads = trace.total_texel_reads()
     print(
         f"wrote {args.output}: {trace.meta.n_frames} frames, "
-        f"{reads:,} texel reads, {elapsed:.1f}s"
+        f"{reads:,} texel reads, {elapsed:.1f}s ({jobs} job(s))"
     )
     return 0
 

@@ -184,3 +184,107 @@ class TestGeneralAssociativity:
         res = sim.access_frame(refs, ones(6), np.zeros(6, dtype=np.int64))
         # 5 evicts 1, so the final 1 misses again.
         assert res.misses == 6
+
+
+class TestStackedMatchesReference:
+    """The recency-level kernel (ways >= 3) vs the per-access loop.
+
+    Bit-identity must hold per frame, at every frame-boundary snapshot,
+    and across checkpoint/restore between the two engines mid-stream.
+    """
+
+    def test_engine_selection(self):
+        assert L1CacheSim(L1CacheConfig(size_bytes=2048)).engine == "vectorized"
+        assert (
+            L1CacheSim(L1CacheConfig(size_bytes=4 * 64, ways=4)).engine
+            == "stacked"
+        )
+        assert (
+            L1CacheSim(
+                L1CacheConfig(size_bytes=4 * 64, ways=4), use_reference=True
+            ).engine
+            == "reference"
+        )
+        # Past the kernel's width cap the loop is the engine of record.
+        wide = L1CacheConfig(size_bytes=128 * 64, ways=128)
+        assert L1CacheSim(wide).engine == "reference"
+
+    @given(
+        st.integers(3, 8),  # ways
+        st.integers(0, 3),  # log2 sets
+        st.lists(st.integers(0, 30), min_size=0, max_size=200),
+        st.integers(1, 4),  # frames to split into
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_equivalence(self, ways, log_sets, tags, n_frames):
+        n_sets = 1 << log_sets
+        cfg = L1CacheConfig(size_bytes=n_sets * ways * 64, ways=ways)
+        fast = L1CacheSim(cfg)
+        ref = L1CacheSim(cfg, use_reference=True)
+        assert fast.engine == "stacked" and ref.engine == "reference"
+        refs = np.array(tags, dtype=np.int64)
+        sets = refs % n_sets
+        bounds = np.linspace(0, len(refs), n_frames + 1).astype(int)
+        for a, b in zip(bounds, bounds[1:]):
+            r_fast = fast.access_frame(refs[a:b], ones(b - a), sets[a:b])
+            r_ref = ref.access_frame(refs[a:b], ones(b - a), sets[a:b])
+            assert r_fast.misses == r_ref.misses
+            assert r_fast.miss_refs.tolist() == r_ref.miss_refs.tolist()
+            # Frame-boundary snapshots agree in the shared "general" format.
+            assert fast.snapshot_state() == ref.snapshot_state()
+
+    @given(
+        st.integers(3, 6),  # ways
+        st.lists(st.integers(0, 25), min_size=2, max_size=120),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_checkpoint_mid_stream_across_engines(self, ways, tags, data):
+        """Snapshot one engine mid-stream, resume on the other: identical."""
+        n_sets = 4
+        cfg = L1CacheConfig(size_bytes=n_sets * ways * 64, ways=ways)
+        refs = np.array(tags, dtype=np.int64)
+        sets = refs % n_sets
+        cut = data.draw(st.integers(1, len(tags) - 1))
+
+        ref = L1CacheSim(cfg, use_reference=True)
+        ref.access_frame(refs[:cut], ones(cut), sets[:cut])
+        expect = ref.access_frame(refs[cut:], ones(len(refs) - cut), sets[cut:])
+
+        resumed = L1CacheSim(cfg)  # stacked engine
+        ref_half = L1CacheSim(cfg, use_reference=True)
+        ref_half.access_frame(refs[:cut], ones(cut), sets[:cut])
+        resumed.restore_state(ref_half.snapshot_state())
+        got = resumed.access_frame(refs[cut:], ones(len(refs) - cut), sets[cut:])
+        assert got.misses == expect.misses
+        assert got.miss_refs.tolist() == expect.miss_refs.tolist()
+
+        # And the reverse direction: stacked snapshot resumes the loop.
+        stacked_half = L1CacheSim(cfg)
+        stacked_half.access_frame(refs[:cut], ones(cut), sets[:cut])
+        loop_resumed = L1CacheSim(cfg, use_reference=True)
+        loop_resumed.restore_state(stacked_half.snapshot_state())
+        got2 = loop_resumed.access_frame(
+            refs[cut:], ones(len(refs) - cut), sets[cut:]
+        )
+        assert got2.miss_refs.tolist() == expect.miss_refs.tolist()
+
+    def test_reset_invalidates_stack(self):
+        cfg = L1CacheConfig(size_bytes=4 * 64, ways=4)
+        sim = L1CacheSim(cfg)
+        sim.access_frame(np.array([1]), ones(1), np.zeros(1, dtype=np.int64))
+        sim.reset()
+        res = sim.access_frame(np.array([1]), ones(1), np.zeros(1, dtype=np.int64))
+        assert res.misses == 1
+
+    def test_restore_rejects_geometry_mismatch(self):
+        small = L1CacheSim(L1CacheConfig(size_bytes=2 * 4 * 64, ways=4))
+        big = L1CacheSim(L1CacheConfig(size_bytes=8 * 4 * 64, ways=4))
+        with pytest.raises(ValueError):
+            big.restore_state(small.snapshot_state())
+
+    def test_restore_rejects_vectorized_snapshot(self):
+        two_way = L1CacheSim(L1CacheConfig(size_bytes=2048))
+        four_way = L1CacheSim(L1CacheConfig(size_bytes=4 * 64, ways=4))
+        with pytest.raises(ValueError):
+            four_way.restore_state(two_way.snapshot_state())

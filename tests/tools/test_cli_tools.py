@@ -47,6 +47,44 @@ class TestRender:
             render_main(["metropolis", str(tmp_path / "x.npz")])
 
 
+class TestRenderJobs:
+    ARGS = ["--width", "64", "--height", "48", "--frames", "3", "--detail", "0.2"]
+
+    def test_jobs_renders_identical_trace(self, tmp_path):
+        serial, parallel = tmp_path / "s.npz", tmp_path / "p.npz"
+        assert render_main(["city", str(serial), *self.ARGS, "--jobs", "1"]) == 0
+        assert render_main(["city", str(parallel), *self.ARGS, "--jobs", "2"]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_jobs_stream_output(self, tmp_path):
+        out = tmp_path / "p.stream"
+        rc = render_main(
+            ["city", str(out), *self.ARGS, "--stream", "--jobs", "2"]
+        )
+        assert rc == 0
+        assert (out / "manifest.json").exists()
+
+    @pytest.mark.parametrize("bad", ["junk", "0", "-2", "1.5"])
+    def test_bad_jobs_rejected_with_typed_message(self, bad, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            render_main(["city", str(tmp_path / "x.npz"), *self.ARGS,
+                         "--jobs", bad])
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+
+    def test_bad_repro_jobs_env_rejected(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "junk")
+        with pytest.raises(SystemExit):
+            render_main(["city", str(tmp_path / "x.npz"), *self.ARGS])
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
+    def test_env_default_used_when_flag_absent(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        out = tmp_path / "env.npz"
+        assert render_main(["city", str(out), *self.ARGS]) == 0
+        assert out.exists()
+
+
 class TestTraceInfo:
     def test_summary_printed(self, trace_file, capsys):
         assert trace_info_main([str(trace_file)]) == 0
