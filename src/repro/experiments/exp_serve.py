@@ -1,0 +1,458 @@
+"""Overload-tolerant QoS serving: admission, shedding, breakers, feedback.
+
+Builds real per-tenant frame costs (each tenant's trace simulated alone
+on the paper hierarchy, costed by the §5.4.2 timing model), then replays
+seeded bursty arrival schedules through the
+:class:`~repro.serve.system.ServingSystem` across four scenarios:
+
+* ``static-clean`` / ``feedback-clean`` — nominal load, no faults;
+* ``static-overload`` / ``feedback-overload`` — two misbehaving
+  tenants push total demand to ~2x capacity, past what MIP-bias
+  shedding alone can absorb, so several queues stay backlogged and
+  the scheduler's guaranteed shares genuinely bind;
+* ``feedback-faults`` — the overload plus a faulty AGP link on the
+  worst offender and seeded chaos kills/stalls on served frames.
+
+Each scenario runs as a task under the self-healing supervisor
+(:func:`~repro.reliability.supervisor.supervise_tasks`) — so with
+``$REPRO_CHAOS`` set, worker processes are killed and stalled mid-batch —
+and is then re-run inline; the two journals must match byte for byte
+(convergence from a seed, whatever the execution environment did).
+
+Contracts asserted rather than reported:
+
+* protected tenants never exceed their SLO latency budget (zero
+  violations in every scenario);
+* no queue ever exceeds its declared bound (bounded backpressure);
+* the fairness-feedback scheduler beats static weights on worst-tenant
+  slowdown under overload (the recorded margin is positive);
+* in the faults scenario, circuit breakers both trip and recover
+  through a half-open probe.
+
+Finally, the same :func:`~repro.serve.scheduler.reweight` rule closes
+the roadmap's interleaver feedback loop: measured cache-contention
+slowdowns (:func:`repro.tenancy.metrics.slowdowns`) re-weight a
+``weighted`` :func:`~repro.tenancy.schedule.merge_traces` schedule for
+a few iterations from a deliberately mis-weighted start, and the
+worst-tenant slowdown trajectory is recorded. The loop is stable and
+bounded; the recorded trajectory also quantifies how *insensitive*
+cache contention is to interleave ratios (the serving layer's latency
+channel, not the cache channel, is where feedback pays off — which is
+why the measurable-improvement contract lives on the serving margin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hierarchy import HierarchyConfig
+from repro.core.l1_cache import L1CacheConfig
+from repro.core.l2_cache import L2CacheConfig
+from repro.experiments.config import L1_LOW_BYTES, Scale, scaled_l2_sizes
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.experiments.simcache import prewarm, simulate
+from repro.experiments.traces import get_trace
+from repro.reliability.chaos import ChaosPolicy
+from repro.reliability.faults import FaultModel
+from repro.reliability.supervisor import (
+    SupervisorConfig,
+    TaskRunner,
+    default_jobs,
+    supervise_tasks,
+)
+from repro.serve import (
+    ArrivalPattern,
+    ServeConfig,
+    ServingSystem,
+    TenantSLO,
+    bursty_arrivals,
+    journal_json,
+    reweight,
+)
+from repro.tenancy import merge_traces, slowdowns
+from repro.tenancy.metrics import frame_costs_us
+from repro.texture.sampler import FilterMode
+
+__all__ = ["run_serve", "ServeScenarioRunner", "build_tenant_costs", "serve_scenarios"]
+
+#: (name, workload, budget_epochs, queue_frames, protected) per tenant.
+#: Tenants 2 and 3 are the offenders: the overload scenarios raise
+#: their rates until total demand is OVERLOAD x capacity.
+TENANTS = (
+    ("village-prot", "village", 12.0, 8, True),
+    ("city-a", "city", 20.0, 10, False),
+    ("city-b", "city", 20.0, 10, False),
+    ("village-bulk", "village", 40.0, 24, False),
+)
+
+#: Fraction of serving capacity the nominal (1x) demand occupies.
+BASE_LOAD = 0.7
+
+#: Total demand over capacity in the overload scenarios.
+OVERLOAD = 2.0
+
+#: Base-rate multiplier for the lesser offender (city-b) under
+#: overload; the bulk tenant's rate then fills demand up to OVERLOAD.
+OFFENDER_RATE = 5.5
+
+#: Seeds: arrivals, serving system, serve-level chaos, offender link.
+ARRIVAL_SEED = 11
+SERVE_SEED = 5
+CHAOS_SEED = 23
+FAULT_SEED = 3
+
+#: Interleaver feedback-loop iterations (roadmap item: fairness metrics
+#: feed the scheduler weights).
+INTERLEAVE_STEPS = 3
+
+
+def build_tenant_costs(scale: Scale) -> list[np.ndarray]:
+    """Per-tenant frame-cost arrays (µs) from real isolated simulations."""
+    l2_bytes = scaled_l2_sizes(scale)[0][1]
+    config = HierarchyConfig(
+        l1=L1CacheConfig(size_bytes=L1_LOW_BYTES),
+        l2=L2CacheConfig(size_bytes=l2_bytes, l2_tile_texels=16),
+        tlb_entries=16,
+    )
+    traces = {
+        w: get_trace(w, scale, FilterMode.BILINEAR)
+        for w in {spec[1] for spec in TENANTS}
+    }
+    prewarm([(t, config) for t in traces.values()])
+    costs = {
+        w: frame_costs_us(simulate(t, config).frames)
+        for w, t in traces.items()
+    }
+    return [np.asarray(costs[spec[1]], dtype=np.float64) for spec in TENANTS]
+
+
+def serve_scenarios(costs: list[np.ndarray], epochs: int) -> list[dict]:
+    """The scenario payloads (plain JSON types; picklable for workers)."""
+    means = [float(c.mean()) for c in costs]
+    pattern = ArrivalPattern(rates=(1.0,) * len(means))
+    # Mean arrivals per epoch exceed the base rate by the burst factor.
+    burst_factor = 1.0 + pattern.burst_prob * (pattern.burst_mult - 1.0)
+    # Nominal: every tenant submits one frame per epoch (plus bursts);
+    # capacity sized so mean demand occupies BASE_LOAD of it.
+    epoch_us = burst_factor * sum(means) / BASE_LOAD
+    # Overload: city-b misbehaves at OFFENDER_RATE x, and the bulk
+    # tenant's rate fills mean demand up to OVERLOAD x capacity — two
+    # backlogged offenders, so scheduler shares genuinely contend.
+    offender = len(means) - 1
+    base_rates = [1.0] * len(means)
+    over_rates = list(base_rates)
+    over_rates[offender - 1] = OFFENDER_RATE
+    demand_wo = sum(
+        r * m * burst_factor
+        for t, (r, m) in enumerate(zip(over_rates, means))
+        if t != offender
+    )
+    over_rates[offender] = round(
+        (OVERLOAD * epoch_us - demand_wo) / (means[offender] * burst_factor),
+        6,
+    )
+
+    chaos = {
+        "seed": CHAOS_SEED,
+        "kill_rate": 0.35,
+        "stall_rate": 0.15,
+        "stall_s": round(0.4 * epoch_us * 1e-6, 9),
+        "max_attempt": 2,
+    }
+    fault = {"drop_rate": 0.08, "seed": FAULT_SEED}
+    scenarios = [
+        {"id": "static-clean", "feedback": False, "rates": base_rates},
+        {"id": "feedback-clean", "feedback": True, "rates": base_rates},
+        {"id": "static-overload", "feedback": False, "rates": over_rates},
+        {"id": "feedback-overload", "feedback": True, "rates": over_rates},
+        {
+            "id": "feedback-faults",
+            "feedback": True,
+            "rates": over_rates,
+            "chaos": chaos,
+            "fault_tenants": {str(offender): fault},
+        },
+    ]
+    for s in scenarios:
+        s.setdefault("chaos", None)
+        s.setdefault("fault_tenants", {})
+        s["epochs"] = epochs
+        s["epoch_us"] = round(epoch_us, 6)
+    return scenarios
+
+
+def run_serve_scenario(
+    costs: list[np.ndarray],
+    payload: dict,
+    arrival_seed: int = ARRIVAL_SEED,
+    serve_seed: int = SERVE_SEED,
+) -> dict:
+    """Run one serving scenario; pure function of (costs, payload, seeds)."""
+    epoch_us = float(payload["epoch_us"])
+    slos = []
+    for t, (name, _, budget_epochs, queue_frames, protected) in enumerate(
+        TENANTS
+    ):
+        fault = payload["fault_tenants"].get(str(t))
+        slos.append(
+            TenantSLO(
+                name=name,
+                frame_budget_us=budget_epochs * epoch_us,
+                queue_frames=queue_frames,
+                protected=protected,
+                fault_model=None if fault is None else FaultModel(**fault),
+            )
+        )
+    config = ServeConfig(
+        epoch_us=epoch_us,
+        slo_safety=0.6,
+        feedback=bool(payload["feedback"]),
+        chaos=(
+            None
+            if payload["chaos"] is None
+            else ChaosPolicy(**payload["chaos"])
+        ),
+    )
+    pattern = ArrivalPattern(rates=tuple(float(r) for r in payload["rates"]))
+    arrivals = bursty_arrivals(pattern, int(payload["epochs"]), arrival_seed)
+    system = ServingSystem(config, slos, costs, seed=serve_seed)
+    report = system.run(arrivals)
+
+    max_depths = [0] * len(slos)
+    for ev in system.journal:
+        if ev["event"] == "epoch":
+            for t, depth in enumerate(ev["queued"]):
+                max_depths[t] = max(max_depths[t], depth)
+    return {
+        "id": payload["id"],
+        "journal": journal_json(system.journal),
+        "report_json": report.to_json(),
+        "metrics": {
+            "worst_slowdown": report.worst_slowdown,
+            "worst_protected_slowdown": report.worst_protected_slowdown,
+            "protected_violations": report.protected_violations,
+            "violations": [t.violations for t in report.tenants],
+            "rejected": [dict(t.rejected) for t in report.tenants],
+            "completed": [t.completed for t in report.tenants],
+            "deferred_epochs": [t.deferred_epochs for t in report.tenants],
+            "max_queue_depth": max_depths,
+            "breaker_trips": sum(t.breaker_trips for t in report.tenants),
+            "breaker_recoveries": sum(
+                t.breaker_recoveries for t in report.tenants
+            ),
+            "shed_steps": system.shedder.shed_steps,
+            "weights": [float(w) for w in report.weights],
+            "used_ratio": report.used_us
+            / (report.capacity_us * max(report.epochs, 1)),
+        },
+    }
+
+
+class ServeScenarioRunner(TaskRunner):
+    """Supervised task body: one serving scenario per task."""
+
+    def __init__(self, costs: list[list[float]]):
+        self.costs = costs
+
+    def task_key(self, payload) -> str:
+        return f"serve:{payload['id']}"
+
+    def run(self, payload):
+        costs = [np.asarray(c, dtype=np.float64) for c in self.costs]
+        return run_serve_scenario(costs, payload)
+
+
+def run_serve(scale: Scale | None = None) -> ExperimentResult:
+    """QoS serving under overload, faults, and chaos."""
+    scale = scale or Scale.from_env()
+    # Long enough for queues to reach steady state under overload — the
+    # feedback-vs-static separation only shows once backlog dynamics
+    # dominate the empty-queue warmup epochs.
+    epochs = max(80, scale.frames * 4)
+    costs = build_tenant_costs(scale)
+    scenarios = serve_scenarios(costs, epochs)
+
+    runner = ServeScenarioRunner([[float(x) for x in c] for c in costs])
+    results = supervise_tasks(
+        list(enumerate(scenarios)),
+        runner,
+        jobs=default_jobs(),
+        cfg=SupervisorConfig(),
+    )
+    by_id = {r["id"]: r for r in results.values()}
+
+    # Convergence from a seed: the supervised run (possibly healed from
+    # chaos kills/stalls of whole workers) must match an inline rerun
+    # byte for byte.
+    for payload in scenarios:
+        again = run_serve_scenario(costs, payload)
+        if again["journal"] != by_id[payload["id"]]["journal"] or (
+            again["report_json"] != by_id[payload["id"]]["report_json"]
+        ):
+            raise AssertionError(
+                f"serving scenario {payload['id']!r} did not converge "
+                "byte-identically between supervised and inline runs"
+            )
+
+    # Contracts.
+    for payload in scenarios:
+        m = by_id[payload["id"]]["metrics"]
+        if m["protected_violations"] != 0:
+            raise AssertionError(
+                f"protected tenant exceeded its SLO budget in "
+                f"{payload['id']!r}: {m['violations']}"
+            )
+        for t, (_, _, _, queue_frames, _) in enumerate(TENANTS):
+            if m["max_queue_depth"][t] > queue_frames:
+                raise AssertionError(
+                    f"queue bound exceeded in {payload['id']!r}: tenant {t} "
+                    f"reached {m['max_queue_depth'][t]} > {queue_frames}"
+                )
+    margin = (
+        by_id["static-overload"]["metrics"]["worst_slowdown"]
+        - by_id["feedback-overload"]["metrics"]["worst_slowdown"]
+    )
+    if margin <= 0:
+        raise AssertionError(
+            "fairness feedback did not improve worst-tenant slowdown "
+            f"under overload (margin {margin:.4f})"
+        )
+    faults = by_id["feedback-faults"]["metrics"]
+    if faults["breaker_trips"] < 1 or faults["breaker_recoveries"] < 1:
+        raise AssertionError(
+            "faults scenario must both trip and recover circuit breakers, "
+            f"got trips={faults['breaker_trips']} "
+            f"recoveries={faults['breaker_recoveries']}"
+        )
+
+    # Interleaver feedback loop: cache-contention slowdowns re-weight a
+    # weighted merge schedule (roadmap: metrics feed the scheduler).
+    l2_bytes = scaled_l2_sizes(scale)[0][1]
+    shared_config = HierarchyConfig(
+        l1=L1CacheConfig(size_bytes=L1_LOW_BYTES),
+        l2=L2CacheConfig(size_bytes=l2_bytes, l2_tile_texels=16),
+        tlb_entries=16,
+    )
+    v_trace = get_trace("village", scale, FilterMode.BILINEAR)
+    c_trace = get_trace("city", scale, FilterMode.BILINEAR)
+    tenant_traces = [v_trace, c_trace, v_trace, c_trace]
+    iso_frames = [
+        simulate(t, shared_config).frames for t in tenant_traces
+    ]
+    # Start deliberately mis-weighted (first tenant 4x over-served) and
+    # let measured slowdowns drive the weights.
+    weights = [4.0, 1.0, 1.0, 1.0]
+    trajectory = []
+    from repro.tenancy import TenancyConfig
+
+    for _ in range(INTERLEAVE_STEPS):
+        merged, tid_bases = merge_traces(
+            tenant_traces,
+            schedule="weighted",
+            weights=weights,
+            seed=0,
+        )
+        config = HierarchyConfig(
+            l1=shared_config.l1,
+            l2=shared_config.l2,
+            tlb_entries=shared_config.tlb_entries,
+            tenancy=TenancyConfig(tid_bases=tid_bases),
+        )
+        sd = slowdowns(simulate(merged, config).frames, iso_frames)
+        trajectory.append(
+            {
+                "weights": [round(float(w), 6) for w in weights],
+                "slowdowns": [round(float(s), 6) for s in sd],
+                "worst": round(float(sd.max()), 6),
+            }
+        )
+        weights = [float(w) for w in reweight(weights, sd, alpha=0.5)]
+    interleave_worsts = [step["worst"] for step in trajectory]
+    # Spread of worst-tenant contention across the whole weight
+    # trajectory: how (in)sensitive the cache channel is to interleave
+    # ratios. The loop must stay bounded — weights are clamped by
+    # reweight itself, asserted here as a stability contract.
+    interleave_spread = max(interleave_worsts) - min(interleave_worsts)
+    for step in trajectory:
+        if any(not 0.0625 <= w <= 16.0 for w in step["weights"]):
+            raise AssertionError(
+                f"interleave feedback weights diverged: {step['weights']}"
+            )
+
+    rows = []
+    for payload in scenarios:
+        m = by_id[payload["id"]]["metrics"]
+        rows.append(
+            [
+                payload["id"],
+                f"{m['worst_slowdown']:.3f}",
+                f"{m['worst_protected_slowdown']:.3f}",
+                str(sum(v for v in m["violations"])),
+                str(sum(sum(r.values()) for r in m["rejected"])),
+                str(sum(m["deferred_epochs"])),
+                str(m["shed_steps"]),
+                f"{m['breaker_trips']}/{m['breaker_recoveries']}",
+                f"{m['used_ratio']:.2f}",
+            ]
+        )
+
+    data = {
+        "epoch_us": scenarios[0]["epoch_us"],
+        "epochs": epochs,
+        "tenants": [
+            {
+                "name": name,
+                "workload": workload,
+                "budget_epochs": budget,
+                "queue_frames": qf,
+                "protected": prot,
+            }
+            for name, workload, budget, qf, prot in TENANTS
+        ],
+        "scenarios": {
+            payload["id"]: by_id[payload["id"]]["metrics"]
+            for payload in scenarios
+        },
+        "feedback_vs_static_margin": round(margin, 6),
+        "interleave_feedback": {
+            "trajectory": trajectory,
+            "worst_slowdown_spread": round(interleave_spread, 6),
+        },
+        "determinism": {"byte_identical_scenarios": len(scenarios)},
+    }
+    note = (
+        f"\nCapacity: {scenarios[0]['epoch_us']:.0f} us/epoch x {epochs} "
+        f"epochs; nominal load {BASE_LOAD:.0%}, overload {OVERLOAD:.1f}x "
+        "via the city-b and bulk tenants. Protected tenants finished "
+        "every scenario "
+        "with zero SLO violations, no queue exceeded its bound, and each "
+        "supervised scenario matched its inline rerun byte for byte (all "
+        "asserted). Feedback beats static weights on worst-tenant "
+        f"slowdown by {margin:.3f}. The weighted-interleave feedback loop "
+        "(fairness metrics driving merge weights, from a 4:1 mis-weighted "
+        "start) stayed stable and bounded; worst cache-contention "
+        f"slowdown moved only {interleave_spread:.4f} across the "
+        "trajectory — the cache channel is insensitive to interleave "
+        "ratios, so the QoS response rightly lives in the serving layer."
+    )
+    return ExperimentResult(
+        experiment_id="serve",
+        title="QoS serving: admission, shedding, breakers, feedback",
+        text=format_table(
+            [
+                "scenario",
+                "worst sd",
+                "prot sd",
+                "viol",
+                "rejected",
+                "defers",
+                "sheds",
+                "brk t/r",
+                "used",
+            ],
+            rows,
+        )
+        + note,
+        data=data,
+        scale_name=scale.name,
+    )

@@ -137,9 +137,15 @@ class SupervisorConfig:
         """Parallel dispatches a task may consume before falling back."""
         return self.retry.max_retries + 1
 
-    def backoff_s(self, retry_round: int) -> float:
-        """Requeue delay before retry round ``retry_round`` (0-based)."""
-        return self.retry.backoff_us(retry_round) * 1e-6
+    def backoff_s(self, retry_round: int, key: str = "") -> float:
+        """Requeue delay before retry round ``retry_round`` (0-based).
+
+        ``key`` identifies the task so a jittered retry policy
+        (``TransferPolicy.jitter``) decorrelates the requeue schedules of
+        tasks whose workers died together — replaced workers don't all
+        redispatch in the same instant.
+        """
+        return self.retry.backoff_us(retry_round, key) * 1e-6
 
 
 class TaskRunner:
@@ -318,7 +324,7 @@ def supervise_tasks(
         failures += 1
         hb.emit(cause, task=task_id, attempt=attempt, **info)
         if attempt + 1 < cfg.max_attempts:
-            delay = cfg.backoff_s(attempt)
+            delay = cfg.backoff_s(attempt, runner.task_key(work[task_id]))
             delayed.append((time.monotonic() + delay, task_id, attempt + 1))
             hb.emit("requeue", task=task_id, attempt=attempt + 1, backoff_s=delay)
         elif cfg.serial_fallback:

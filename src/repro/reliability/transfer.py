@@ -17,6 +17,7 @@ bandwidth numbers exactly.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.errors import TransferError
@@ -34,6 +35,15 @@ class TransferPolicy:
         max_retries: re-transfer attempts per block beyond the first try.
         backoff_base_us: wait before the first retry round, microseconds.
         backoff_factor: multiplier per subsequent retry round.
+        jitter: fraction of each backoff randomized (0 = the legacy fixed
+            schedule, 1 = *full jitter*: uniform over (0, ceiling]). When
+            many replaced workers retry the same failure at once, a fixed
+            exponential schedule makes every survivor wake simultaneously
+            and stampede the link again; jitter decorrelates them. The
+            draw is a pure seeded hash of (seed, key, round) — two
+            retriers with distinct keys or seeds spread out, yet every run
+            of the same schedule is bit-reproducible.
+        jitter_seed: decorrelation seed for the jitter hash.
         strict: raise :class:`TransferError` when a block exhausts its
             retries instead of degrading to stale data.
     """
@@ -41,6 +51,8 @@ class TransferPolicy:
     max_retries: int = 3
     backoff_base_us: float = 10.0
     backoff_factor: float = 2.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
     strict: bool = False
 
     def __post_init__(self) -> None:
@@ -50,10 +62,27 @@ class TransferPolicy:
             raise ValueError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
-    def backoff_us(self, retry_round: int) -> float:
-        """Backoff before retry round ``retry_round`` (0-based)."""
-        return self.backoff_base_us * self.backoff_factor**retry_round
+    def backoff_us(self, retry_round: int, key: str = "") -> float:
+        """Backoff before retry round ``retry_round`` (0-based).
+
+        ``key`` names the retrying entity (a sweep task, a page fetch, a
+        tenant frame); with ``jitter`` enabled, distinct keys draw
+        decorrelated waits from the same deterministic schedule. With
+        ``jitter=0`` (the default) the key is ignored and the legacy
+        fixed exponential schedule is returned unchanged.
+        """
+        ceiling = self.backoff_base_us * self.backoff_factor**retry_round
+        if self.jitter <= 0.0:
+            return ceiling
+        digest = hashlib.sha256(
+            f"{self.jitter_seed}|backoff|{key}|{retry_round}".encode("utf-8")
+        ).digest()
+        # (0, 1]: a zero-length backoff would coalesce retries again.
+        u = (int.from_bytes(digest[:8], "big") + 1) / 2**64
+        return ceiling * ((1.0 - self.jitter) + self.jitter * u)
 
 
 @dataclass

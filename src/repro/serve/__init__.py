@@ -1,0 +1,67 @@
+"""Overload-tolerant QoS serving for multi-tenant frame simulation.
+
+The multi-tenant layer (:mod:`repro.tenancy`) shares one texture-cache
+hierarchy between tenants and *measures* the fairness outcome; this
+package adds the control plane that keeps tenants inside declared
+service-level objectives when demand, faults, or misbehaving neighbours
+would otherwise blow them:
+
+* :mod:`~repro.serve.slo` — per-tenant SLO declarations (latency budget
+  from the machine timing model, weight, queue bound, protection);
+* :mod:`~repro.serve.arrivals` — seeded bursty arrival schedules;
+* :mod:`~repro.serve.admission` — bounded queues, SLO-projection gate,
+  typed :class:`~repro.errors.AdmissionRejectedError` rejections;
+* :mod:`~repro.serve.shedder` — degrade-before-drop overload ladder
+  (VT MIP bias first, whole-frame deferral last);
+* :mod:`~repro.serve.breaker` — per-tenant circuit breakers over fault
+  and chaos episodes, with half-open probing;
+* :mod:`~repro.serve.scheduler` — fairness-feedback weight updates, the
+  closed loop from measured slowdowns back into scheduler shares (and
+  into :func:`repro.tenancy.schedule.merge_traces` weighted merges);
+* :mod:`~repro.serve.system` — the deterministic epoch engine tying it
+  together, with a byte-stable decision journal and checkpointing.
+
+Everything runs on a simulated clock with seeded hashes — no wall time,
+no unseeded randomness — so a serving run is as reproducible as a cache
+simulation: same seed, same bytes.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    QueuedFrame,
+)
+from repro.serve.arrivals import ArrivalPattern, bursty_arrivals
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.scheduler import FeedbackScheduler, reweight
+from repro.serve.shedder import LoadShedder, ShedPlan
+from repro.serve.slo import TenantSLO
+from repro.serve.system import (
+    ServeConfig,
+    ServeReport,
+    ServingSystem,
+    TenantServeStats,
+    journal_json,
+)
+
+__all__ = [
+    "TenantSLO",
+    "ArrivalPattern",
+    "bursty_arrivals",
+    "AdmissionController",
+    "AdmissionDecision",
+    "QueuedFrame",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "LoadShedder",
+    "ShedPlan",
+    "FeedbackScheduler",
+    "reweight",
+    "ServeConfig",
+    "ServeReport",
+    "ServingSystem",
+    "TenantServeStats",
+    "journal_json",
+]

@@ -1,0 +1,192 @@
+"""Admission control: bounded queues, SLO projection, typed rejection.
+
+Every tenant frame request passes through :meth:`AdmissionController.offer`
+before it may consume any serving capacity. A request is refused — with a
+typed :class:`~repro.errors.AdmissionRejectedError` carried in the
+decision, raised only under ``strict`` — when:
+
+* ``breaker-open`` — the tenant's circuit breaker is open;
+* ``queue-full`` — the tenant's bounded queue is at its declared depth
+  (backpressure: the queue can never grow without bound);
+* ``slo`` — the *projection check*: even if the tenant receives exactly
+  its guaranteed scheduler share from now on, the queued work plus this
+  frame could not complete inside the declared frame-latency budget.
+  Admitting such a frame would manufacture an SLO violation; refusing it
+  is the honest answer.
+
+The projection is conservative by the ``safety`` factor (< 1 tightens it)
+and uses only deterministic state — queue contents and guaranteed shares
+— so the same request stream always yields the same admission decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AdmissionRejectedError
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.slo import TenantSLO
+
+__all__ = ["AdmissionDecision", "AdmissionController", "QueuedFrame"]
+
+
+@dataclass
+class QueuedFrame:
+    """One admitted frame request waiting for service."""
+
+    seq: int            # per-tenant request sequence number
+    cost_us: float      # unbiased service cost
+    arrival_epoch: int  # epoch the request was admitted
+    attempts: int = 0   # service attempts consumed (chaos kills requeue)
+
+    def snapshot_state(self) -> dict:
+        return {
+            "seq": self.seq,
+            "cost_us": self.cost_us,
+            "arrival_epoch": self.arrival_epoch,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QueuedFrame":
+        return cls(
+            seq=int(state["seq"]),
+            cost_us=float(state["cost_us"]),
+            arrival_epoch=int(state["arrival_epoch"]),
+            attempts=int(state["attempts"]),
+        )
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one admission offer."""
+
+    tenant: int
+    admitted: bool
+    projected_wait_us: float
+    error: AdmissionRejectedError | None = None
+
+    @property
+    def reason(self) -> str | None:
+        """Rejection reason, or None when admitted."""
+        return None if self.error is None else self.error.reason
+
+
+class AdmissionController:
+    """Bounded per-tenant queues plus the SLO projection gate."""
+
+    def __init__(
+        self,
+        slos: list[TenantSLO],
+        epoch_us: float,
+        safety: float = 1.0,
+        strict: bool = False,
+    ):
+        if epoch_us <= 0.0:
+            raise ValueError(f"epoch_us must be positive, got {epoch_us}")
+        if safety <= 0.0:
+            raise ValueError(f"safety must be positive, got {safety}")
+        self.slos = list(slos)
+        self.epoch_us = epoch_us
+        self.safety = safety
+        self.strict = strict
+        self.queues: list[list[QueuedFrame]] = [[] for _ in slos]
+        self.admitted = [0 for _ in slos]
+        self.rejected = [
+            {reason: 0 for reason in AdmissionRejectedError.REASONS}
+            for _ in slos
+        ]
+
+    # ------------------------------------------------------------------
+    def queued_cost_us(self, tenant: int) -> float:
+        """Unbiased service cost waiting in one tenant's queue."""
+        return sum(f.cost_us for f in self.queues[tenant])
+
+    def depth(self, tenant: int) -> int:
+        return len(self.queues[tenant])
+
+    def projected_wait_us(
+        self, tenant: int, cost_us: float, share_us: float
+    ) -> float:
+        """Worst-case latency if the tenant gets only its guaranteed share.
+
+        ``share_us`` is the service time per epoch the scheduler
+        guarantees this tenant; draining the queue plus the offered frame
+        at that rate takes ``ceil(total / share)`` epochs.
+        """
+        if share_us <= 0.0:
+            return float("inf")
+        total = self.queued_cost_us(tenant) + cost_us
+        epochs = -(-total // share_us)  # ceil division on floats
+        return epochs * self.epoch_us
+
+    # ------------------------------------------------------------------
+    def offer(
+        self,
+        tenant: int,
+        cost_us: float,
+        arrival_epoch: int,
+        share_us: float,
+        breaker: CircuitBreaker | None = None,
+    ) -> AdmissionDecision:
+        """Admit or reject one frame request; updates queue and counters.
+
+        Rejection precedence: an open breaker wins over a full queue wins
+        over the SLO projection — the earlier conditions are cheaper and
+        the typed reason should name the binding constraint.
+        """
+        slo = self.slos[tenant]
+        projected = self.projected_wait_us(tenant, cost_us, share_us)
+
+        reason = None
+        if breaker is not None and not breaker.admits(arrival_epoch):
+            reason = "breaker-open"
+        elif len(self.queues[tenant]) >= slo.queue_frames:
+            reason = "queue-full"
+        elif projected > slo.frame_budget_us * self.safety:
+            reason = "slo"
+
+        if reason is not None:
+            self.rejected[tenant][reason] += 1
+            error = AdmissionRejectedError(tenant, reason)
+            if self.strict:
+                raise error
+            return AdmissionDecision(
+                tenant=tenant,
+                admitted=False,
+                projected_wait_us=projected,
+                error=error,
+            )
+
+        self.queues[tenant].append(
+            QueuedFrame(
+                seq=self.admitted[tenant],
+                cost_us=float(cost_us),
+                arrival_epoch=arrival_epoch,
+            )
+        )
+        self.admitted[tenant] += 1
+        return AdmissionDecision(
+            tenant=tenant, admitted=True, projected_wait_us=projected
+        )
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Queues and counters (checkpointable via ``flatten_state``)."""
+        return {
+            "queues": [
+                [f.snapshot_state() for f in q] for q in self.queues
+            ],
+            "admitted": list(self.admitted),
+            "rejected": [dict(r) for r in self.rejected],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self.queues = [
+            [QueuedFrame.from_state(f) for f in q] for q in state["queues"]
+        ]
+        self.admitted = [int(a) for a in state["admitted"]]
+        self.rejected = [
+            {str(k): int(v) for k, v in r.items()} for r in state["rejected"]
+        ]

@@ -1,0 +1,116 @@
+"""Per-tenant circuit breakers over fault/timeout episodes.
+
+A tenant whose AGP link keeps faulting (or whose frames keep getting
+killed/stalled by chaos) wastes serving capacity on retries that other
+tenants were entitled to. The breaker is the standard three-state
+machine, driven entirely by the serving layer's deterministic epoch
+clock — no wall time anywhere:
+
+* **closed** — episodes are counted; ``failure_threshold`` *consecutive*
+  fault episodes trip the breaker.
+* **open** — the tenant's frames are neither admitted nor served for
+  ``cooldown_epochs`` epochs; arrivals are rejected with the typed
+  ``"breaker-open"`` reason.
+* **half-open** — after the cooldown, exactly one queued frame is served
+  as a probe. A clean probe closes the breaker (and resets the episode
+  count); a faulty probe reopens it for another full cooldown.
+
+Every transition is recorded with its epoch so journals and tests can
+assert the exact trip/probe/recover sequence.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One tenant's episode-driven breaker on the serving epoch clock."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown_epochs: int = 4):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_epochs < 1:
+            raise ValueError(
+                f"cooldown_epochs must be >= 1, got {cooldown_epochs}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_epochs = cooldown_epochs
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.probe_epoch = -1  # first epoch a half-open probe may run
+        self.transitions: list[tuple[int, str, str]] = []
+
+    # ------------------------------------------------------------------
+    def _move(self, epoch: int, new_state: str) -> None:
+        self.transitions.append((epoch, self.state, new_state))
+        self.state = new_state
+
+    def admits(self, epoch: int) -> bool:
+        """Whether new arrivals for this tenant may be admitted now.
+
+        An open breaker whose cooldown has elapsed moves to half-open
+        here (arrival/service paths both call this, so the transition
+        happens at the first activity after the cooldown). Half-open
+        admits — the probe needs a frame to serve.
+        """
+        if self.state == OPEN and epoch >= self.probe_epoch:
+            self._move(epoch, HALF_OPEN)
+        return self.state != OPEN
+
+    def serves(self, epoch: int) -> bool:
+        """Whether the scheduler may serve this tenant's frames now."""
+        return self.admits(epoch)
+
+    @property
+    def probing(self) -> bool:
+        """True when in half-open: service is limited to a single probe."""
+        return self.state == HALF_OPEN
+
+    # ------------------------------------------------------------------
+    def record_success(self, epoch: int) -> None:
+        """A frame completed without a fault episode."""
+        self.consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            self._move(epoch, CLOSED)
+
+    def record_failure(self, epoch: int) -> None:
+        """A frame suffered a fault/timeout episode."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            self._trip(epoch)
+        elif (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip(epoch)
+
+    def _trip(self, epoch: int) -> None:
+        self._move(epoch, OPEN)
+        self.probe_epoch = epoch + self.cooldown_epochs
+        self.consecutive_failures = 0
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Scalar state tree (checkpointable via ``flatten_state``)."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "probe_epoch": self.probe_epoch,
+            "transitions": [list(t) for t in self.transitions],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self.state = str(state["state"])
+        self.consecutive_failures = int(state["consecutive_failures"])
+        self.probe_epoch = int(state["probe_epoch"])
+        self.transitions = [
+            (int(e), str(a), str(b)) for e, a, b in state["transitions"]
+        ]

@@ -1,0 +1,151 @@
+"""Contention-aware scheduling: fairness metrics feed back into weights.
+
+The tenancy layer measures per-tenant *slowdown* (how much worse a tenant
+fares shared than alone) but, until now, the interleaving schedulers took
+static weights — the roadmap's open feedback loop. This module closes it:
+
+* :func:`reweight` is the pure update rule. Tenants slower than the
+  geometric-mean slowdown gain weight, faster ones give it up, with a
+  damping exponent ``alpha`` and hard weight bounds so one pathological
+  epoch cannot starve anyone. The same rule serves two consumers:
+  the serving layer's deficit-share scheduler (latency slowdowns from
+  :class:`~repro.serve.system.ServingSystem`) and the trace interleaver
+  (cache-contention slowdowns from :func:`repro.tenancy.metrics.slowdowns`
+  feeding :func:`repro.tenancy.schedule.merge_traces` weighted merges).
+* :class:`FeedbackScheduler` wraps the rule in an epoch-clock loop:
+  per-frame latencies accumulate into a window, and every
+  ``period`` epochs the window's mean slowdowns drive one reweight step.
+
+Weights are renormalized to sum to the tenant count after every step, so
+``weight / sum`` shares stay comparable across epochs and the update is
+scale-free. Everything is deterministic — no randomness anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reweight", "FeedbackScheduler"]
+
+
+def reweight(
+    weights,
+    slowdowns,
+    alpha: float = 0.5,
+    bounds: tuple[float, float] = (0.25, 4.0),
+) -> np.ndarray:
+    """One multiplicative fairness-feedback step on scheduler weights.
+
+    ``w_t <- clip(w_t * (s_t / geomean(s)) ** alpha)``, renormalized to
+    sum to ``len(weights)``. A tenant suffering more than the population
+    (slowdown above the geometric mean) is entitled to more service; one
+    suffering less cedes share. ``alpha`` damps the step; ``bounds``
+    cap how far feedback may ever push any weight from parity.
+    """
+    w = np.asarray([float(x) for x in weights], dtype=np.float64)
+    s = np.asarray([float(x) for x in slowdowns], dtype=np.float64)
+    if w.shape != s.shape:
+        raise ValueError(f"{len(w)} weights for {len(s)} slowdowns")
+    if np.any(w <= 0):
+        raise ValueError(f"weights must be positive: {list(w)}")
+    if np.any(s <= 0):
+        raise ValueError(f"slowdowns must be positive: {list(s)}")
+    if alpha < 0.0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    lo, hi = bounds
+    if not 0.0 < lo <= hi:
+        raise ValueError(f"bounds must satisfy 0 < lo <= hi, got {bounds}")
+    geomean = float(np.exp(np.log(s).mean()))
+    stepped = np.clip(w * (s / geomean) ** alpha, lo, hi)
+    return stepped * (len(stepped) / stepped.sum())
+
+
+class FeedbackScheduler:
+    """Deficit-share scheduler whose weights track measured slowdowns."""
+
+    def __init__(
+        self,
+        weights,
+        alpha: float = 0.5,
+        period: int = 4,
+        bounds: tuple[float, float] = (0.25, 4.0),
+        enabled: bool = True,
+    ):
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.weights = np.asarray([float(w) for w in weights], dtype=np.float64)
+        if np.any(self.weights <= 0):
+            raise ValueError(f"weights must be positive: {list(self.weights)}")
+        n = len(self.weights)
+        self.weights = self.weights * (n / self.weights.sum())
+        self.alpha = alpha
+        self.period = period
+        self.bounds = bounds
+        self.enabled = enabled
+        # Latency observations since the last reweight, per tenant.
+        self._window: list[list[float]] = [[] for _ in range(n)]
+        self._last_slowdowns = np.ones(n)
+        self.reweights = 0
+
+    # ------------------------------------------------------------------
+    def shares_us(self, capacity_us: float) -> np.ndarray:
+        """Guaranteed per-epoch service microseconds per tenant."""
+        return capacity_us * self.weights / self.weights.sum()
+
+    def observe(self, tenant: int, latency_us: float) -> None:
+        """Record one completed frame's latency for the feedback window."""
+        self._window[tenant].append(float(latency_us))
+
+    def maybe_reweight(self, epoch: int, base_latency_us: float) -> dict | None:
+        """Reweight from the window every ``period`` epochs.
+
+        ``base_latency_us`` is the contention-free reference latency (one
+        serving epoch); a tenant's slowdown is its mean observed latency
+        over that base. Tenants with no completions keep their previous
+        slowdown — silence is not evidence of health. Returns a journal
+        event when a step ran, else None.
+        """
+        if not self.enabled or (epoch + 1) % self.period != 0:
+            return None
+        slowdowns = np.array(
+            [
+                (sum(lat) / len(lat) / base_latency_us)
+                if lat
+                else self._last_slowdowns[t]
+                for t, lat in enumerate(self._window)
+            ]
+        )
+        slowdowns = np.maximum(slowdowns, 1e-9)
+        self._last_slowdowns = slowdowns
+        self._window = [[] for _ in self.weights]
+        before = self.weights.copy()
+        self.weights = reweight(
+            self.weights, slowdowns, alpha=self.alpha, bounds=self.bounds
+        )
+        self.reweights += 1
+        return {
+            "event": "reweight",
+            "epoch": epoch,
+            "slowdowns": [round(float(s), 9) for s in slowdowns],
+            "weights_before": [round(float(w), 9) for w in before],
+            "weights": [round(float(w), 9) for w in self.weights],
+        }
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "weights": [float(w) for w in self.weights],
+            "window": [list(w) for w in self._window],
+            "last_slowdowns": [float(s) for s in self._last_slowdowns],
+            "reweights": self.reweights,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.weights = np.asarray(state["weights"], dtype=np.float64)
+        self._window = [
+            [float(x) for x in w] for w in state["window"]
+        ]
+        self._last_slowdowns = np.asarray(
+            state["last_slowdowns"], dtype=np.float64
+        )
+        self.reweights = int(state["reweights"])

@@ -1,0 +1,209 @@
+"""Load shedding: degrade quality before deferring work.
+
+When offered demand — the service cost of the frames tenants submitted
+this epoch — exceeds serving capacity, the shedder walks the same
+ladder the virtual-texturing engine uses for a missed page deadline —
+*quality first, liveness last*:
+
+1. **MIP bias** — raise the shed bias of the worst unprotected offender
+   one level at a time. A biased tenant's frames are textured one MIP
+   level coarser per bias step, shrinking their service cost by the
+   :func:`repro.vt.shed.bias_cost_multiplier` falloff (4x per level);
+   the frames still complete this epoch, just softer.
+2. **Deferral** — only when shedding is exhausted and demand *still*
+   spikes past the higher ``defer_headroom`` watermark (burst epochs,
+   not sustained pressure the queues can absorb) are whole frames
+   deferred: the worst offenders' queues are skipped for the epoch
+   (their frames stay queued; nothing is dropped).
+
+Protected tenants are never biased or deferred — overload lands on the
+tenants that caused it (the *offender* is whoever offered the most
+work). The pressure signal is the *flow* of newly admitted work, not
+the standing queue: bounded queues under sustained overload are always
+deeper than one epoch's capacity, and a full-but-draining queue is
+normal operation that admission already bounds, not an emergency. Bias
+comes back down with hysteresis: one restore step per epoch, and only
+once demand falls below the lower ``restore_headroom`` watermark, so
+the system does not flap between sharp and soft every other epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.slo import TenantSLO
+from repro.vt.shed import bias_cost_multiplier
+
+__all__ = ["ShedPlan", "LoadShedder"]
+
+
+@dataclass
+class ShedPlan:
+    """One epoch's shedding outcome."""
+
+    biases: list[int]
+    deferred: list[int]
+    events: list[dict] = field(default_factory=list)
+
+
+class LoadShedder:
+    """Bias-then-defer overload ladder over unprotected tenants."""
+
+    def __init__(
+        self,
+        slos: list[TenantSLO],
+        max_bias: int = 3,
+        shed_headroom: float = 1.0,
+        restore_headroom: float = 0.8,
+        defer_headroom: float = 1.5,
+        cost_floor: float = 0.5,
+    ):
+        if max_bias < 0:
+            raise ValueError(f"max_bias must be >= 0, got {max_bias}")
+        if not 0.0 <= cost_floor <= 1.0:
+            raise ValueError(
+                f"cost_floor must be in [0, 1], got {cost_floor}"
+            )
+        if shed_headroom <= 0.0:
+            raise ValueError(
+                f"shed_headroom must be positive, got {shed_headroom}"
+            )
+        if not 0.0 < restore_headroom <= shed_headroom:
+            raise ValueError(
+                "restore_headroom must be in (0, shed_headroom], got "
+                f"{restore_headroom} vs {shed_headroom}"
+            )
+        if defer_headroom < shed_headroom:
+            raise ValueError(
+                "defer_headroom must be >= shed_headroom, got "
+                f"{defer_headroom} vs {shed_headroom}"
+            )
+        self.slos = list(slos)
+        self.max_bias = max_bias
+        self.shed_headroom = shed_headroom
+        self.restore_headroom = restore_headroom
+        self.defer_headroom = defer_headroom
+        self.cost_floor = cost_floor
+        self.biases = [0 for _ in slos]
+        self.shed_steps = 0
+        self.defer_events = 0
+
+    # ------------------------------------------------------------------
+    def multiplier(self, bias: int) -> float:
+        """Frame-cost multiplier under a shed bias.
+
+        Only the texture-streaming share of a frame's cost falls with the
+        MIP falloff; ``cost_floor`` is the fraction (rasterization, depth,
+        non-texture work) a coarser MIP cannot remove. ``cost_floor=0``
+        recovers the raw :func:`~repro.vt.shed.bias_cost_multiplier`.
+        """
+        return self.cost_floor + (1.0 - self.cost_floor) * (
+            bias_cost_multiplier(bias)
+        )
+
+    def effective_cost_us(self, tenant: int, cost_us: float) -> float:
+        """Service cost of one tenant frame under its current bias."""
+        return cost_us * self.multiplier(self.biases[tenant])
+
+    def _demand_us(self, offered_costs_us: list[float]) -> float:
+        return sum(
+            c * self.multiplier(b)
+            for c, b in zip(offered_costs_us, self.biases)
+        )
+
+    def _offenders(self, offered_costs_us: list[float], *, shed: bool):
+        """Unprotected tenants by descending offered work (ties: index)."""
+        ranked = sorted(
+            (
+                t
+                for t, slo in enumerate(self.slos)
+                if not slo.protected and offered_costs_us[t] > 0
+            ),
+            key=lambda t: (-offered_costs_us[t], t),
+        )
+        if shed:
+            ranked = [t for t in ranked if self.biases[t] < self.max_bias]
+        return ranked
+
+    # ------------------------------------------------------------------
+    def plan(
+        self, epoch: int, offered_costs_us: list[float], capacity_us: float
+    ) -> ShedPlan:
+        """Update biases and pick deferrals for one epoch.
+
+        ``offered_costs_us`` is each tenant's unbiased service cost
+        *admitted this epoch* (the flow, not the standing queue);
+        ``capacity_us`` the epoch's total serving capacity.
+        """
+        events: list[dict] = []
+
+        # Restore (hysteresis): demand comfortably below the low
+        # watermark un-sheds the most-biased tenant one level per epoch.
+        if self._demand_us(offered_costs_us) < capacity_us * self.restore_headroom:
+            biased = [t for t, b in enumerate(self.biases) if b > 0]
+            if biased:
+                t = max(biased, key=lambda t: (self.biases[t], -t))
+                self.biases[t] -= 1
+                events.append(
+                    {
+                        "event": "restore",
+                        "epoch": epoch,
+                        "tenant": t,
+                        "bias": self.biases[t],
+                    }
+                )
+
+        # Shed: raise the worst offender's bias until projected demand
+        # fits under the shed watermark or every knob is maxed out.
+        while self._demand_us(offered_costs_us) > capacity_us * self.shed_headroom:
+            offenders = self._offenders(offered_costs_us, shed=True)
+            if not offenders:
+                break
+            t = offenders[0]
+            self.biases[t] += 1
+            self.shed_steps += 1
+            events.append(
+                {
+                    "event": "shed",
+                    "epoch": epoch,
+                    "tenant": t,
+                    "bias": self.biases[t],
+                }
+            )
+
+        # Defer: quality exhausted and demand still spiking past the
+        # defer watermark — skip whole offender queues this epoch
+        # (frames stay queued, nothing drops). Sustained pressure below
+        # the watermark is left to bounded queues and admission.
+        deferred: list[int] = []
+        remaining = self._demand_us(offered_costs_us)
+        defer_at = capacity_us * self.defer_headroom
+        if remaining > defer_at:
+            for t in self._offenders(offered_costs_us, shed=False):
+                if remaining <= defer_at:
+                    break
+                deferred.append(t)
+                remaining -= offered_costs_us[t] * self.multiplier(
+                    self.biases[t]
+                )
+                self.defer_events += 1
+                events.append(
+                    {"event": "defer", "epoch": epoch, "tenant": t}
+                )
+
+        return ShedPlan(
+            biases=list(self.biases), deferred=deferred, events=events
+        )
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "biases": list(self.biases),
+            "shed_steps": self.shed_steps,
+            "defer_events": self.defer_events,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.biases = [int(b) for b in state["biases"]]
+        self.shed_steps = int(state["shed_steps"])
+        self.defer_events = int(state["defer_events"])

@@ -1,0 +1,86 @@
+"""Per-tenant service-level objectives for the QoS serving layer.
+
+A :class:`TenantSLO` is the contract one tenant declares when it attaches
+to the serving layer: the frame-latency budget it expects (derived from a
+target frame rate through
+:meth:`repro.core.timing.TimingModel.frame_budget_us`), the scheduler
+weight it is entitled to, how deep its admission queue may grow before
+backpressure kicks in, whether it is *protected* (the load shedder never
+degrades or defers it), and the fault model of its (simulated) AGP link.
+
+The SLO is declarative and immutable; all enforcement lives in
+:mod:`repro.serve.admission`, :mod:`repro.serve.shedder`, and
+:mod:`repro.serve.system`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.timing import TimingModel
+from repro.reliability.faults import FaultModel
+
+__all__ = ["TenantSLO"]
+
+
+@dataclass(frozen=True)
+class TenantSLO:
+    """One tenant's declared service-level objective.
+
+    Attributes:
+        name: human-readable tenant label (journal/report key).
+        frame_budget_us: maximum tolerated latency from a frame request's
+            arrival to its texturing completing, microseconds.
+        weight: scheduler share entitlement (relative; positive).
+        queue_frames: admission-queue depth bound; arrivals beyond it are
+            rejected with ``"queue-full"`` (backpressure, never unbounded
+            growth).
+        protected: the load shedder must not bias or defer this tenant;
+            overload is absorbed by unprotected tenants first.
+        fault_model: seeded failure model of this tenant's AGP link, or
+            None for a clean link. Fault episodes feed the tenant's
+            circuit breaker.
+    """
+
+    name: str
+    frame_budget_us: float
+    weight: float = 1.0
+    queue_frames: int = 8
+    protected: bool = False
+    fault_model: FaultModel | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.frame_budget_us <= 0.0:
+            raise ValueError(
+                f"frame_budget_us must be positive, got {self.frame_budget_us}"
+            )
+        if self.weight <= 0.0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.queue_frames < 1:
+            raise ValueError(
+                f"queue_frames must be >= 1, got {self.queue_frames}"
+            )
+
+    @classmethod
+    def from_fps(
+        cls,
+        name: str,
+        target_fps: float,
+        timing: TimingModel | None = None,
+        **kwargs,
+    ) -> "TenantSLO":
+        """SLO whose latency budget is one frame period at ``target_fps``.
+
+        The budget comes from the machine timing model
+        (:meth:`~repro.core.timing.TimingModel.frame_budget_us`), keeping
+        the serving layer's notion of "a frame's worth of time" identical
+        to the simulator's.
+        """
+        timing = timing or TimingModel()
+        return cls(
+            name=name,
+            frame_budget_us=timing.frame_budget_us(target_fps),
+            **kwargs,
+        )

@@ -1,0 +1,640 @@
+"""The serving engine: epochs of admit → shed → serve → observe.
+
+:class:`ServingSystem` replays a multi-tenant arrival schedule against a
+fixed serving capacity on a purely *simulated* clock — epochs of
+``epoch_us`` microseconds — so every run is a deterministic function of
+(config, SLOs, frame costs, arrivals, seed). One epoch:
+
+1. **Admission** — each arriving frame request passes the
+   :class:`~repro.serve.admission.AdmissionController` gate (breaker,
+   bounded queue, SLO projection against the tenant's *guaranteed*
+   scheduler share). Rejections are typed and counted, never silent.
+2. **Shedding** — the :class:`~repro.serve.shedder.LoadShedder`
+   compares the epoch's *offered* demand (the service cost of the
+   frames admitted this epoch) with capacity and walks the
+   bias-then-defer ladder over unprotected offenders.
+3. **Service** — a deficit-weighted pass guarantees every serveable
+   tenant its share (weights × capacity, plus banked deficit), then a
+   work-conserving pass spends leftover capacity round-robin. Each
+   served frame runs its tenant's seeded AGP link
+   (:class:`~repro.reliability.transfer.AgpTransferLink` — retries and
+   jittered backoff inflate the charged cost) and the chaos policy
+   (kills waste the attempt's capacity and requeue the frame; stalls
+   inflate its latency). A frame that completes with stale blocks, or
+   met chaos, is a *fault episode* for the tenant's circuit breaker.
+4. **Observation** — completed-frame latencies are checked against each
+   tenant's SLO budget and fed to the
+   :class:`~repro.serve.scheduler.FeedbackScheduler`, which periodically
+   re-weights shares from measured slowdowns.
+
+Every decision lands in an append-only journal of plain dicts; two
+same-seed runs produce byte-identical journal JSON. The full mutable
+state participates in ``snapshot_state``/``restore_state`` and can be
+persisted through the checkpoint flattener
+(:func:`repro.reliability.checkpoint.flatten_state`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.timing import TimingModel
+from repro.reliability.atomic import atomic_savez_deterministic, atomic_write_text
+from repro.reliability.chaos import ChaosPolicy
+from repro.reliability.checkpoint import flatten_state, unflatten_state
+from repro.reliability.transfer import AgpTransferLink, TransferPolicy
+from repro.serve.admission import AdmissionController
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.scheduler import FeedbackScheduler
+from repro.serve.shedder import LoadShedder
+from repro.serve.slo import TenantSLO
+
+__all__ = ["ServeConfig", "TenantServeStats", "ServeReport", "ServingSystem"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving-layer configuration.
+
+    Attributes:
+        epoch_us: length of one serving epoch (the latency granularity).
+        utilization: fraction of the epoch available as service capacity.
+        slo_safety: admission projection multiplier on the SLO budget
+            (< 1 admits more conservatively).
+        max_bias: deepest MIP shed bias the load shedder may apply.
+        shed_cost_floor: fraction of a frame's cost MIP bias cannot
+            remove (non-texture work); see
+            :meth:`repro.serve.shedder.LoadShedder.multiplier`.
+        shed_headroom: demand/capacity ratio above which shedding starts.
+        restore_headroom: ratio below which bias is restored (hysteresis).
+        defer_headroom: post-shed demand ratio above which whole offender
+            queues are deferred for the epoch (burst spikes only).
+        breaker_threshold: consecutive fault episodes that trip a breaker.
+        breaker_cooldown_epochs: epochs an open breaker waits to probe.
+        feedback: enable fairness-feedback reweighting (static when off).
+        feedback_alpha: reweight damping exponent.
+        feedback_period: epochs between reweight steps.
+        weight_bounds: (floor, ceiling) clamp on feedback weights.
+        deficit_cap_epochs: deficit bank bound, in multiples of a
+            tenant's per-epoch share.
+        policy: retry/backoff policy for tenant link faults; its jitter
+            seed is re-derived per tenant so colliding retry schedules
+            decorrelate.
+        chaos: seeded kill/stall fates per service attempt, or None.
+        timing: machine model (block download time sizes fault draws).
+    """
+
+    epoch_us: float = 10_000.0
+    utilization: float = 1.0
+    slo_safety: float = 1.0
+    max_bias: int = 3
+    shed_cost_floor: float = 0.5
+    shed_headroom: float = 1.0
+    restore_headroom: float = 0.8
+    defer_headroom: float = 1.5
+    breaker_threshold: int = 3
+    breaker_cooldown_epochs: int = 4
+    feedback: bool = True
+    feedback_alpha: float = 0.5
+    feedback_period: int = 4
+    weight_bounds: tuple[float, float] = (0.25, 4.0)
+    deficit_cap_epochs: float = 1.0
+    policy: TransferPolicy = TransferPolicy(jitter=1.0)
+    chaos: ChaosPolicy | None = None
+    timing: TimingModel = TimingModel()
+
+    def __post_init__(self) -> None:
+        if self.epoch_us <= 0.0:
+            raise ValueError(f"epoch_us must be positive, got {self.epoch_us}")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError(
+                f"utilization must be in (0, 1], got {self.utilization}"
+            )
+        if self.deficit_cap_epochs < 0.0:
+            raise ValueError(
+                f"deficit_cap_epochs must be >= 0, got {self.deficit_cap_epochs}"
+            )
+
+    @property
+    def capacity_us(self) -> float:
+        """Service microseconds available per epoch."""
+        return self.epoch_us * self.utilization
+
+
+@dataclass
+class TenantServeStats:
+    """One tenant's aggregate serving outcome."""
+
+    name: str
+    protected: bool
+    arrived: int = 0
+    admitted: int = 0
+    rejected: dict = field(default_factory=dict)
+    completed: int = 0
+    violations: int = 0
+    episodes: int = 0
+    chaos_kills: int = 0
+    chaos_stalls: int = 0
+    deferred_epochs: int = 0
+    final_bias: int = 0
+    mean_latency_us: float = 0.0
+    p99_latency_us: float = 0.0
+    slowdown: float = 0.0
+    breaker_trips: int = 0
+    breaker_recoveries: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "protected": self.protected,
+            "arrived": self.arrived,
+            "admitted": self.admitted,
+            "rejected": dict(self.rejected),
+            "completed": self.completed,
+            "violations": self.violations,
+            "episodes": self.episodes,
+            "chaos_kills": self.chaos_kills,
+            "chaos_stalls": self.chaos_stalls,
+            "deferred_epochs": self.deferred_epochs,
+            "final_bias": self.final_bias,
+            "mean_latency_us": round(self.mean_latency_us, 6),
+            "p99_latency_us": round(self.p99_latency_us, 6),
+            "slowdown": round(self.slowdown, 9),
+            "breaker_trips": self.breaker_trips,
+            "breaker_recoveries": self.breaker_recoveries,
+        }
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one serving run."""
+
+    epochs: int
+    epoch_us: float
+    capacity_us: float
+    used_us: float
+    tenants: list[TenantServeStats]
+    weights: list[float]
+    journal: list[dict]
+
+    @property
+    def worst_slowdown(self) -> float:
+        done = [t.slowdown for t in self.tenants if t.completed > 0]
+        return max(done) if done else 0.0
+
+    @property
+    def worst_protected_slowdown(self) -> float:
+        done = [
+            t.slowdown
+            for t in self.tenants
+            if t.protected and t.completed > 0
+        ]
+        return max(done) if done else 0.0
+
+    @property
+    def protected_violations(self) -> int:
+        return sum(t.violations for t in self.tenants if t.protected)
+
+    def to_dict(self) -> dict:
+        return {
+            "epochs": self.epochs,
+            "epoch_us": self.epoch_us,
+            "capacity_us": self.capacity_us,
+            "used_us": round(self.used_us, 6),
+            "weights": [round(float(w), 9) for w in self.weights],
+            "tenants": [t.to_dict() for t in self.tenants],
+        }
+
+    def to_json(self) -> str:
+        """Canonical (byte-stable) JSON without the journal."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def journal_json(journal: list[dict]) -> str:
+    """Canonical JSON of a serving journal (byte-stable per seed)."""
+    return (
+        "\n".join(json.dumps(ev, sort_keys=True) for ev in journal) + "\n"
+    )
+
+
+class ServingSystem:
+    """Deterministic multi-tenant serving engine on a simulated clock."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        slos: list[TenantSLO],
+        frame_costs_us,
+        seed: int = 0,
+    ):
+        if not slos:
+            raise ValueError("need at least one tenant SLO")
+        if len(frame_costs_us) != len(slos):
+            raise ValueError(
+                f"{len(frame_costs_us)} cost arrays for {len(slos)} tenants"
+            )
+        self.config = config
+        self.slos = list(slos)
+        self.costs = [
+            np.asarray(c, dtype=np.float64) for c in frame_costs_us
+        ]
+        for t, c in enumerate(self.costs):
+            if c.size == 0 or np.any(c <= 0):
+                raise ValueError(
+                    f"tenant {t} needs positive frame costs, got {c!r}"
+                )
+        self.seed = seed
+        n = len(slos)
+        self.admission = AdmissionController(
+            slos, config.epoch_us, safety=config.slo_safety
+        )
+        self.shedder = LoadShedder(
+            slos,
+            max_bias=config.max_bias,
+            shed_headroom=config.shed_headroom,
+            restore_headroom=config.restore_headroom,
+            defer_headroom=config.defer_headroom,
+            cost_floor=config.shed_cost_floor,
+        )
+        self.scheduler = FeedbackScheduler(
+            [slo.weight for slo in slos],
+            alpha=config.feedback_alpha,
+            period=config.feedback_period,
+            bounds=config.weight_bounds,
+            enabled=config.feedback,
+        )
+        self.breakers = [
+            CircuitBreaker(
+                config.breaker_threshold, config.breaker_cooldown_epochs
+            )
+            for _ in slos
+        ]
+        # One faulty link per tenant; jitter seeds decorrelate their
+        # retry backoff schedules even when the same fault model repeats.
+        self.links: list[AgpTransferLink | None] = []
+        for t, slo in enumerate(slos):
+            if slo.fault_model is not None and slo.fault_model.active:
+                policy = replace(
+                    config.policy, jitter_seed=(seed << 8) + t
+                )
+                self.links.append(AgpTransferLink(slo.fault_model, policy))
+            else:
+                self.links.append(None)
+
+        self.epoch = 0
+        self.issued = [0] * n
+        self.deficits = [0.0] * n
+        self.used_us = 0.0
+        self.latencies: list[list[float]] = [[] for _ in range(n)]
+        self.stats = [
+            TenantServeStats(
+                name=slo.name,
+                protected=slo.protected,
+                rejected={"queue-full": 0, "slo": 0, "breaker-open": 0},
+            )
+            for slo in slos
+        ]
+        self.journal: list[dict] = []
+        self._breaker_logged = [0] * n
+
+    # ------------------------------------------------------------------
+    def _admit(self, epoch: int, counts, shares) -> list[float]:
+        """Admit one epoch's arrivals; returns offered cost per tenant.
+
+        The offered cost counts *every* arrival, rejected or not — the
+        load shedder reacts to submitted pressure, so quality can start
+        degrading before admission has to turn work away.
+        """
+        offered = [0.0] * len(self.slos)
+        for t, k in enumerate(counts):
+            for _ in range(int(k)):
+                self.stats[t].arrived += 1
+                cost = float(self.costs[t][self.issued[t] % len(self.costs[t])])
+                self.issued[t] += 1
+                offered[t] += cost
+                decision = self.admission.offer(
+                    t, cost, epoch, float(shares[t]), self.breakers[t]
+                )
+                if decision.admitted:
+                    self.stats[t].admitted += 1
+                else:
+                    self.stats[t].rejected[decision.reason] += 1
+                    self.journal.append(
+                        {
+                            "event": "reject",
+                            "epoch": epoch,
+                            "tenant": t,
+                            "reason": decision.reason,
+                        }
+                    )
+        return offered
+
+    # ------------------------------------------------------------------
+    def _serve_one(self, t: int, epoch: int) -> tuple[float, bool]:
+        """Serve (or chaos-kill) one queued frame of tenant ``t``.
+
+        Returns ``(charged_us, completed)``. A kill charges the biased
+        cost as wasted capacity and leaves the frame queued for a later
+        attempt; otherwise the frame completes (possibly degraded — a
+        fault episode) and its latency is recorded.
+        """
+        entry = self.admission.queues[t][0]
+        slo = self.slos[t]
+        stats = self.stats[t]
+        cost = self.shedder.effective_cost_us(t, entry.cost_us)
+        episode = False
+        stall_us = 0.0
+
+        chaos = self.config.chaos
+        if chaos is not None:
+            fate = chaos.decide(
+                f"serve:{slo.name}|q{entry.seq}", entry.attempts
+            )
+            if fate == "kill":
+                entry.attempts += 1
+                stats.chaos_kills += 1
+                stats.episodes += 1
+                self.breakers[t].record_failure(epoch)
+                return cost, False
+            if fate == "stall":
+                entry.attempts += 1
+                stats.chaos_stalls += 1
+                stall_us = chaos.stall_s * 1e6
+                episode = True
+
+        link = self.links[t]
+        if link is not None:
+            blocks = max(
+                1, int(round(cost / self.config.timing.block_download_us))
+            )
+            xfer = link.transfer_frame(blocks)
+            cost += (
+                xfer.retried_transfers * self.config.timing.block_download_us
+                + xfer.backoff_us
+            )
+            if xfer.stale_blocks > 0:
+                episode = True
+
+        self.admission.queues[t].pop(0)
+        latency = (epoch - entry.arrival_epoch + 1) * self.config.epoch_us
+        latency += stall_us
+        self.latencies[t].append(latency)
+        self.scheduler.observe(t, latency)
+        stats.completed += 1
+        if latency > slo.frame_budget_us:
+            stats.violations += 1
+        if episode:
+            stats.episodes += 1
+            self.breakers[t].record_failure(epoch)
+        else:
+            self.breakers[t].record_success(epoch)
+        return cost, True
+
+    def _service(self, epoch: int, deferred: set[int]) -> float:
+        """DRR guaranteed pass plus a work-conserving leftover pass."""
+        cfg = self.config
+        n = len(self.slos)
+        capacity = cfg.capacity_us
+        shares = self.scheduler.shares_us(capacity)
+        order = [(epoch + i) % n for i in range(n)]
+        probes = [0] * n
+
+        def serveable(t: int) -> bool:
+            if t in deferred or not self.admission.queues[t]:
+                return False
+            if not self.breakers[t].serves(epoch):
+                return False
+            if self.breakers[t].probing and probes[t] >= 1:
+                return False
+            return True
+
+        used = 0.0
+        budgets = [
+            float(shares[t]) + self.deficits[t] for t in range(n)
+        ]
+        progress = True
+        while progress and used < capacity:
+            progress = False
+            for t in order:
+                if used >= capacity or not serveable(t):
+                    continue
+                head = self.admission.queues[t][0]
+                cost = self.shedder.effective_cost_us(t, head.cost_us)
+                if cost > budgets[t]:
+                    continue
+                probing = self.breakers[t].probing
+                charged, _ = self._serve_one(t, epoch)
+                if probing:
+                    probes[t] += 1
+                budgets[t] -= charged
+                used += charged
+                progress = True
+
+        # Bank unused guaranteed share for backlogged tenants (bounded).
+        for t in range(n):
+            if self.admission.queues[t] and t not in deferred:
+                cap = cfg.deficit_cap_epochs * float(shares[t])
+                self.deficits[t] = min(max(budgets[t], 0.0), cap)
+            else:
+                self.deficits[t] = 0.0
+
+        # Work-conserving pass: leftover capacity goes round-robin.
+        progress = True
+        while progress and used < capacity:
+            progress = False
+            for t in order:
+                if used >= capacity or not serveable(t):
+                    continue
+                head = self.admission.queues[t][0]
+                cost = self.shedder.effective_cost_us(t, head.cost_us)
+                if used + cost > capacity and used > 0.0:
+                    continue
+                probing = self.breakers[t].probing
+                charged, _ = self._serve_one(t, epoch)
+                if probing:
+                    probes[t] += 1
+                used += charged
+                progress = True
+        return used
+
+    # ------------------------------------------------------------------
+    def _log_breakers(self, epoch: int) -> None:
+        for t, breaker in enumerate(self.breakers):
+            new = breaker.transitions[self._breaker_logged[t]:]
+            for ep, frm, to in new:
+                self.journal.append(
+                    {
+                        "event": "breaker",
+                        "epoch": ep,
+                        "tenant": t,
+                        "from": frm,
+                        "to": to,
+                    }
+                )
+                if to == "open":
+                    self.stats[t].breaker_trips += 1
+                if frm == "half-open" and to == "closed":
+                    self.stats[t].breaker_recoveries += 1
+            self._breaker_logged[t] = len(breaker.transitions)
+
+    def run_epoch(self, counts) -> None:
+        """Advance the system by one epoch of arrivals."""
+        cfg = self.config
+        epoch = self.epoch
+        capacity = cfg.capacity_us
+        shares = self.scheduler.shares_us(capacity)
+
+        offered = self._admit(epoch, counts, shares)
+        plan = self.shedder.plan(epoch, offered, capacity)
+        self.journal.extend(plan.events)
+        for t in plan.deferred:
+            self.stats[t].deferred_epochs += 1
+
+        used = self._service(epoch, set(plan.deferred))
+        self.used_us += used
+
+        self._log_breakers(epoch)
+        event = self.scheduler.maybe_reweight(epoch, cfg.epoch_us)
+        if event is not None:
+            self.journal.append(event)
+
+        self.journal.append(
+            {
+                "event": "epoch",
+                "epoch": epoch,
+                "arrived": [int(c) for c in counts],
+                "queued": [
+                    self.admission.depth(t) for t in range(len(self.slos))
+                ],
+                "biases": list(plan.biases),
+                "deferred": list(plan.deferred),
+                "used_us": round(used, 6),
+            }
+        )
+        self.epoch += 1
+
+    def run(self, arrivals) -> ServeReport:
+        """Replay an ``(epochs, tenants)`` arrival matrix; returns report."""
+        arrivals = np.asarray(arrivals)
+        if arrivals.ndim != 2 or arrivals.shape[1] != len(self.slos):
+            raise ValueError(
+                f"arrivals must be (epochs, {len(self.slos)}), "
+                f"got {arrivals.shape}"
+            )
+        for counts in arrivals:
+            self.run_epoch(counts)
+        return self.report()
+
+    # ------------------------------------------------------------------
+    def report(self) -> ServeReport:
+        cfg = self.config
+        for t, stats in enumerate(self.stats):
+            lat = self.latencies[t]
+            stats.final_bias = self.shedder.biases[t]
+            if lat:
+                arr = np.asarray(lat)
+                stats.mean_latency_us = float(arr.mean())
+                stats.p99_latency_us = float(np.percentile(arr, 99))
+                stats.slowdown = stats.mean_latency_us / cfg.epoch_us
+        return ServeReport(
+            epochs=self.epoch,
+            epoch_us=cfg.epoch_us,
+            capacity_us=cfg.capacity_us,
+            used_us=self.used_us,
+            tenants=self.stats,
+            weights=[float(w) for w in self.scheduler.weights],
+            journal=self.journal,
+        )
+
+    def write_journal(self, path) -> Path:
+        """Atomically write the canonical journal JSON; returns the path."""
+        path = Path(path)
+        atomic_write_text(path, journal_json(self.journal))
+        return path
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Full mutable state; restoring resumes bit-identically."""
+        return {
+            "epoch": self.epoch,
+            "issued": list(self.issued),
+            "deficits": list(self.deficits),
+            "used_us": self.used_us,
+            "latencies": [list(lat) for lat in self.latencies],
+            "admission": self.admission.snapshot_state(),
+            "shedder": self.shedder.snapshot_state(),
+            "scheduler": self.scheduler.snapshot_state(),
+            "breakers": [b.snapshot_state() for b in self.breakers],
+            "breaker_logged": list(self._breaker_logged),
+            "links": [
+                None if link is None else link.snapshot_state()
+                for link in self.links
+            ],
+            "stats": [s.to_dict() for s in self.stats],
+            "journal": [dict(ev) for ev in self.journal],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self.epoch = int(state["epoch"])
+        self.issued = [int(x) for x in state["issued"]]
+        self.deficits = [float(x) for x in state["deficits"]]
+        self.used_us = float(state["used_us"])
+        self.latencies = [
+            [float(x) for x in lat] for lat in state["latencies"]
+        ]
+        self.admission.restore_state(state["admission"])
+        self.shedder.restore_state(state["shedder"])
+        self.scheduler.restore_state(state["scheduler"])
+        for breaker, bstate in zip(self.breakers, state["breakers"]):
+            breaker.restore_state(bstate)
+        self._breaker_logged = [int(x) for x in state["breaker_logged"]]
+        for link, lstate in zip(self.links, state["links"]):
+            if link is not None and lstate is not None:
+                link.restore_state(lstate)
+        for stats, sdict in zip(self.stats, state["stats"]):
+            stats.arrived = int(sdict["arrived"])
+            stats.admitted = int(sdict["admitted"])
+            stats.rejected = {
+                str(k): int(v) for k, v in sdict["rejected"].items()
+            }
+            stats.completed = int(sdict["completed"])
+            stats.violations = int(sdict["violations"])
+            stats.episodes = int(sdict["episodes"])
+            stats.chaos_kills = int(sdict["chaos_kills"])
+            stats.chaos_stalls = int(sdict["chaos_stalls"])
+            stats.deferred_epochs = int(sdict["deferred_epochs"])
+            stats.final_bias = int(sdict["final_bias"])
+            stats.mean_latency_us = float(sdict["mean_latency_us"])
+            stats.p99_latency_us = float(sdict["p99_latency_us"])
+            stats.slowdown = float(sdict["slowdown"])
+            stats.breaker_trips = int(sdict["breaker_trips"])
+            stats.breaker_recoveries = int(sdict["breaker_recoveries"])
+        self.journal = [dict(ev) for ev in state["journal"]]
+
+    def save_checkpoint(self, path) -> Path:
+        """Persist the snapshot deterministically (same state, same bytes)."""
+        skeleton, arrays = flatten_state(self.snapshot_state())
+        payload = {
+            f"s{i}": np.ascontiguousarray(a) for i, a in enumerate(arrays)
+        }
+        payload["meta_json"] = np.frombuffer(
+            json.dumps(
+                {"n_arrays": len(arrays), "state": skeleton}, sort_keys=True
+            ).encode("utf-8"),
+            dtype=np.uint8,
+        )
+        path = Path(path)
+        atomic_savez_deterministic(path, **payload)
+        return path
+
+    def load_checkpoint(self, path) -> None:
+        """Restore a :meth:`save_checkpoint` file into this system."""
+        with np.load(Path(path)) as data:
+            meta = json.loads(bytes(data["meta_json"]).decode("utf-8"))
+            arrays = [data[f"s{i}"] for i in range(int(meta["n_arrays"]))]
+        self.restore_state(unflatten_state(meta["state"], arrays))

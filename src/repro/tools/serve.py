@@ -1,0 +1,132 @@
+"""CLI: replay a QoS serving scenario and print per-tenant outcomes.
+
+Usage::
+
+    python -m repro.tools.serve feedback-overload --scale small \\
+        --epochs 80 --journal serve.jsonl --report serve.json
+
+Builds the experiment's tenant mix (real per-tenant frame costs from
+isolated cache simulations), replays the named scenario's seeded bursty
+arrival schedule through :class:`repro.serve.system.ServingSystem`, and
+prints each tenant's admission/latency/breaker outcome. ``--journal``
+and ``--report`` write the byte-stable decision journal and report JSON
+atomically; two runs with the same seeds produce identical bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.config import Scale
+from repro.experiments.exp_serve import (
+    ARRIVAL_SEED,
+    SERVE_SEED,
+    TENANTS,
+    build_tenant_costs,
+    run_serve_scenario,
+    serve_scenarios,
+)
+from repro.reliability.atomic import atomic_write_text
+
+__all__ = ["main"]
+
+#: Scenario ids in presentation order (mirrors the serve experiment).
+SCENARIO_IDS = (
+    "static-clean",
+    "feedback-clean",
+    "static-overload",
+    "feedback-overload",
+    "feedback-faults",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.serve",
+        description="Replay a QoS serving scenario (admission, shedding, "
+        "circuit breakers, fairness feedback) and print the outcome.",
+    )
+    parser.add_argument("scenario", choices=SCENARIO_IDS)
+    parser.add_argument(
+        "--scale",
+        choices=("small", "bench", "full", "paper"),
+        default="small",
+        help="workload scale preset for the frame-cost simulations",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=None,
+        help="serving epochs to replay (default: the experiment's choice)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=SERVE_SEED,
+        help="serving-system seed (chaos fates, link backoff jitter)",
+    )
+    parser.add_argument(
+        "--arrival-seed", type=int, default=ARRIVAL_SEED,
+        help="arrival-schedule seed (burst windows, stochastic rounding)",
+    )
+    parser.add_argument(
+        "--journal", default=None,
+        help="write the byte-stable decision journal (JSON lines) here",
+    )
+    parser.add_argument(
+        "--report", default=None,
+        help="write the canonical report JSON here",
+    )
+    args = parser.parse_args(argv)
+
+    if args.epochs is not None and args.epochs < 1:
+        parser.error(f"--epochs must be >= 1, got {args.epochs}")
+
+    scale = {
+        "small": Scale.small,
+        "bench": Scale.bench,
+        "full": Scale.full,
+        "paper": Scale.paper,
+    }[args.scale]()
+    epochs = args.epochs if args.epochs is not None else max(80, scale.frames * 4)
+
+    costs = build_tenant_costs(scale)
+    payloads = {p["id"]: p for p in serve_scenarios(costs, epochs)}
+    payload = payloads[args.scenario]
+    result = run_serve_scenario(
+        costs, payload, arrival_seed=args.arrival_seed, serve_seed=args.seed
+    )
+    report = json.loads(result["report_json"])
+    metrics = result["metrics"]
+
+    print(
+        f"{args.scenario}: {report['epochs']} epochs x "
+        f"{report['epoch_us']:.0f} us, used {metrics['used_ratio']:.2f} "
+        f"of capacity, weights "
+        f"{[round(w, 3) for w in metrics['weights']]}"
+    )
+    header = (
+        f"{'tenant':<14} {'prot':<4} {'admit':>6} {'rej':>5} {'done':>6} "
+        f"{'viol':>4} {'defer':>5} {'bias':>4} {'sd':>7} {'brk t/r':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for t, tenant in enumerate(report["tenants"]):
+        rejected = sum(tenant["rejected"].values())
+        print(
+            f"{tenant['name']:<14} {'yes' if tenant['protected'] else 'no':<4} "
+            f"{tenant['admitted']:>6} {rejected:>5} {tenant['completed']:>6} "
+            f"{tenant['violations']:>4} {tenant['deferred_epochs']:>5} "
+            f"{tenant['final_bias']:>4} {tenant['slowdown']:>7.3f} "
+            f"{tenant['breaker_trips']:>3}/{tenant['breaker_recoveries']}"
+        )
+    if args.journal is not None:
+        atomic_write_text(args.journal, result["journal"])
+        print(f"journal -> {args.journal}")
+    if args.report is not None:
+        atomic_write_text(args.report, result["report_json"])
+        print(f"report -> {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.raster.feedback import page_requests
 from repro.reliability.chaos import ChaosPolicy
 from repro.reliability.faults import FaultModel
 from repro.reliability.transfer import TransferPolicy
@@ -49,6 +48,7 @@ from repro.texture.fallback import fallback_page
 from repro.texture.tiling import L1_TILE_TEXELS, AddressSpace
 from repro.vt.megatexture import MegaTexture
 from repro.vt.residency import PageResidency
+from repro.vt.shed import shed_page_requests
 from repro.vt.streaming import PageStreamer
 
 __all__ = [
@@ -194,12 +194,25 @@ class VirtualTextureSystem:
         self._frame = 0
 
     # ------------------------------------------------------------------
-    def run_frame(self, refs: np.ndarray) -> FrameVtStats:
-        """Page one frame; never blocks, always returns complete stats."""
+    def run_frame(self, refs: np.ndarray, shed_bias: int = 0) -> FrameVtStats:
+        """Page one frame; never blocks, always returns complete stats.
+
+        ``shed_bias`` is the load shedder's quality knob: a positive bias
+        requests every visible page ``shed_bias`` MIP levels coarser
+        (:func:`repro.vt.shed.shed_page_requests`), collapsing the page
+        set and its streaming traffic. Biased frames are accounted as
+        degraded — every visible page carries the shed bias on top of any
+        fallback bias — so shedding is never silent.
+        """
         config = self.config
         stats = FrameVtStats()
-        pages = [int(p) for p in page_requests(refs, config.page_texels)]
+        pages = [
+            int(p) for p in shed_page_requests(self.mega, refs, shed_bias)
+        ]
         stats.visible_pages = len(pages)
+        if shed_bias > 0:
+            stats.degraded_pages += len(pages)
+            stats.mip_bias_sum += shed_bias * len(pages)
 
         for page in pages:
             self.residency.touch(page)

@@ -1,0 +1,201 @@
+"""Static robustness lint over ``src/``.
+
+Walks every source module's AST and enforces the error-handling and
+durability conventions the reliability layer depends on:
+
+* no bare ``except:`` anywhere — failures must be typed;
+* handlers catching ``BaseException``, ``KeyboardInterrupt``, or
+  ``SystemExit`` must re-raise (or sit on the explicit allowlist for
+  intentional child-process shutdown), so Ctrl-C and interpreter
+  shutdown are never swallowed;
+* durable artifacts are written through the atomic helpers: ``np.savez``
+  and raw file writes are confined to the modules that implement (or
+  deliberately bypass, like the chaos corruptor) the atomic layer.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).parents[2] / "src" / "repro"
+
+# Handlers that intentionally absorb KeyboardInterrupt/SystemExit:
+# (module relative to src/repro, enclosing function). The supervisor's
+# pool child treats Ctrl-C as a clean shutdown signal — the parent owns
+# the interrupt; the child just exits its task loop.
+INTERRUPT_ALLOWLIST = {
+    ("reliability/supervisor.py", "_worker_main"),
+}
+
+# Modules allowed to call np.savez* directly — only the deterministic
+# atomic writer itself.
+SAVEZ_ALLOWLIST = {"reliability/atomic.py"}
+
+# Modules allowed to open files for writing outside the atomic helpers:
+# the helpers themselves, the chaos corruptor (whose entire point is
+# damaging artifacts in place), and leaf exporters of non-durable,
+# regenerable outputs (PPM images, CSV exports, staged stream chunks
+# that are published via os.replace), and the heartbeat journal (an
+# append-only log whose reader tolerates a torn tail by design).
+RAW_WRITE_ALLOWLIST = {
+    "reliability/atomic.py",
+    "reliability/chaos.py",
+    "reliability/heartbeat.py",
+    "raster/framebuffer.py",
+    "experiments/export.py",
+    "trace/stream.py",
+}
+
+BASE_NAMES = {"BaseException", "KeyboardInterrupt", "SystemExit"}
+
+
+def iter_modules():
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        yield rel, ast.parse(path.read_text(), filename=rel)
+
+
+def exception_names(handler):
+    node = handler.type
+    if node is None:
+        return {"<bare>"}
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = set()
+    for n in nodes:
+        if isinstance(n, ast.Name):
+            names.add(n.id)
+        elif isinstance(n, ast.Attribute):
+            names.add(n.attr)
+    return names
+
+
+def handler_reraises(handler):
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def enclosing_function(tree, target):
+    """Name of the innermost function containing ``target``."""
+    result = None
+
+    class Finder(ast.NodeVisitor):
+        def __init__(self):
+            self.stack = []
+
+        def generic_visit(self, node):
+            is_fn = isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+            if is_fn:
+                self.stack.append(node.name)
+            if node is target:
+                nonlocal result
+                result = self.stack[-1] if self.stack else None
+            super().generic_visit(node)
+            if is_fn:
+                self.stack.pop()
+
+    Finder().visit(tree)
+    return result
+
+
+class TestExceptionHygiene:
+    def test_no_bare_except(self):
+        offenders = []
+        for rel, tree in iter_modules():
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ExceptHandler) and node.type is None:
+                    offenders.append(f"{rel}:{node.lineno}")
+        assert not offenders, f"bare except: {offenders}"
+
+    def test_interrupts_never_swallowed(self):
+        offenders = []
+        for rel, tree in iter_modules():
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not exception_names(node) & BASE_NAMES:
+                    continue
+                if handler_reraises(node):
+                    continue
+                fn = enclosing_function(tree, node)
+                if (rel, fn) in INTERRUPT_ALLOWLIST:
+                    continue
+                offenders.append(f"{rel}:{node.lineno} (in {fn})")
+        assert not offenders, (
+            "KeyboardInterrupt/SystemExit/BaseException swallowed "
+            f"without re-raise: {offenders}"
+        )
+
+    def test_interrupt_allowlist_is_not_stale(self):
+        live = set()
+        for rel, tree in iter_modules():
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ExceptHandler) and (
+                    exception_names(node) & BASE_NAMES
+                ):
+                    live.add((rel, enclosing_function(tree, node)))
+        stale = INTERRUPT_ALLOWLIST - live
+        assert not stale, f"allowlist entries no longer exist: {stale}"
+
+
+class TestDurableWritesAreAtomic:
+    def test_savez_only_in_atomic_module(self):
+        offenders = []
+        for rel, tree in iter_modules():
+            if rel in SAVEZ_ALLOWLIST:
+                continue
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr.startswith("savez")
+                ):
+                    offenders.append(f"{rel}:{node.lineno}")
+        assert not offenders, (
+            f"np.savez outside the atomic writer: {offenders}"
+        )
+
+    def test_raw_writes_only_in_allowlisted_modules(self):
+        offenders = []
+        for rel, tree in iter_modules():
+            if rel in RAW_WRITE_ALLOWLIST:
+                continue
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "open":
+                    modes = [
+                        a.value
+                        for a in node.args[1:2]
+                        if isinstance(a, ast.Constant)
+                    ] + [
+                        kw.value.value
+                        for kw in node.keywords
+                        if kw.arg == "mode"
+                        and isinstance(kw.value, ast.Constant)
+                    ]
+                    if any(
+                        isinstance(m, str) and ("w" in m or "a" in m or "x" in m)
+                        for m in modes
+                    ):
+                        offenders.append(f"{rel}:{node.lineno} open(mode)")
+                if isinstance(func, ast.Attribute) and func.attr in (
+                    "write_text",
+                    "write_bytes",
+                ):
+                    offenders.append(f"{rel}:{node.lineno} {func.attr}")
+        assert not offenders, (
+            "raw file writes outside the atomic/exporter allowlist "
+            f"(use repro.reliability.atomic helpers): {offenders}"
+        )
+
+    def test_raw_write_allowlist_is_not_stale(self):
+        missing = {
+            rel
+            for rel in RAW_WRITE_ALLOWLIST | SAVEZ_ALLOWLIST
+            if not (SRC / rel).exists()
+        }
+        assert not missing, f"allowlisted modules vanished: {missing}"

@@ -1,0 +1,83 @@
+"""Whole-sweep serial degradation under ``$REPRO_CHAOS``.
+
+When chaos (injected through the environment, the way CI turns it on
+under an unmodified CLI) kills every parallel attempt and the worker
+replacement budget runs out, the supervisor must degrade the remaining
+batch to serial in-process execution, finish it correctly, and record
+the degradation in the heartbeat journal.
+"""
+
+import json
+
+from repro.reliability.heartbeat import HeartbeatJournal
+from repro.reliability.supervisor import (
+    SupervisorConfig,
+    TaskRunner,
+    supervise_tasks,
+)
+from repro.reliability.transfer import TransferPolicy
+
+#: Short backoff so exhausted-retry paths run in test time.
+FAST = TransferPolicy(max_retries=1, backoff_base_us=5_000.0)
+
+
+class SquareRunner(TaskRunner):
+    """Trivial picklable task body: square the payload."""
+
+    def task_key(self, payload) -> str:
+        return f"square:{payload}"
+
+    def run(self, payload):
+        return payload * payload
+
+
+class TestSerialDegradation:
+    def test_env_chaos_exhausts_workers_then_serial_completes(
+        self, tmp_path, monkeypatch
+    ):
+        # Every parallel attempt dies (max_attempt effectively infinite),
+        # and a single casualty exhausts the replacement budget: only
+        # degraded-mode serial execution can finish the sweep.
+        monkeypatch.setenv(
+            "REPRO_CHAOS",
+            json.dumps({"seed": 5, "kill_rate": 1.0, "max_attempt": 99}),
+        )
+        hb_path = tmp_path / "hb.jsonl"
+        todo = [(i, i + 1) for i in range(6)]
+        results = supervise_tasks(
+            todo,
+            SquareRunner(),
+            jobs=2,
+            cfg=SupervisorConfig(
+                retry=FAST,
+                max_worker_failures=1,
+                heartbeat_path=hb_path,
+            ),
+        )
+        assert results == {i: (i + 1) ** 2 for i in range(6)}
+
+        hb = HeartbeatJournal(hb_path)
+        degrades = hb.events("degrade")
+        assert any(e.get("scope") == "sweep" for e in degrades)
+        # Every task that completed after the degradation ran serially,
+        # and the journal shows each one.
+        serial_tasks = {e["task"] for e in hb.events("serial")}
+        done_tasks = {e["task"] for e in hb.events("done")}
+        assert serial_tasks, "no serial events journaled"
+        assert done_tasks == {i for i, _ in todo}
+
+    def test_clean_env_run_stays_parallel(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        hb_path = tmp_path / "hb.jsonl"
+        todo = [(i, i) for i in range(4)]
+        results = supervise_tasks(
+            todo,
+            SquareRunner(),
+            jobs=2,
+            cfg=SupervisorConfig(retry=FAST, heartbeat_path=hb_path),
+        )
+        assert results == {i: i * i for i in range(4)}
+        hb = HeartbeatJournal(hb_path)
+        assert not hb.events("degrade")
+        assert not hb.events("serial")
+        assert len(hb.events("dispatch")) == len(todo)

@@ -1,0 +1,103 @@
+"""Tests for admission control: bounded queues, SLO projection, typing."""
+
+import pytest
+
+from repro.errors import AdmissionRejectedError, ReproError, ServeError
+from repro.serve import AdmissionController, CircuitBreaker, TenantSLO
+
+
+def make_controller(epoch_us=1000.0, safety=1.0, strict=False, **slo_kw):
+    slo_kw.setdefault("frame_budget_us", 10_000.0)
+    slo_kw.setdefault("queue_frames", 3)
+    slos = [TenantSLO(name="t0", **slo_kw)]
+    return AdmissionController(slos, epoch_us, safety=safety, strict=strict)
+
+
+class TestBoundedQueue:
+    def test_queue_never_exceeds_bound(self):
+        ctrl = make_controller()
+        outcomes = [
+            ctrl.offer(0, 100.0, epoch, share_us=1000.0) for epoch in range(10)
+        ]
+        assert [d.admitted for d in outcomes[:3]] == [True, True, True]
+        assert all(not d.admitted for d in outcomes[3:])
+        assert all(d.reason == "queue-full" for d in outcomes[3:])
+        assert ctrl.depth(0) == 3
+        assert ctrl.rejected[0]["queue-full"] == 7
+
+    def test_serving_frees_slots(self):
+        ctrl = make_controller()
+        for epoch in range(3):
+            ctrl.offer(0, 100.0, epoch, share_us=1000.0)
+        ctrl.queues[0].pop(0)
+        assert ctrl.offer(0, 100.0, 9, share_us=1000.0).admitted
+
+
+class TestSLOProjection:
+    def test_projection_is_ceil_of_queue_drain(self):
+        ctrl = make_controller()
+        assert ctrl.projected_wait_us(0, 1500.0, share_us=1000.0) == 2000.0
+        ctrl.offer(0, 1500.0, 0, share_us=1000.0)
+        # 1500 queued + 1500 offered at 1000 us/epoch -> 3 epochs.
+        assert ctrl.projected_wait_us(0, 1500.0, share_us=1000.0) == 3000.0
+
+    def test_zero_share_projects_infinite(self):
+        ctrl = make_controller()
+        assert ctrl.projected_wait_us(0, 1.0, share_us=0.0) == float("inf")
+
+    def test_rejects_when_budget_exceeded(self):
+        ctrl = make_controller(frame_budget_us=2000.0)
+        assert ctrl.offer(0, 1800.0, 0, share_us=1000.0).admitted
+        decision = ctrl.offer(0, 1800.0, 0, share_us=1000.0)
+        assert not decision.admitted
+        assert decision.reason == "slo"
+
+    def test_safety_tightens_the_gate(self):
+        # A frame projecting exactly at budget passes at safety=1 but
+        # fails at safety=0.5.
+        loose = make_controller(frame_budget_us=2000.0, safety=1.0)
+        tight = make_controller(frame_budget_us=2000.0, safety=0.5)
+        assert loose.offer(0, 1500.0, 0, share_us=1000.0).admitted
+        assert tight.offer(0, 1500.0, 0, share_us=1000.0).reason == "slo"
+
+
+class TestBreakerPrecedence:
+    def test_open_breaker_wins_over_queue_full(self):
+        ctrl = make_controller()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_epochs=100)
+        for epoch in range(3):
+            ctrl.offer(0, 100.0, epoch, share_us=1000.0)
+        breaker.record_failure(3)
+        decision = ctrl.offer(0, 100.0, 3, share_us=1000.0, breaker=breaker)
+        assert decision.reason == "breaker-open"
+
+
+class TestTypedErrors:
+    def test_rejection_carries_typed_error(self):
+        ctrl = make_controller(frame_budget_us=100.0)
+        decision = ctrl.offer(0, 1500.0, 0, share_us=1000.0)
+        assert isinstance(decision.error, AdmissionRejectedError)
+        assert isinstance(decision.error, ServeError)
+        assert isinstance(decision.error, ReproError)
+        assert decision.error.reason == "slo"
+
+    def test_strict_mode_raises(self):
+        ctrl = make_controller(frame_budget_us=100.0, strict=True)
+        with pytest.raises(AdmissionRejectedError):
+            ctrl.offer(0, 1500.0, 0, share_us=1000.0)
+
+    def test_reason_must_be_known(self):
+        with pytest.raises(ValueError):
+            AdmissionRejectedError(0, "because")
+
+
+class TestSnapshot:
+    def test_roundtrip(self):
+        ctrl = make_controller()
+        for epoch in range(5):
+            ctrl.offer(0, 100.0 * (epoch + 1), epoch, share_us=1000.0)
+        state = ctrl.snapshot_state()
+        other = make_controller()
+        other.restore_state(state)
+        assert other.snapshot_state() == state
+        assert other.queued_cost_us(0) == ctrl.queued_cost_us(0)

@@ -1,0 +1,90 @@
+"""Tests for the per-tenant circuit-breaker state machine."""
+
+import pytest
+
+from repro.serve import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class TestTrip:
+    def test_consecutive_failures_trip(self):
+        b = CircuitBreaker(failure_threshold=3, cooldown_epochs=4)
+        b.record_failure(0)
+        b.record_failure(1)
+        assert b.state == CLOSED
+        b.record_failure(2)
+        assert b.state == OPEN
+        assert not b.admits(2)
+        assert not b.serves(2)
+
+    def test_success_resets_the_count(self):
+        b = CircuitBreaker(failure_threshold=3)
+        b.record_failure(0)
+        b.record_failure(1)
+        b.record_success(2)
+        b.record_failure(3)
+        b.record_failure(4)
+        assert b.state == CLOSED  # never three *consecutive*
+
+
+class TestHalfOpen:
+    def test_cooldown_then_probe(self):
+        b = CircuitBreaker(failure_threshold=1, cooldown_epochs=4)
+        b.record_failure(10)
+        assert b.state == OPEN
+        assert not b.admits(13)  # cooldown not elapsed
+        assert b.admits(14)      # probe window opens
+        assert b.state == HALF_OPEN
+        assert b.probing
+
+    def test_clean_probe_closes(self):
+        b = CircuitBreaker(failure_threshold=1, cooldown_epochs=2)
+        b.record_failure(0)
+        assert b.admits(2)
+        b.record_success(2)
+        assert b.state == CLOSED
+        assert not b.probing
+
+    def test_faulty_probe_reopens_full_cooldown(self):
+        b = CircuitBreaker(failure_threshold=1, cooldown_epochs=3)
+        b.record_failure(0)
+        assert b.admits(3)
+        b.record_failure(3)
+        assert b.state == OPEN
+        assert not b.admits(5)
+        assert b.admits(6)  # new cooldown from the probe failure
+
+
+class TestTransitions:
+    def test_full_cycle_recorded(self):
+        b = CircuitBreaker(failure_threshold=2, cooldown_epochs=2)
+        b.record_failure(0)
+        b.record_failure(1)
+        b.admits(3)
+        b.record_success(3)
+        assert b.transitions == [
+            (1, CLOSED, OPEN),
+            (3, OPEN, HALF_OPEN),
+            (3, HALF_OPEN, CLOSED),
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_epochs=0)
+
+
+class TestSnapshot:
+    def test_roundtrip_mid_cycle(self):
+        b = CircuitBreaker(failure_threshold=2, cooldown_epochs=3)
+        b.record_failure(0)
+        b.record_failure(1)
+        b.admits(4)
+        state = b.snapshot_state()
+        other = CircuitBreaker(failure_threshold=2, cooldown_epochs=3)
+        other.restore_state(state)
+        assert other.state == HALF_OPEN
+        assert other.snapshot_state() == state
+        other.record_success(4)
+        b.record_success(4)
+        assert other.transitions == b.transitions

@@ -1,0 +1,110 @@
+"""Serving-system snapshot/restore and checkpoint-resume determinism."""
+
+import numpy as np
+
+from repro.reliability.chaos import ChaosPolicy
+from repro.reliability.faults import FaultModel
+from repro.serve import (
+    ArrivalPattern,
+    ServeConfig,
+    ServingSystem,
+    TenantSLO,
+    bursty_arrivals,
+)
+from repro.serve.system import journal_json
+
+EPOCH_US = 8_000.0
+
+
+def make_system(seed=4):
+    config = ServeConfig(
+        epoch_us=EPOCH_US,
+        breaker_threshold=2,
+        breaker_cooldown_epochs=3,
+        chaos=ChaosPolicy(
+            seed=9, kill_rate=0.2, stall_rate=0.1, stall_s=0.001,
+            max_attempt=2,
+        ),
+    )
+    slos = [
+        TenantSLO(
+            name="a", frame_budget_us=30_000.0, queue_frames=4,
+            protected=True,
+        ),
+        TenantSLO(
+            name="b",
+            frame_budget_us=60_000.0,
+            queue_frames=6,
+            fault_model=FaultModel(drop_rate=0.25, seed=2),
+        ),
+    ]
+    return ServingSystem(
+        config, slos, [[1500.0], [2500.0, 3000.0]], seed=seed
+    )
+
+
+def arrivals(epochs, seed=12):
+    return bursty_arrivals(
+        ArrivalPattern(rates=(1.0, 3.0)), epochs, seed=seed
+    )
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_is_exact(self):
+        system = make_system()
+        sched = arrivals(30)
+        for counts in sched[:17]:
+            system.run_epoch(counts)
+        state = system.snapshot_state()
+        other = make_system()
+        other.restore_state(state)
+        assert other.snapshot_state() == state
+
+    def test_restored_system_resumes_identically(self):
+        sched = arrivals(40)
+        straight = make_system()
+        for counts in sched:
+            straight.run_epoch(counts)
+
+        resumed = make_system()
+        for counts in sched[:19]:
+            resumed.run_epoch(counts)
+        state = resumed.snapshot_state()
+        fresh = make_system()
+        fresh.restore_state(state)
+        for counts in sched[19:]:
+            fresh.run_epoch(counts)
+
+        assert journal_json(fresh.journal) == journal_json(straight.journal)
+        assert fresh.report().to_json() == straight.report().to_json()
+
+
+class TestCheckpointFile:
+    def test_checkpoint_resume_is_byte_identical(self, tmp_path):
+        sched = arrivals(36)
+        straight = make_system()
+        for counts in sched:
+            straight.run_epoch(counts)
+
+        half = make_system()
+        for counts in sched[:15]:
+            half.run_epoch(counts)
+        ckpt = half.save_checkpoint(tmp_path / "serve.npz")
+
+        resumed = make_system()
+        resumed.load_checkpoint(ckpt)
+        for counts in sched[15:]:
+            resumed.run_epoch(counts)
+
+        assert journal_json(resumed.journal) == journal_json(
+            straight.journal
+        )
+        assert resumed.report().to_json() == straight.report().to_json()
+
+    def test_checkpoint_bytes_deterministic(self, tmp_path):
+        system = make_system()
+        for counts in arrivals(10):
+            system.run_epoch(counts)
+        a = system.save_checkpoint(tmp_path / "a.npz")
+        b = system.save_checkpoint(tmp_path / "b.npz")
+        assert a.read_bytes() == b.read_bytes()

@@ -1,0 +1,102 @@
+"""Tests for the fairness-feedback reweight rule and scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.serve import FeedbackScheduler, reweight
+
+
+class TestReweight:
+    def test_equal_slowdowns_fixed_point(self):
+        w = reweight([1.0, 1.0, 1.0], [2.0, 2.0, 2.0])
+        assert np.allclose(w, [1.0, 1.0, 1.0])
+
+    def test_suffering_tenant_gains_weight(self):
+        w = reweight([1.0, 1.0, 1.0], [4.0, 1.0, 1.0])
+        assert w[0] > 1.0
+        assert w[1] < 1.0
+        assert w[1] == pytest.approx(w[2])
+
+    def test_normalized_to_tenant_count(self):
+        w = reweight([3.0, 0.5, 1.0, 2.0], [1.0, 9.0, 2.0, 1.0])
+        assert w.sum() == pytest.approx(4.0)
+
+    def test_alpha_damps_the_step(self):
+        big = reweight([1.0, 1.0], [4.0, 1.0], alpha=1.0)
+        small = reweight([1.0, 1.0], [4.0, 1.0], alpha=0.1)
+        assert big[0] > small[0] > 1.0
+
+    def test_bounds_cap_runaway_weights(self):
+        w = [1.0, 1.0]
+        for _ in range(50):
+            w = reweight(w, [1000.0, 1.0], bounds=(0.25, 4.0))
+        # Clip-then-renormalize keeps the ratio within the bound ratio.
+        assert w[0] / w[1] <= 4.0 / 0.25 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reweight([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            reweight([0.0, 1.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            reweight([1.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            reweight([1.0, 1.0], [1.0, 1.0], alpha=-1.0)
+        with pytest.raises(ValueError):
+            reweight([1.0, 1.0], [1.0, 1.0], bounds=(0.0, 4.0))
+
+
+class TestFeedbackScheduler:
+    def test_shares_follow_weights(self):
+        sched = FeedbackScheduler([3.0, 1.0])
+        shares = sched.shares_us(1000.0)
+        assert shares[0] == pytest.approx(750.0)
+        assert shares[1] == pytest.approx(250.0)
+
+    def test_reweights_on_period_only(self):
+        sched = FeedbackScheduler([1.0, 1.0], period=4)
+        for t in (0, 1):
+            sched.observe(t, 1000.0)
+        assert sched.maybe_reweight(0, 1000.0) is None
+        assert sched.maybe_reweight(2, 1000.0) is None
+        event = sched.maybe_reweight(3, 1000.0)
+        assert event is not None
+        assert event["event"] == "reweight"
+        assert sched.reweights == 1
+
+    def test_disabled_scheduler_stays_static(self):
+        sched = FeedbackScheduler([1.0, 1.0], period=1, enabled=False)
+        sched.observe(0, 9000.0)
+        sched.observe(1, 1000.0)
+        assert sched.maybe_reweight(0, 1000.0) is None
+        assert np.allclose(sched.weights, [1.0, 1.0])
+
+    def test_slow_tenant_gains_share(self):
+        sched = FeedbackScheduler([1.0, 1.0], period=1)
+        sched.observe(0, 5000.0)
+        sched.observe(1, 1000.0)
+        sched.maybe_reweight(0, 1000.0)
+        assert sched.weights[0] > sched.weights[1]
+
+    def test_silent_tenant_keeps_previous_slowdown(self):
+        sched = FeedbackScheduler([1.0, 1.0], period=1)
+        sched.observe(0, 4000.0)
+        sched.observe(1, 1000.0)
+        first = sched.maybe_reweight(0, 1000.0)
+        # Tenant 0 completes nothing in the next window: its slowdown
+        # must carry over, not reset to healthy.
+        sched.observe(1, 1000.0)
+        second = sched.maybe_reweight(1, 1000.0)
+        assert second["slowdowns"][0] == first["slowdowns"][0]
+
+    def test_snapshot_roundtrip(self):
+        sched = FeedbackScheduler([1.0, 2.0], period=2)
+        sched.observe(0, 3000.0)
+        sched.observe(1, 1000.0)
+        sched.maybe_reweight(1, 1000.0)
+        sched.observe(0, 2000.0)
+        state = sched.snapshot_state()
+        other = FeedbackScheduler([1.0, 1.0], period=2)
+        other.restore_state(state)
+        assert other.snapshot_state() == state
+        assert np.allclose(other.weights, sched.weights)

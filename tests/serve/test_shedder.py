@@ -1,0 +1,123 @@
+"""Tests for the bias-then-defer load shedder."""
+
+import pytest
+
+from repro.serve import LoadShedder, TenantSLO
+from repro.vt.shed import bias_cost_multiplier
+
+
+def make_slos(n=3, protected=(0,)):
+    return [
+        TenantSLO(
+            name=f"t{i}",
+            frame_budget_us=10_000.0,
+            queue_frames=8,
+            protected=i in protected,
+        )
+        for i in range(n)
+    ]
+
+
+class TestCostMultiplier:
+    def test_floor_bounds_the_falloff(self):
+        shed = LoadShedder(make_slos(), cost_floor=0.4)
+        assert shed.multiplier(0) == 1.0
+        assert shed.multiplier(1) == pytest.approx(0.4 + 0.6 * 0.25)
+        # Even infinite bias cannot remove the non-texture floor.
+        assert shed.multiplier(10) > 0.4
+
+    def test_zero_floor_recovers_raw_mip_falloff(self):
+        shed = LoadShedder(make_slos(), cost_floor=0.0)
+        for bias in range(4):
+            assert shed.multiplier(bias) == pytest.approx(
+                bias_cost_multiplier(bias)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadShedder(make_slos(), cost_floor=1.5)
+        with pytest.raises(ValueError):
+            LoadShedder(make_slos(), max_bias=-1)
+        with pytest.raises(ValueError):
+            LoadShedder(make_slos(), restore_headroom=2.0, shed_headroom=1.0)
+        with pytest.raises(ValueError):
+            LoadShedder(make_slos(), defer_headroom=0.5, shed_headroom=1.0)
+
+
+class TestBiasLadder:
+    def test_under_capacity_no_action(self):
+        shed = LoadShedder(make_slos())
+        plan = shed.plan(0, [100.0, 100.0, 100.0], capacity_us=1000.0)
+        assert plan.biases == [0, 0, 0]
+        assert plan.deferred == []
+
+    def test_worst_unprotected_offender_biased_first(self):
+        shed = LoadShedder(make_slos(), cost_floor=0.0)
+        # Tenant 0 (protected) offers the most; tenant 2 is the worst
+        # unprotected offender and must take the bias.
+        plan = shed.plan(0, [600.0, 100.0, 500.0], capacity_us=1000.0)
+        assert plan.biases[0] == 0
+        assert plan.biases[2] > 0
+
+    def test_bias_before_defer(self):
+        shed = LoadShedder(make_slos(), max_bias=2, cost_floor=0.0)
+        # 5x overload: two bias levels (4x falloff each) absorb it
+        # without deferring anything.
+        plan = shed.plan(0, [0.0, 0.0, 5000.0], capacity_us=1000.0)
+        assert plan.deferred == []
+        assert plan.biases[2] == 2
+
+    def test_defer_only_past_the_defer_watermark(self):
+        shed = LoadShedder(
+            make_slos(), max_bias=1, cost_floor=1.0, defer_headroom=1.5
+        )
+        # cost_floor=1 makes bias useless; 1.4x stays under the defer
+        # watermark, 2x crosses it.
+        plan = shed.plan(0, [0.0, 0.0, 1400.0], capacity_us=1000.0)
+        assert plan.deferred == []
+        plan = shed.plan(1, [0.0, 0.0, 2000.0], capacity_us=1000.0)
+        assert plan.deferred == [2]
+        assert shed.defer_events == 1
+
+    def test_protected_never_biased_or_deferred(self):
+        shed = LoadShedder(make_slos(), max_bias=3, cost_floor=1.0)
+        plan = shed.plan(0, [50_000.0, 10.0, 10.0], capacity_us=1000.0)
+        assert plan.biases[0] == 0
+        assert 0 not in plan.deferred
+
+
+class TestHysteresis:
+    def test_restore_one_level_per_epoch_under_watermark(self):
+        shed = LoadShedder(
+            make_slos(), cost_floor=0.0, restore_headroom=0.8
+        )
+        shed.plan(0, [0.0, 0.0, 5000.0], capacity_us=1000.0)
+        assert shed.biases[2] >= 2
+        start = shed.biases[2]
+        # Load vanishes: bias comes back one level per epoch, not all at
+        # once.
+        shed.plan(1, [0.0, 0.0, 100.0], capacity_us=1000.0)
+        assert shed.biases[2] == start - 1
+        shed.plan(2, [0.0, 0.0, 100.0], capacity_us=1000.0)
+        assert shed.biases[2] == start - 2
+
+    def test_no_restore_between_watermarks(self):
+        shed = LoadShedder(
+            make_slos(), cost_floor=0.0, shed_headroom=1.0, restore_headroom=0.8
+        )
+        shed.plan(0, [0.0, 0.0, 3000.0], capacity_us=1000.0)
+        bias = shed.biases[2]
+        # 0.9x capacity: above restore, below shed -> hold steady.
+        shed.plan(1, [0.0, 0.0, 900.0 / shed.multiplier(bias)], 1000.0)
+        assert shed.biases[2] == bias
+
+
+class TestSnapshot:
+    def test_roundtrip(self):
+        shed = LoadShedder(make_slos())
+        shed.plan(0, [0.0, 500.0, 5000.0], capacity_us=1000.0)
+        state = shed.snapshot_state()
+        other = LoadShedder(make_slos())
+        other.restore_state(state)
+        assert other.snapshot_state() == state
+        assert other.biases == shed.biases

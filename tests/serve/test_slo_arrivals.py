@@ -1,0 +1,76 @@
+"""Tests for tenant SLO declarations and seeded bursty arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.core.timing import TimingModel
+from repro.serve import ArrivalPattern, TenantSLO, bursty_arrivals
+
+
+class TestTenantSLO:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantSLO(name="", frame_budget_us=1000.0)
+        with pytest.raises(ValueError):
+            TenantSLO(name="t", frame_budget_us=0.0)
+        with pytest.raises(ValueError):
+            TenantSLO(name="t", frame_budget_us=1000.0, weight=0.0)
+        with pytest.raises(ValueError):
+            TenantSLO(name="t", frame_budget_us=1000.0, queue_frames=0)
+
+    def test_from_fps_uses_timing_model(self):
+        timing = TimingModel()
+        slo = TenantSLO.from_fps("t", 30.0, timing, queue_frames=4)
+        assert slo.frame_budget_us == pytest.approx(
+            timing.frame_budget_us(30.0)
+        )
+        assert slo.frame_budget_us == pytest.approx(1e6 / 30.0)
+        assert slo.queue_frames == 4
+
+    def test_immutable(self):
+        slo = TenantSLO(name="t", frame_budget_us=1000.0)
+        with pytest.raises(Exception):
+            slo.weight = 2.0
+
+
+class TestBurstyArrivals:
+    def test_shape_and_dtype(self):
+        pattern = ArrivalPattern(rates=(1.0, 2.0, 0.5))
+        counts = bursty_arrivals(pattern, 32, seed=3)
+        assert counts.shape == (32, 3)
+        assert counts.dtype == np.int64
+        assert np.all(counts >= 0)
+
+    def test_deterministic_per_seed(self):
+        pattern = ArrivalPattern(rates=(1.3, 0.7))
+        a = bursty_arrivals(pattern, 64, seed=9)
+        b = bursty_arrivals(pattern, 64, seed=9)
+        assert np.array_equal(a, b)
+        c = bursty_arrivals(pattern, 64, seed=10)
+        assert not np.array_equal(a, c)
+
+    def test_long_run_volume_matches_rate(self):
+        # Stochastic rounding + burst windows: mean must track
+        # rate * (1 + burst_prob * (burst_mult - 1)).
+        pattern = ArrivalPattern(rates=(1.5,))
+        counts = bursty_arrivals(pattern, 4096, seed=0)
+        expected = 1.5 * (1.0 + pattern.burst_prob * (pattern.burst_mult - 1.0))
+        assert counts[:, 0].mean() == pytest.approx(expected, rel=0.1)
+
+    def test_burst_windows_visible(self):
+        pattern = ArrivalPattern(
+            rates=(2.0,), burst_len=4, burst_prob=0.5, burst_mult=4.0
+        )
+        counts = bursty_arrivals(pattern, 256, seed=1)
+        assert counts[:, 0].max() >= 8  # at least one hot window
+        assert counts[:, 0].min() <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalPattern(rates=())
+        with pytest.raises(ValueError):
+            ArrivalPattern(rates=(-1.0,))
+        with pytest.raises(ValueError):
+            ArrivalPattern(rates=(1.0,), burst_mult=0.5)
+        with pytest.raises(ValueError):
+            bursty_arrivals(ArrivalPattern(rates=(1.0,)), 0)
